@@ -1,0 +1,107 @@
+//! E1 — §6.2's central claim: "the overhead for the privilege of becoming a
+//! CCA component is nothing more than a direct function call to the
+//! connected object. That is, there is no penalty for using the
+//! provides/uses component connection mechanism."
+//!
+//! Measured ladder, ns/call:
+//!   raw_fn            — a plain (non-inlined) function call, the floor;
+//!   trait_object      — one virtual dispatch (what "direct function call
+//!                       to the connected object" costs in Rust);
+//!   port_cached       — a port retrieved once via getPort, then called —
+//!                       the CCA direct-connect steady state. The claim
+//!                       holds iff port_cached ≈ trait_object;
+//!   port_get_each_call— pathological: getPort inside the loop, showing
+//!                       why components cache their ports.
+
+use cca_core::{CcaServices, PortHandle};
+use cca_data::TypeMap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+trait WorkPort: Send + Sync {
+    fn accumulate(&self, x: f64) -> f64;
+}
+
+struct WorkImpl {
+    bias: f64,
+}
+
+impl WorkPort for WorkImpl {
+    fn accumulate(&self, x: f64) -> f64 {
+        // A body comparable to a tight numerical kernel invocation.
+        x * 1.0000001 + self.bias
+    }
+}
+
+#[inline(never)]
+fn raw_fn(bias: f64, x: f64) -> f64 {
+    x * 1.0000001 + bias
+}
+
+fn wire() -> Arc<CcaServices> {
+    let provider = CcaServices::new("provider");
+    let obj: Arc<dyn WorkPort> = Arc::new(WorkImpl { bias: 0.5 });
+    provider
+        .add_provides_port(PortHandle::new("work", "bench.WorkPort", obj))
+        .unwrap();
+    let user = CcaServices::new("user");
+    user.register_uses_port("in", "bench.WorkPort", TypeMap::new())
+        .unwrap();
+    user.connect_uses("in", provider.get_provides_port("work").unwrap())
+        .unwrap();
+    user
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_direct_connect");
+
+    group.bench_function("raw_fn", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                acc = raw_fn(black_box(0.5), black_box(acc));
+            }
+            acc
+        })
+    });
+
+    let obj: Arc<dyn WorkPort> = Arc::new(WorkImpl { bias: 0.5 });
+    group.bench_function("trait_object", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                acc = black_box(&obj).accumulate(black_box(acc));
+            }
+            acc
+        })
+    });
+
+    let user = wire();
+    let port: Arc<dyn WorkPort> = user.get_port_as("in").unwrap();
+    group.bench_function("port_cached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                acc = black_box(&port).accumulate(black_box(acc));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("port_get_each_call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                let p: Arc<dyn WorkPort> = user.get_port_as("in").unwrap();
+                acc = p.accumulate(black_box(acc));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E2 — §6.2: "The cost of the intervening SIDL binding for language
+//! independence is estimated to be approximately 2-3 function calls per
+//! interface method call."
+//!
+//! Uses the *actual generated bindings* (`cca::generated::demo::Counter`,
+//! produced by build.rs from sidl/esi.sidl):
+//!
+//!   direct_impl — calling the concrete implementation;
+//!   vtable      — calling through `Arc<dyn Counter>` (1 indirect call);
+//!   sidl_stub   — the generated `CounterStub` path: stub (#[inline(never)])
+//!                 → vtable → impl, the Babel binding structure. The paper
+//!                 predicts ≈ 2–3 `raw_call`-units; compare against
+//!                 `call_unit` to express the measured ratio.
+
+use cca::generated::demo;
+use cca::sidl::SidlError;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+struct CounterImpl {
+    value: AtomicI64,
+}
+
+impl CounterImpl {
+    #[inline(never)]
+    fn add_concrete(&self, delta: i64) -> i64 {
+        self.value.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+}
+
+impl demo::Counter for CounterImpl {
+    fn add(&self, delta: i64) -> Result<i64, SidlError> {
+        Ok(self.add_concrete(delta))
+    }
+    fn current(&self) -> Result<i64, SidlError> {
+        Ok(self.value.load(Ordering::Relaxed))
+    }
+    fn reset(&self) -> Result<(), SidlError> {
+        self.value.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+    fn describe(&self, prefix: &str) -> Result<String, SidlError> {
+        Ok(format!("{prefix}{}", self.value.load(Ordering::Relaxed)))
+    }
+}
+
+/// One empty non-inlined call: the "function call" unit the paper's 2-3×
+/// estimate is expressed in.
+#[inline(never)]
+fn unit_call(x: i64) -> i64 {
+    black_box(x)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sidl_binding");
+
+    group.bench_function("call_unit", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..100 {
+                acc = unit_call(black_box(acc + 1));
+            }
+            acc
+        })
+    });
+
+    let concrete = CounterImpl {
+        value: AtomicI64::new(0),
+    };
+    group.bench_function("direct_impl", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..100 {
+                acc = concrete.add_concrete(black_box(1));
+            }
+            acc
+        })
+    });
+
+    let dyn_counter: Arc<dyn demo::Counter> = Arc::new(CounterImpl {
+        value: AtomicI64::new(0),
+    });
+    group.bench_function("vtable", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..100 {
+                acc = black_box(&dyn_counter).add(black_box(1)).unwrap();
+            }
+            acc
+        })
+    });
+
+    let stub = demo::CounterStub(Arc::new(CounterImpl {
+        value: AtomicI64::new(0),
+    }));
+    group.bench_function("sidl_stub", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for _ in 0..100 {
+                acc = black_box(&stub).add(black_box(1)).unwrap();
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! E3 — §3's comparison with industry component standards: CORBA "is far
+//! too inefficient when a method call is made within the same address
+//! space."
+//!
+//! Ladder, per call:
+//!   direct_port      — CCA direct-connect (one virtual call);
+//!   dynamic_facade   — the reflective DynObject call (no marshaling);
+//!   orb_loopback/*   — the CORBA-shaped path *within one address space*:
+//!                      marshal → dispatch-by-name → demarshal, swept over
+//!                      argument sizes (scalar, 1 KiB, 64 KiB arrays);
+//!   orb_lan/*        — the same through the simulated-LAN transport, the
+//!                      regime CORBA was actually designed for.
+//!
+//! Expected shape: orb_loopback ≳ 100× direct_port for scalar args; the
+//! array sweep shows the per-byte marshal cost; orb_lan is dominated by
+//! simulated latency — i.e. CORBA's costs are tolerable *between* hosts
+//! and intolerable *inside* one, which is the paper's argument for
+//! direct-connect ports.
+
+use cca_data::NdArray;
+use cca_rpc::{LatencyTransport, LoopbackTransport, ObjRef, Orb};
+use cca_sidl::{DynObject, DynValue, SidlError};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+trait SumPort: Send + Sync {
+    fn total(&self, x: f64) -> f64;
+    fn array_total(&self, data: &NdArray<f64>) -> f64;
+}
+
+struct SumImpl;
+
+impl SumPort for SumImpl {
+    fn total(&self, x: f64) -> f64 {
+        x + 1.0
+    }
+    fn array_total(&self, data: &NdArray<f64>) -> f64 {
+        data.as_slice().iter().sum()
+    }
+}
+
+impl DynObject for SumImpl {
+    fn sidl_type(&self) -> &str {
+        "bench.SumPort"
+    }
+    fn invoke(&self, method: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+        match method {
+            "total" => Ok(DynValue::Double(self.total(args[0].as_double()?))),
+            "arrayTotal" => Ok(DynValue::Double(
+                self.array_total(args[0].as_double_array()?),
+            )),
+            other => Err(SidlError::invoke(format!("no method '{other}'"))),
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_orb_baseline");
+
+    // Direct-connect reference.
+    let port: Arc<dyn SumPort> = Arc::new(SumImpl);
+    group.bench_function("direct_port", |b| {
+        b.iter(|| black_box(&port).total(black_box(1.0)))
+    });
+
+    // Dynamic facade (no marshaling, name dispatch only).
+    let dyn_port: Arc<dyn DynObject> = Arc::new(SumImpl);
+    group.bench_function("dynamic_facade", |b| {
+        b.iter(|| {
+            black_box(&dyn_port)
+                .invoke("total", vec![DynValue::Double(black_box(1.0))])
+                .unwrap()
+        })
+    });
+
+    // The ORB in the same address space.
+    let orb = Orb::new();
+    orb.register("sum", Arc::new(SumImpl));
+    let objref = ObjRef::loopback("sum", Arc::clone(&orb));
+    group.bench_function("orb_loopback/scalar", |b| {
+        b.iter(|| {
+            objref
+                .invoke("total", vec![DynValue::Double(black_box(1.0))])
+                .unwrap()
+        })
+    });
+
+    for n in [128usize, 8192] {
+        // 1 KiB and 64 KiB of doubles.
+        let arr = NdArray::from_vec(&[n], vec![1.0f64; n]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("orb_loopback/array_doubles", n),
+            &arr,
+            |b, arr| {
+                b.iter(|| {
+                    objref
+                        .invoke("arrayTotal", vec![DynValue::DoubleArray(arr.clone())])
+                        .unwrap()
+                })
+            },
+        );
+        // Same payload over the direct port: the cost CORBA adds is the
+        // difference.
+        group.bench_with_input(
+            BenchmarkId::new("direct_port/array_doubles", n),
+            &arr,
+            |b, arr| b.iter(|| black_box(&port).array_total(black_box(arr))),
+        );
+    }
+
+    group.finish();
+
+    // The ORB across the simulated LAN (100 µs + 10 ns/byte).
+    let remote_orb = Orb::new();
+    remote_orb.register("sum", Arc::new(SumImpl));
+    let lan = LatencyTransport::new(
+        LoopbackTransport::new(remote_orb),
+        Duration::from_micros(100),
+        Duration::from_nanos(10),
+    );
+    let remote_ref = ObjRef::new("sum", lan);
+    let mut slow = c.benchmark_group("e3_orb_baseline_lan");
+    slow.sample_size(20);
+    slow.bench_function("orb_lan/scalar", |b| {
+        b.iter(|| {
+            remote_ref
+                .invoke("total", vec![DynValue::Double(black_box(1.0))])
+                .unwrap()
+        })
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! E4 — §6.3's collective ports: cost of M×N redistribution as a function
+//! of mapping and size.
+//!
+//! Three questions the paper's design raises, answered by measurement:
+//!
+//! 1. **Mapping regimes** (`transfer/*`): matched n→n (no cross-rank
+//!    movement) vs serial↔parallel (broadcast/gather/scatter semantics)
+//!    vs arbitrary M×N (4 block → 3 cyclic). In-memory plan execution
+//!    isolates pure data movement; cost must track `moved_elements`.
+//! 2. **Size scaling** (`transfer_sweep/*`): the 4→3 M×N case over array
+//!    sizes — expected linear in bytes moved.
+//! 3. **Plan reuse ablation** (`plan_build/*` vs `transfer/*`): building a
+//!    plan (the once-per-connection cost a collective port pays) vs
+//!    executing it (the per-timestep cost). Rebuilding per call — which a
+//!    naive implementation would do — costs more than the transfer itself
+//!    for cyclic layouts, justifying the precompute-and-reuse design
+//!    called out in DESIGN.md §5.
+
+use cca_data::{DimDist, DistArrayDesc, Distribution, ProcessGrid, RedistPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn block(n: usize, p: usize) -> DistArrayDesc {
+    DistArrayDesc::new(&[n], Distribution::block_1d(p, 1).unwrap()).unwrap()
+}
+
+fn cyclic(n: usize, p: usize) -> DistArrayDesc {
+    let dist = Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
+    DistArrayDesc::new(&[n], dist).unwrap()
+}
+
+fn block_cyclic(n: usize, p: usize, b: usize) -> DistArrayDesc {
+    let dist = Distribution::new(
+        ProcessGrid::linear(p).unwrap(),
+        &[DimDist::BlockCyclic { block: b }],
+    )
+    .unwrap();
+    DistArrayDesc::new(&[n], dist).unwrap()
+}
+
+fn buffers(desc: &DistArrayDesc) -> Vec<Vec<f64>> {
+    (0..desc.nranks())
+        .map(|r| vec![1.0; desc.local_count(r).unwrap()])
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 65_536;
+
+    // 1. Mapping regimes at fixed size.
+    let mut group = c.benchmark_group("e4_transfer");
+    group.throughput(Throughput::Elements(n as u64));
+    let cases: Vec<(&str, DistArrayDesc, DistArrayDesc)> = vec![
+        ("matched_4to4", block(n, 4), block(n, 4)),
+        ("scatter_1to4", block(n, 1), block(n, 4)),
+        ("gather_4to1", block(n, 4), block(n, 1)),
+        ("mxn_4to3_block_to_blockcyclic", block(n, 4), block_cyclic(n, 3, 256)),
+        ("shrink_8to2", block(n, 8), block(n, 2)),
+    ];
+    for (name, src, dst) in &cases {
+        let plan = RedistPlan::build(src, dst).unwrap();
+        let compiled = plan.compile().unwrap();
+        let bufs = buffers(src);
+        // Interpreted: per-element index translation on every call.
+        group.bench_function(format!("{name}/interpreted"), |b| {
+            b.iter(|| plan.apply(&bufs).unwrap())
+        });
+        // Compiled: the precomputed-offset path collective ports execute.
+        group.bench_function(format!("{name}/compiled"), |b| {
+            b.iter(|| compiled.apply(&bufs).unwrap())
+        });
+    }
+    group.finish();
+
+    // 2. Size sweep for the arbitrary M×N case.
+    let mut sweep = c.benchmark_group("e4_transfer_sweep_mxn_4to3");
+    for size in [4_096usize, 16_384, 65_536, 262_144] {
+        let src = block(size, 4);
+        let dst = block_cyclic(size, 3, 256);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        let compiled = plan.compile().unwrap();
+        let bufs = buffers(&src);
+        sweep.throughput(Throughput::Elements(size as u64));
+        sweep.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| compiled.apply(&bufs).unwrap())
+        });
+    }
+    sweep.finish();
+
+    // 3. Plan construction (the reuse ablation).
+    let mut build = c.benchmark_group("e4_plan_build");
+    for (name, src, dst) in [
+        ("block_4to4", block(n, 4), block(n, 4)),
+        ("block_to_blockcyclic_4to3", block(n, 4), block_cyclic(n, 3, 256)),
+        ("cyclic_to_cyclic_4to3_small", cyclic(4_096, 4), cyclic(4_096, 3)),
+    ] {
+        build.bench_function(format!("{name}/build"), |b| {
+            b.iter(|| RedistPlan::build(&src, &dst).unwrap())
+        });
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        build.bench_function(format!("{name}/compile"), |b| {
+            b.iter(|| plan.compile().unwrap())
+        });
+    }
+    build.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

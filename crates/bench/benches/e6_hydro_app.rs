@@ -1,0 +1,218 @@
+//! E6 — Figure 1 end-to-end: what does componentization cost a real
+//! timestep loop?
+//!
+//! For each mesh size, one semi-implicit timestep (explicit advection +
+//! implicit CG solve) is measured in assemblies with *identical numerics*
+//! (same CSR operator, same Jacobi preconditioner, same zero initial
+//! guess), differing only in how the solve is invoked:
+//!   monolithic/*            — direct call into the solver kernels;
+//!   componentized/*         — the same solve routed through CCA
+//!                             direct-connect ports (matrix component →
+//!                             preconditioner component → solver
+//!                             component);
+//!   componentized_proxied/* — the same solve marshaled through the ORB,
+//!                             quantifying what misapplying the
+//!                             distributed option to a tightly coupled
+//!                             inner loop would cost.
+//! A fourth series, monolithic_matrixfree/*, is the fused stencil +
+//! warm-start implementation a hand-optimized code would use — context for
+//! what implementation fusion (orthogonal to componentization) buys.
+//!
+//! Expected shape: componentized ≈ monolithic (the gap is a handful of
+//! virtual calls per *solve*, not per matrix application); proxied adds a
+//! marshaling constant that only amortizes as the mesh grows.
+
+use cca::framework::Framework;
+use cca::repository::Repository;
+use cca::solvers::esi::{
+    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent,
+    PrecondComponent, PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
+};
+use cca::solvers::precond::Jacobi;
+use cca::solvers::{HydroConfig, HydroSim, KrylovKind};
+use cca_data::NdArray;
+use cca_sidl::DynValue;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn cfg(n: usize) -> HydroConfig {
+    HydroConfig {
+        nx: n,
+        ny: n,
+        dt: 1e-3,
+        nu: 0.1,
+        vx: 1.0,
+        vy: 0.5,
+        tol: 1e-8,
+        max_iter: 600,
+        kind: KrylovKind::Cg,
+    }
+}
+
+struct Assembly {
+    _fw: Arc<Framework>,
+    port: Arc<dyn LinearSolverPort>,
+    dynamic: Arc<dyn cca_sidl::DynObject>,
+}
+
+fn assemble(sim: &HydroSim) -> Assembly {
+    let repo = Repository::new();
+    repo.deposit_sidl(ESI_SIDL).unwrap();
+    let fw = Framework::new(repo);
+    fw.add_instance("matrix0", MatrixComponent::new(sim.local_matrix()))
+        .unwrap();
+    let precond = PrecondComponent::new(PrecondKind::Jacobi);
+    let solver = SolverComponent::new(SolverConfig {
+        kind: KrylovKind::Cg,
+        tol: 1e-8,
+        max_iter: 600,
+    });
+    fw.add_instance("precond0", precond.clone()).unwrap();
+    fw.add_instance("solver0", solver.clone()).unwrap();
+    expose_precond_ports(&precond).unwrap();
+    expose_solver_ports(&solver).unwrap();
+    fw.connect("precond0", "A", "matrix0", "A").unwrap();
+    fw.connect("solver0", "A", "matrix0", "A").unwrap();
+    fw.connect("solver0", "M", "precond0", "M").unwrap();
+    let handle = fw
+        .services("solver0")
+        .unwrap()
+        .get_provides_port("solver")
+        .unwrap();
+    Assembly {
+        port: handle.typed().unwrap(),
+        dynamic: handle.dynamic().unwrap().clone(),
+        _fw: fw,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_hydro_timestep");
+    group.sample_size(10);
+
+    for n in [16usize, 32, 64] {
+        let cells = (n * n) as u64;
+        group.throughput(Throughput::Elements(cells));
+
+        // Monolithic: direct call, but numerically identical to the port
+        // path (same CSR operator, same preconditioner, zero start). Each
+        // sample steps a *fresh* simulation so the CG iteration count is
+        // identical across variants and never decays to breakdown.
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &n, |b, &n| {
+            let pristine = HydroSim::new(cfg(n), 1, 0);
+            let a = pristine.local_matrix();
+            let jac = Jacobi::new(&a);
+            b.iter_batched_ref(
+                || HydroSim::new(cfg(n), 1, 0),
+                |sim| {
+                    sim.step_with_solver(None, &|_op, rhs, x| {
+                        x.fill(0.0);
+                        cca::solvers::cg(
+                            &a,
+                            &jac,
+                            rhs,
+                            x,
+                            1e-8,
+                            600,
+                            &cca::solvers::SerialReduce,
+                        )
+                    })
+                    .unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+
+        // The fused, warm-started, matrix-free loop a hand-tuned code
+        // would write — implementation fusion, orthogonal to CCA.
+        group.bench_with_input(
+            BenchmarkId::new("monolithic_matrixfree", n),
+            &n,
+            |b, &n| {
+                let pristine = HydroSim::new(cfg(n), 1, 0);
+                let jac = Jacobi::new(&pristine.local_matrix());
+                b.iter_batched_ref(
+                    || HydroSim::new(cfg(n), 1, 0),
+                    |sim| sim.step(None, &jac).unwrap(),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+
+        // Componentized, direct-connect ports.
+        group.bench_with_input(BenchmarkId::new("componentized", n), &n, |b, &n| {
+            let pristine = HydroSim::new(cfg(n), 1, 0);
+            let assembly = assemble(&pristine);
+            let port = Arc::clone(&assembly.port);
+            b.iter_batched_ref(
+                || HydroSim::new(cfg(n), 1, 0),
+                |sim| {
+                    sim.step_with_solver(None, &|_op, rhs, x| {
+                        let (solution, stats) = port.solve_system(rhs)?;
+                        x.copy_from_slice(&solution);
+                        Ok(stats)
+                    })
+                    .unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+
+        // Componentized with the solve marshaled through the ORB — the
+        // wrong tool for a tightly coupled loop, quantified.
+        group.bench_with_input(
+            BenchmarkId::new("componentized_proxied", n),
+            &n,
+            |b, &n| {
+                let pristine = HydroSim::new(cfg(n), 1, 0);
+                let assembly = assemble(&pristine);
+                let orb = cca::rpc::Orb::new();
+                orb.register("solver", Arc::clone(&assembly.dynamic));
+                let objref = cca::rpc::ObjRef::loopback("solver", orb);
+                b.iter_batched_ref(
+                    || HydroSim::new(cfg(n), 1, 0),
+                    |sim| {
+                        sim.step_with_solver(None, &|_op, rhs, x| {
+                            let arr = NdArray::from_vec(&[rhs.len()], rhs.to_vec()).unwrap();
+                            let reply = objref
+                                .invoke("solve", vec![DynValue::DoubleArray(arr)])
+                                .map_err(cca::core::CcaError::Sidl)?;
+                            let DynValue::DoubleArray(out) = reply else {
+                                return Err(cca::core::CcaError::Framework("bad reply".into()));
+                            };
+                            x.copy_from_slice(out.as_slice());
+                            Ok(cca::solvers::SolveStats {
+                                iterations: 0,
+                                residual: 0.0,
+                                converged: true,
+                            })
+                        })
+                        .unwrap()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    // SPMD scaling of the monolithic step (the tightly-coupled upper half
+    // of Figure 1): one timestep on p ranks, measured end-to-end including
+    // thread-group setup, so interpret as assembly cost + stepping.
+    let mut spmd_group = c.benchmark_group("e6_hydro_spmd_step");
+    spmd_group.sample_size(10);
+    for p in [1usize, 2, 4] {
+        spmd_group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                cca::parallel::spmd(p, |c| {
+                    let mut sim = HydroSim::new(cfg(48), p, c.rank());
+                    sim.step(Some(c), &cca::solvers::precond::Identity).unwrap();
+                })
+            });
+        });
+    }
+    spmd_group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E8 — §6.1: "Note that this means one call may correspond to zero or
+//! more invocations on provider components."
+//!
+//! Measures a uses-port fan-out call against the number of connected
+//! listeners (0, 1, 2, 4, 8). Expected shape: cost linear in the listener
+//! count, with the zero-listener case costing only the (cheap) empty-list
+//! traversal — events into the void are nearly free, as the
+//! listener-pattern design intends.
+
+use cca_core::{CcaServices, PortHandle};
+use cca_data::TypeMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+trait EventPort: Send + Sync {
+    fn notify(&self, value: f64);
+}
+
+struct Listener {
+    seen: AtomicU64,
+}
+
+impl EventPort for Listener {
+    fn notify(&self, value: f64) {
+        self.seen.fetch_add(value as u64, Ordering::Relaxed);
+    }
+}
+
+fn wire(n_listeners: usize) -> Arc<CcaServices> {
+    let user = CcaServices::new("emitter");
+    user.register_uses_port("events", "bench.EventPort", TypeMap::new())
+        .unwrap();
+    for i in 0..n_listeners {
+        let provider = CcaServices::new(format!("listener{i}"));
+        let obj: Arc<dyn EventPort> = Arc::new(Listener {
+            seen: AtomicU64::new(0),
+        });
+        provider
+            .add_provides_port(PortHandle::new("in", "bench.EventPort", obj))
+            .unwrap();
+        user.connect_uses("events", provider.get_provides_port("in").unwrap())
+            .unwrap();
+    }
+    user
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_fanout");
+    for n in [0usize, 1, 2, 4, 8] {
+        let user = wire(n);
+        // Pre-resolve the listener list once (the steady-state pattern)…
+        let cached: Vec<Arc<dyn EventPort>> = user
+            .get_ports("events")
+            .unwrap()
+            .into_iter()
+            .map(|h| h.typed().unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("cached_listeners", n), &n, |b, _| {
+            b.iter(|| {
+                for l in &cached {
+                    l.notify(black_box(1.0));
+                }
+            })
+        });
+        // …and the per-call resolution variant (listener set may change
+        // between calls under dynamic reconfiguration).
+        group.bench_with_input(BenchmarkId::new("resolve_each_call", n), &n, |b, _| {
+            b.iter(|| {
+                for h in user.get_ports("events").unwrap() {
+                    let l: Arc<dyn EventPort> = h.typed().unwrap();
+                    l.notify(black_box(1.0));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! cca-bench: criterion benchmark harness (see benches/).

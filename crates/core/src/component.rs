@@ -1,0 +1,108 @@
+//! The Component contract and the conventional `GoPort`.
+//!
+//! "A component is an independent unit of software deployment. It satisfies
+//! a set of behavior rules and implements standard component interfaces"
+//! (§1). In the CCA those behavior rules reduce to one required interface:
+//! `setServices`, through which the containing framework hands the
+//! component its [`CcaServices`] handle so it can declare its ports.
+
+use crate::error::CcaError;
+use crate::services::CcaServices;
+use std::sync::Arc;
+
+/// The one interface every CCA component implements.
+///
+/// `set_services` is called exactly once, when the framework instantiates
+/// the component; the component must register all its provides and uses
+/// ports before returning. `release` is called when the component is
+/// removed from a scenario.
+pub trait Component: Send + Sync {
+    /// The component's SIDL class name (used for repository lookups and
+    /// diagnostics).
+    fn component_type(&self) -> &str;
+
+    /// Called by the framework on instantiation; the component declares its
+    /// ports on the supplied services handle.
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError>;
+
+    /// Called by the framework when the component is removed. Default:
+    /// nothing to clean up.
+    fn release(&self) {}
+}
+
+/// The conventional driver port: a builder connects the scenario's entry
+/// component's `GoPort` and calls [`GoPort::go`] to run the application
+/// (Ccaffeine's convention, which our reference framework follows).
+pub trait GoPort: Send + Sync {
+    /// Runs the component's main action, returning when done.
+    fn go(&self) -> Result<(), CcaError>;
+}
+
+/// The fully qualified SIDL name of the `GoPort` interface.
+pub const GO_PORT_TYPE: &str = "cca.ports.GoPort";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::PortHandle;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    struct Hello {
+        ran: AtomicUsize,
+        released: AtomicBool,
+    }
+
+    impl Component for Hello {
+        fn component_type(&self) -> &str {
+            "demo.Hello"
+        }
+
+        fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+            // Provide nothing, use nothing — the minimal legal component.
+            let _ = services;
+            Ok(())
+        }
+
+        fn release(&self) {
+            self.released.store(true, Ordering::SeqCst);
+        }
+    }
+
+    impl GoPort for Hello {
+        fn go(&self) -> Result<(), CcaError> {
+            self.ran.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn minimal_component_lifecycle() {
+        let c = Arc::new(Hello {
+            ran: AtomicUsize::new(0),
+            released: AtomicBool::new(false),
+        });
+        let services = CcaServices::new("hello0");
+        c.set_services(Arc::clone(&services)).unwrap();
+        assert_eq!(c.component_type(), "demo.Hello");
+        c.release();
+        assert!(c.released.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn go_port_through_services() {
+        let c = Arc::new(Hello {
+            ran: AtomicUsize::new(0),
+            released: AtomicBool::new(false),
+        });
+        let services = CcaServices::new("hello0");
+        let go: Arc<dyn GoPort> = c.clone();
+        services
+            .add_provides_port(PortHandle::new("go", GO_PORT_TYPE, go))
+            .unwrap();
+        let h = services.get_provides_port("go").unwrap();
+        let p: Arc<dyn GoPort> = h.typed().unwrap();
+        p.go().unwrap();
+        p.go().unwrap();
+        assert_eq!(c.ran.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Configuration events — the vocabulary of the CCA Configuration API.
+//!
+//! §4: "The CCA Configuration API supports interaction between components
+//! and various builders for functions such as notifying components that
+//! they have been added to a scenario and deleted from it, redirecting
+//! interactions between components, or notifying a builder of a component
+//! failure." The reference framework (`cca-framework`) emits these events;
+//! builders and monitoring tools subscribe with a [`ConfigListener`].
+
+use std::sync::Arc;
+
+/// One configuration event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigEvent {
+    /// A component instance joined the scenario.
+    ComponentAdded {
+        /// Instance name.
+        instance: String,
+        /// SIDL class name.
+        component_type: String,
+    },
+    /// A component instance was removed from the scenario.
+    ComponentRemoved {
+        /// Instance name.
+        instance: String,
+    },
+    /// A connection was established.
+    Connected {
+        /// Using component instance.
+        user: String,
+        /// Uses port name.
+        uses_port: String,
+        /// Providing component instance.
+        provider: String,
+        /// Provides port name.
+        provides_port: String,
+        /// The port's SIDL interface type.
+        port_type: String,
+    },
+    /// A connection was broken.
+    Disconnected {
+        /// Using component instance.
+        user: String,
+        /// Uses port name.
+        uses_port: String,
+        /// Providing component instance.
+        provider: String,
+    },
+    /// A connection was redirected from one provider to another (the
+    /// builder's "redirecting interactions between components").
+    Redirected {
+        /// Using component instance.
+        user: String,
+        /// Uses port name.
+        uses_port: String,
+        /// Old providing instance.
+        old_provider: String,
+        /// New providing instance.
+        new_provider: String,
+    },
+    /// A component reported failure.
+    ComponentFailed {
+        /// Instance name.
+        instance: String,
+        /// Failure description.
+        reason: String,
+    },
+}
+
+/// A subscriber to configuration events.
+pub trait ConfigListener: Send + Sync {
+    /// Delivers one event. Must not block for long; the framework calls
+    /// listeners synchronously on the mutating thread.
+    fn on_event(&self, event: &ConfigEvent);
+}
+
+/// A boxed listener registration.
+pub type SharedListener = Arc<dyn ConfigListener>;
+
+/// A simple recording listener, useful for tests and for builders that
+/// replay scenario history.
+#[derive(Default)]
+pub struct RecordingListener {
+    events: parking_lot::Mutex<Vec<ConfigEvent>>,
+}
+
+impl RecordingListener {
+    /// Creates an empty recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A snapshot of all events seen so far.
+    pub fn events(&self) -> Vec<ConfigEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events seen.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no events were seen.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl ConfigListener for RecordingListener {
+    fn on_event(&self, event: &ConfigEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_listener_captures_in_order() {
+        let rec = RecordingListener::new();
+        assert!(rec.is_empty());
+        rec.on_event(&ConfigEvent::ComponentAdded {
+            instance: "mesh0".into(),
+            component_type: "chad.Mesh".into(),
+        });
+        rec.on_event(&ConfigEvent::ComponentFailed {
+            instance: "mesh0".into(),
+            reason: "allocation".into(),
+        });
+        assert_eq!(rec.len(), 2);
+        let events = rec.events();
+        assert!(matches!(events[0], ConfigEvent::ComponentAdded { .. }));
+        assert!(matches!(events[1], ConfigEvent::ComponentFailed { .. }));
+    }
+
+    #[test]
+    fn events_are_comparable() {
+        let a = ConfigEvent::Disconnected {
+            user: "u".into(),
+            uses_port: "p".into(),
+            provider: "x".into(),
+        };
+        assert_eq!(a.clone(), a);
+    }
+}

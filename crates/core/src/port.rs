@@ -1,0 +1,246 @@
+//! The CCA Ports model (§6.1–6.2).
+//!
+//! A **provides port** is an object a component exposes; a **uses port** is
+//! a named slot holding connections to zero or more provides ports ("each
+//! Uses port maintains a list of listeners ... one call may correspond to
+//! zero or more invocations on provider components").
+//!
+//! [`PortHandle`] is the direct-connect representation of §6.2: it holds an
+//! `Arc` to the provider's actual object, so once a component has retrieved
+//! it via `getPort`, a method call "reacts as quickly as an inline
+//! [virtual] function call" — there is no framework interposition on the
+//! call path. A framework *may* instead hand out a proxy (the distributed
+//! case); the component cannot tell, which is exactly the paper's design.
+
+use crate::error::CcaError;
+use cca_data::TypeMap;
+use cca_sidl::DynObject;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A type-erased, shareable reference to a provides-port object.
+///
+/// The provider registers its port as an `Arc<dyn SomePortTrait>`; the
+/// handle stores that `Arc` behind `Any` so the consumer can recover
+/// exactly the same trait object (`downcast::<dyn SomePortTrait>()`),
+/// giving a direct virtual call into the provider — the §6.2 fast path.
+/// A parallel `Arc<dyn DynObject>` facade can be attached so reflective
+/// tools and remote proxies can reach the same port without compile-time
+/// knowledge of the trait.
+#[derive(Clone)]
+pub struct PortHandle {
+    port_name: String,
+    port_type: String,
+    object: Arc<dyn Any + Send + Sync>,
+    dynamic: Option<Arc<dyn DynObject>>,
+    properties: TypeMap,
+}
+
+impl PortHandle {
+    /// Wraps a trait-object port. `P` is typically `dyn SomePortTrait`.
+    pub fn new<P: ?Sized + Send + Sync + 'static>(
+        port_name: impl Into<String>,
+        port_type: impl Into<String>,
+        object: Arc<P>,
+    ) -> Self {
+        PortHandle {
+            port_name: port_name.into(),
+            port_type: port_type.into(),
+            object: Arc::new(object),
+            dynamic: None,
+            properties: TypeMap::new(),
+        }
+    }
+
+    /// Attaches a dynamic-invocation facade (usually the SIDL-generated
+    /// skeleton wrapping the same implementation).
+    pub fn with_dynamic(mut self, dynamic: Arc<dyn DynObject>) -> Self {
+        self.dynamic = Some(dynamic);
+        self
+    }
+
+    /// Attaches port properties.
+    pub fn with_properties(mut self, properties: TypeMap) -> Self {
+        self.properties = properties;
+        self
+    }
+
+    /// The port's instance name (unique within its component).
+    pub fn port_name(&self) -> &str {
+        &self.port_name
+    }
+
+    /// The port's SIDL interface type.
+    pub fn port_type(&self) -> &str {
+        &self.port_type
+    }
+
+    /// Port properties.
+    pub fn properties(&self) -> &TypeMap {
+        &self.properties
+    }
+
+    /// Recovers the typed trait object — the direct-connect call path.
+    /// `P` must be the exact `dyn Trait` (or concrete type) the provider
+    /// registered.
+    pub fn typed<P: ?Sized + Send + Sync + 'static>(&self) -> Result<Arc<P>, CcaError> {
+        self.object
+            .downcast_ref::<Arc<P>>()
+            .cloned()
+            .ok_or_else(|| CcaError::WrongPortRust {
+                port: self.port_name.clone(),
+                requested: std::any::type_name::<P>(),
+            })
+    }
+
+    /// The dynamic facade, if the provider attached one.
+    pub fn dynamic(&self) -> Option<&Arc<dyn DynObject>> {
+        self.dynamic.as_ref()
+    }
+
+    /// Renames the handle (used by the framework when the provider's port
+    /// name differs from the consumer's uses-slot name).
+    pub fn renamed(&self, port_name: impl Into<String>) -> Self {
+        let mut h = self.clone();
+        h.port_name = port_name.into();
+        h
+    }
+}
+
+impl std::fmt::Debug for PortHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortHandle")
+            .field("port_name", &self.port_name)
+            .field("port_type", &self.port_type)
+            .field("dynamic", &self.dynamic.is_some())
+            .finish()
+    }
+}
+
+/// The registration record of a provides port (what `addProvidesPort`
+/// stores) or of a uses port declaration.
+#[derive(Debug, Clone)]
+pub struct PortRecord {
+    /// Instance name.
+    pub name: String,
+    /// SIDL interface type of the port.
+    pub port_type: String,
+    /// Registration properties.
+    pub properties: TypeMap,
+}
+
+/// A uses port: a declaration plus the current connection list.
+///
+/// §6.1: "Provides ports are generalized listeners in the sense that they
+/// listen to Uses interfaces ... Each Uses port maintains a list of
+/// listeners."
+#[derive(Debug, Clone)]
+pub struct UsesSlot {
+    /// The declaration.
+    pub record: PortRecord,
+    /// Connected providers, in connection order.
+    pub connections: Vec<PortHandle>,
+}
+
+impl UsesSlot {
+    /// Creates an empty slot.
+    pub fn new(record: PortRecord) -> Self {
+        UsesSlot {
+            record,
+            connections: Vec::new(),
+        }
+    }
+
+    /// Number of connected providers.
+    pub fn fan_out(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// True if at least one provider is connected.
+    pub fn is_connected(&self) -> bool {
+        !self.connections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Greeter: Send + Sync {
+        fn greet(&self) -> String;
+    }
+
+    struct English;
+    impl Greeter for English {
+        fn greet(&self) -> String {
+            "hello".into()
+        }
+    }
+
+    #[test]
+    fn typed_round_trip_through_handle() {
+        let provider: Arc<dyn Greeter> = Arc::new(English);
+        let handle = PortHandle::new("greeter", "demo.Greeter", provider);
+        let back: Arc<dyn Greeter> = handle.typed().unwrap();
+        assert_eq!(back.greet(), "hello");
+        assert_eq!(handle.port_type(), "demo.Greeter");
+        assert_eq!(handle.port_name(), "greeter");
+    }
+
+    #[test]
+    fn direct_connect_is_same_object() {
+        let provider: Arc<dyn Greeter> = Arc::new(English);
+        let handle = PortHandle::new("greeter", "demo.Greeter", Arc::clone(&provider));
+        let back: Arc<dyn Greeter> = handle.typed().unwrap();
+        // The §6.2 property: the consumer holds the provider's own object.
+        assert!(Arc::ptr_eq(&provider, &back));
+    }
+
+    #[test]
+    fn wrong_rust_type_is_detected() {
+        trait Other: Send + Sync {}
+        let provider: Arc<dyn Greeter> = Arc::new(English);
+        let handle = PortHandle::new("greeter", "demo.Greeter", provider);
+        match handle.typed::<dyn Other>() {
+            Err(CcaError::WrongPortRust { port, .. }) => assert_eq!(port, "greeter"),
+            Ok(_) => panic!("downcast to the wrong trait must fail"),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn concrete_types_work_too() {
+        let handle = PortHandle::new("n", "demo.Num", Arc::new(42i64));
+        let v: Arc<i64> = handle.typed().unwrap();
+        assert_eq!(*v, 42);
+    }
+
+    #[test]
+    fn properties_and_rename() {
+        let mut props = TypeMap::new();
+        props.put_int("maxClients", 4);
+        let handle = PortHandle::new("a", "t", Arc::new(0u8)).with_properties(props);
+        assert_eq!(handle.properties().get_int("maxClients", 0), 4);
+        let renamed = handle.renamed("b");
+        assert_eq!(renamed.port_name(), "b");
+        assert_eq!(handle.port_name(), "a");
+        assert!(format!("{handle:?}").contains("\"a\""));
+    }
+
+    #[test]
+    fn uses_slot_fan_out_counts() {
+        let mut slot = UsesSlot::new(PortRecord {
+            name: "solvers".into(),
+            port_type: "esi.Solver".into(),
+            properties: TypeMap::new(),
+        });
+        assert!(!slot.is_connected());
+        assert_eq!(slot.fan_out(), 0);
+        slot.connections
+            .push(PortHandle::new("s1", "esi.Solver", Arc::new(1u8)));
+        slot.connections
+            .push(PortHandle::new("s2", "esi.Solver", Arc::new(2u8)));
+        assert!(slot.is_connected());
+        assert_eq!(slot.fan_out(), 2);
+    }
+}

@@ -1,0 +1,491 @@
+//! The `CCAServices` handle — Figure 3's connection mechanism.
+//!
+//! "The component creates and adds Provides ports to the CCAServices, and
+//! registers and retrieves Uses ports from the CCAServices. The CCAServices
+//! enables access to the list of Provides and Uses ports and to an
+//! individual port by its instance name." (§6.1)
+//!
+//! One `CcaServices` instance belongs to one component instance; the
+//! framework holds a reference too and performs connections by moving
+//! [`PortHandle`]s from one component's provides table into another's uses
+//! slots. Whether the handle is the provider's own object (direct connect)
+//! or a proxy is entirely the framework's choice — step (2) of Figure 3:
+//! "At the framework's option, either the interface or a proxy for the
+//! interface can be given to Component 2 through its CCAServices handle."
+
+use crate::error::CcaError;
+use crate::port::{PortHandle, PortRecord, UsesSlot};
+use cca_data::TypeMap;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-component services handle (Figure 3's `CCAServices`).
+///
+/// ```
+/// use cca_core::{CcaServices, PortHandle};
+/// use cca_data::TypeMap;
+/// use std::sync::Arc;
+///
+/// trait Echo: Send + Sync { fn echo(&self) -> i32; }
+/// struct E;
+/// impl Echo for E { fn echo(&self) -> i32 { 42 } }
+///
+/// // Provider side (Figure 3 step 1):
+/// let provider = CcaServices::new("provider0");
+/// let port: Arc<dyn Echo> = Arc::new(E);
+/// provider.add_provides_port(PortHandle::new("out", "demo.Echo", port))?;
+///
+/// // Framework hands the interface to the user (steps 2+3):
+/// let user = CcaServices::new("user0");
+/// user.register_uses_port("in", "demo.Echo", TypeMap::new())?;
+/// user.connect_uses("in", provider.get_provides_port("out")?)?;
+///
+/// // User side (step 4):
+/// let echo: Arc<dyn Echo> = user.get_port_as("in")?;
+/// assert_eq!(echo.echo(), 42);
+/// # Ok::<(), cca_core::CcaError>(())
+/// ```
+#[derive(Default)]
+pub struct CcaServices {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    component_name: String,
+    provides: BTreeMap<String, PortHandle>,
+    uses: BTreeMap<String, UsesSlot>,
+}
+
+impl CcaServices {
+    /// Creates a services handle for the named component instance.
+    pub fn new(component_name: impl Into<String>) -> Arc<Self> {
+        let s = CcaServices::default();
+        s.inner.lock().component_name = component_name.into();
+        Arc::new(s)
+    }
+
+    /// The owning component's instance name.
+    pub fn component_name(&self) -> String {
+        self.inner.lock().component_name.clone()
+    }
+
+    // ---- provider side -------------------------------------------------
+
+    /// `addProvidesPort` — step (1) of Figure 3: the component makes an
+    /// interface it implements known to its containing framework.
+    pub fn add_provides_port(&self, handle: PortHandle) -> Result<(), CcaError> {
+        let mut inner = self.inner.lock();
+        let name = handle.port_name().to_string();
+        if inner.provides.contains_key(&name) || inner.uses.contains_key(&name) {
+            return Err(CcaError::PortAlreadyExists(name));
+        }
+        inner.provides.insert(name, handle);
+        Ok(())
+    }
+
+    /// Removes a provides port; existing connections made from it remain
+    /// valid (reference counting keeps the object alive) but no new
+    /// connections can be made.
+    pub fn remove_provides_port(&self, name: &str) -> Result<PortHandle, CcaError> {
+        self.inner
+            .lock()
+            .provides
+            .remove(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+    }
+
+    /// The provides port registered under `name` (framework-facing; this is
+    /// what a builder connects *from*).
+    pub fn get_provides_port(&self, name: &str) -> Result<PortHandle, CcaError> {
+        self.inner
+            .lock()
+            .provides
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+    }
+
+    /// All provides-port registrations.
+    pub fn provided_ports(&self) -> Vec<PortRecord> {
+        self.inner
+            .lock()
+            .provides
+            .values()
+            .map(|h| PortRecord {
+                name: h.port_name().to_string(),
+                port_type: h.port_type().to_string(),
+                properties: h.properties().clone(),
+            })
+            .collect()
+    }
+
+    // ---- user side -----------------------------------------------------
+
+    /// `registerUsesPort`: declares that this component will call through a
+    /// port of the given SIDL type under the given instance name.
+    pub fn register_uses_port(
+        &self,
+        name: impl Into<String>,
+        port_type: impl Into<String>,
+        properties: TypeMap,
+    ) -> Result<(), CcaError> {
+        let name = name.into();
+        let mut inner = self.inner.lock();
+        if inner.uses.contains_key(&name) || inner.provides.contains_key(&name) {
+            return Err(CcaError::PortAlreadyExists(name));
+        }
+        inner.uses.insert(
+            name.clone(),
+            UsesSlot::new(PortRecord {
+                name,
+                port_type: port_type.into(),
+                properties,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Unregisters a uses port, dropping its connections.
+    pub fn unregister_uses_port(&self, name: &str) -> Result<UsesSlot, CcaError> {
+        self.inner
+            .lock()
+            .uses
+            .remove(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+    }
+
+    /// `getPort` — step (4) of Figure 3: retrieves the connection for a
+    /// registered uses port. Errors if the slot does not exist or nothing
+    /// is connected. With fan-out > 1 the *first* connection is returned;
+    /// use [`get_ports`](Self::get_ports) for the whole listener list.
+    pub fn get_port(&self, name: &str) -> Result<PortHandle, CcaError> {
+        let inner = self.inner.lock();
+        let slot = inner
+            .uses
+            .get(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+        slot.connections
+            .first()
+            .cloned()
+            .ok_or_else(|| CcaError::PortNotConnected(name.to_string()))
+    }
+
+    /// All connections of a uses port (the fan-out list; may be empty —
+    /// "one call may correspond to zero or more invocations").
+    pub fn get_ports(&self, name: &str) -> Result<Vec<PortHandle>, CcaError> {
+        let inner = self.inner.lock();
+        let slot = inner
+            .uses
+            .get(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+        Ok(slot.connections.clone())
+    }
+
+    /// Typed convenience: `getPort` plus downcast to the port trait.
+    pub fn get_port_as<P: ?Sized + Send + Sync + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<Arc<P>, CcaError> {
+        self.get_port(name)?.typed::<P>()
+    }
+
+    /// Multicast helper for the §6.1 fan-out semantics: invokes `f` on
+    /// every connected provider of the uses port (zero or more), returning
+    /// how many were called. Providers that fail the typed downcast are
+    /// skipped (mixed typed/proxied fan-out).
+    pub fn multicast<P, F>(&self, name: &str, mut f: F) -> Result<usize, CcaError>
+    where
+        P: ?Sized + Send + Sync + 'static,
+        F: FnMut(&Arc<P>),
+    {
+        let handles = self.get_ports(name)?;
+        let mut called = 0;
+        for h in &handles {
+            if let Ok(p) = h.typed::<P>() {
+                f(&p);
+                called += 1;
+            }
+        }
+        Ok(called)
+    }
+
+    /// `releasePort`: declares the component is done with the current
+    /// connection of `name` (the slot stays registered; connections drop).
+    pub fn release_port(&self, name: &str) -> Result<(), CcaError> {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .uses
+            .get_mut(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+        slot.connections.clear();
+        Ok(())
+    }
+
+    /// All uses-port declarations.
+    pub fn used_ports(&self) -> Vec<PortRecord> {
+        self.inner
+            .lock()
+            .uses
+            .values()
+            .map(|s| s.record.clone())
+            .collect()
+    }
+
+    // ---- framework side ------------------------------------------------
+
+    /// Framework-side: attaches a provider handle to a uses slot (step (3)
+    /// of Figure 3). Type compatibility is the *framework's* job (it has
+    /// the reflection data); this method only enforces slot existence.
+    pub fn connect_uses(&self, uses_name: &str, provider: PortHandle) -> Result<(), CcaError> {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .uses
+            .get_mut(uses_name)
+            .ok_or_else(|| CcaError::PortNotFound(uses_name.to_string()))?;
+        slot.connections.push(provider.renamed(uses_name));
+        Ok(())
+    }
+
+    /// Framework-side: detaches the provider registered under
+    /// `provider_port_type` object identity is not tracked; disconnects by
+    /// position. Returns the removed handle.
+    pub fn disconnect_uses(&self, uses_name: &str, index: usize) -> Result<PortHandle, CcaError> {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .uses
+            .get_mut(uses_name)
+            .ok_or_else(|| CcaError::PortNotFound(uses_name.to_string()))?;
+        if index >= slot.connections.len() {
+            return Err(CcaError::PortNotConnected(uses_name.to_string()));
+        }
+        Ok(slot.connections.remove(index))
+    }
+
+    /// The declared SIDL type of a uses slot.
+    pub fn uses_port_type(&self, name: &str) -> Result<String, CcaError> {
+        let inner = self.inner.lock();
+        inner
+            .uses
+            .get(name)
+            .map(|s| s.record.port_type.clone())
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+    }
+}
+
+impl std::fmt::Debug for CcaServices {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CcaServices")
+            .field("component", &inner.component_name)
+            .field("provides", &inner.provides.keys().collect::<Vec<_>>())
+            .field("uses", &inner.uses.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Adder: Send + Sync {
+        fn add(&self, a: i64, b: i64) -> i64;
+    }
+    struct AdderImpl;
+    impl Adder for AdderImpl {
+        fn add(&self, a: i64, b: i64) -> i64 {
+            a + b
+        }
+    }
+
+    fn adder_handle(name: &str) -> PortHandle {
+        let obj: Arc<dyn Adder> = Arc::new(AdderImpl);
+        PortHandle::new(name, "demo.Adder", obj)
+    }
+
+    #[test]
+    fn figure3_connection_mechanism() {
+        // (1) Component 1 adds a provides port.
+        let s1 = CcaServices::new("component1");
+        s1.add_provides_port(adder_handle("adder")).unwrap();
+        // (2)+(3) The framework takes the interface and gives it to
+        // component 2's services.
+        let s2 = CcaServices::new("component2");
+        s2.register_uses_port("calc", "demo.Adder", TypeMap::new())
+            .unwrap();
+        let provided = s1.get_provides_port("adder").unwrap();
+        s2.connect_uses("calc", provided).unwrap();
+        // (4) Component 2 retrieves the interface with getPort.
+        let port: Arc<dyn Adder> = s2.get_port_as("calc").unwrap();
+        assert_eq!(port.add(20, 22), 42);
+    }
+
+    #[test]
+    fn get_port_before_connection_errors() {
+        let s = CcaServices::new("c");
+        s.register_uses_port("calc", "demo.Adder", TypeMap::new())
+            .unwrap();
+        assert!(matches!(
+            s.get_port("calc"),
+            Err(CcaError::PortNotConnected(_))
+        ));
+        assert!(matches!(
+            s.get_port("nope"),
+            Err(CcaError::PortNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_tables() {
+        let s = CcaServices::new("c");
+        s.add_provides_port(adder_handle("x")).unwrap();
+        assert!(matches!(
+            s.add_provides_port(adder_handle("x")),
+            Err(CcaError::PortAlreadyExists(_))
+        ));
+        assert!(matches!(
+            s.register_uses_port("x", "t", TypeMap::new()),
+            Err(CcaError::PortAlreadyExists(_))
+        ));
+        s.register_uses_port("y", "t", TypeMap::new()).unwrap();
+        assert!(matches!(
+            s.add_provides_port(adder_handle("y")),
+            Err(CcaError::PortAlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn fan_out_listener_list() {
+        let s = CcaServices::new("caller");
+        s.register_uses_port("out", "demo.Adder", TypeMap::new())
+            .unwrap();
+        s.connect_uses("out", adder_handle("a")).unwrap();
+        s.connect_uses("out", adder_handle("b")).unwrap();
+        let all = s.get_ports("out").unwrap();
+        assert_eq!(all.len(), 2);
+        // Every listener is invocable.
+        for h in all {
+            let p: Arc<dyn Adder> = h.typed().unwrap();
+            assert_eq!(p.add(1, 1), 2);
+        }
+        // get_port returns the first.
+        assert_eq!(s.get_port("out").unwrap().port_name(), "out");
+    }
+
+    #[test]
+    fn release_and_disconnect() {
+        let s = CcaServices::new("c");
+        s.register_uses_port("out", "demo.Adder", TypeMap::new())
+            .unwrap();
+        s.connect_uses("out", adder_handle("a")).unwrap();
+        s.connect_uses("out", adder_handle("b")).unwrap();
+        let removed = s.disconnect_uses("out", 0).unwrap();
+        assert_eq!(removed.port_type(), "demo.Adder");
+        assert_eq!(s.get_ports("out").unwrap().len(), 1);
+        assert!(s.disconnect_uses("out", 5).is_err());
+        s.release_port("out").unwrap();
+        assert!(s.get_ports("out").unwrap().is_empty());
+        assert!(matches!(
+            s.get_port("out"),
+            Err(CcaError::PortNotConnected(_))
+        ));
+    }
+
+    #[test]
+    fn listings_and_metadata() {
+        let s = CcaServices::new("c");
+        s.add_provides_port(adder_handle("p1")).unwrap();
+        let mut props = TypeMap::new();
+        props.put_string("flavor", "direct".into());
+        s.register_uses_port("u1", "demo.Adder", props).unwrap();
+        let provided = s.provided_ports();
+        assert_eq!(provided.len(), 1);
+        assert_eq!(provided[0].port_type, "demo.Adder");
+        let used = s.used_ports();
+        assert_eq!(used.len(), 1);
+        assert_eq!(used[0].properties.get_string("flavor", String::new()), "direct");
+        assert_eq!(s.uses_port_type("u1").unwrap(), "demo.Adder");
+        assert_eq!(s.component_name(), "c");
+        assert!(format!("{s:?}").contains("p1"));
+    }
+
+    #[test]
+    fn remove_provides_keeps_existing_connections_alive() {
+        let s1 = CcaServices::new("provider");
+        s1.add_provides_port(adder_handle("adder")).unwrap();
+        let s2 = CcaServices::new("user");
+        s2.register_uses_port("calc", "demo.Adder", TypeMap::new())
+            .unwrap();
+        s2.connect_uses("calc", s1.get_provides_port("adder").unwrap())
+            .unwrap();
+        s1.remove_provides_port("adder").unwrap();
+        assert!(s1.get_provides_port("adder").is_err());
+        // The user still holds a live direct connection.
+        let port: Arc<dyn Adder> = s2.get_port_as("calc").unwrap();
+        assert_eq!(port.add(2, 3), 5);
+    }
+
+    #[test]
+    fn unregister_uses_port() {
+        let s = CcaServices::new("c");
+        s.register_uses_port("u", "t", TypeMap::new()).unwrap();
+        let slot = s.unregister_uses_port("u").unwrap();
+        assert_eq!(slot.record.name, "u");
+        assert!(s.unregister_uses_port("u").is_err());
+    }
+}
+
+#[cfg(test)]
+mod multicast_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    trait Listener: Send + Sync {
+        fn poke(&self);
+    }
+    struct L(AtomicUsize);
+    impl Listener for L {
+        fn poke(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn multicast_reaches_every_listener() {
+        let user = CcaServices::new("emitter");
+        user.register_uses_port("events", "t.Listener", TypeMap::new())
+            .unwrap();
+        let listeners: Vec<Arc<L>> = (0..3).map(|_| Arc::new(L(AtomicUsize::new(0)))).collect();
+        for (i, l) in listeners.iter().enumerate() {
+            let port: Arc<dyn Listener> = l.clone();
+            user.connect_uses(
+                "events",
+                PortHandle::new(format!("l{i}"), "t.Listener", port),
+            )
+            .unwrap();
+        }
+        let called = user
+            .multicast::<dyn Listener, _>("events", |l| l.poke())
+            .unwrap();
+        assert_eq!(called, 3);
+        for l in &listeners {
+            assert_eq!(l.0.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn multicast_with_zero_listeners_is_a_noop() {
+        let user = CcaServices::new("emitter");
+        user.register_uses_port("events", "t.Listener", TypeMap::new())
+            .unwrap();
+        let called = user
+            .multicast::<dyn Listener, _>("events", |_| panic!("no listeners"))
+            .unwrap();
+        assert_eq!(called, 0);
+        // Unknown slot still errors.
+        assert!(user
+            .multicast::<dyn Listener, _>("ghost", |_| ())
+            .is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! Complex numbers as a SIDL primitive type.
+//!
+//! §5 of the paper: "We have also added IDL primitive data types for complex
+//! numbers and multidimensional arrays for expressibility and efficiency when
+//! mapping to implementation languages." `Complex<T>` is `repr(C)` so that a
+//! generated C binding (`codegen_c` in `cca-sidl`) can pass it by value with
+//! the layout Fortran `COMPLEX`/`DOUBLE COMPLEX` and C99 `_Complex` use.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with real and imaginary parts of type `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex, the SIDL `fcomplex` type.
+pub type Complex32 = Complex<f32>;
+/// Double-precision complex, the SIDL `dcomplex` type.
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+macro_rules! impl_complex_float {
+    ($t:ty) => {
+        impl Complex<$t> {
+            /// The additive identity `0 + 0i`.
+            pub const ZERO: Self = Complex { re: 0.0, im: 0.0 };
+            /// The multiplicative identity `1 + 0i`.
+            pub const ONE: Self = Complex { re: 1.0, im: 0.0 };
+            /// The imaginary unit `0 + 1i`.
+            pub const I: Self = Complex { re: 0.0, im: 1.0 };
+
+            /// Complex conjugate `re - im·i`.
+            #[inline]
+            pub fn conj(self) -> Self {
+                Complex::new(self.re, -self.im)
+            }
+
+            /// Squared magnitude `re² + im²` (avoids the square root).
+            #[inline]
+            pub fn norm_sqr(self) -> $t {
+                self.re * self.re + self.im * self.im
+            }
+
+            /// Magnitude `|z|`, computed with `hypot` for robustness against
+            /// overflow in the squares.
+            #[inline]
+            pub fn abs(self) -> $t {
+                self.re.hypot(self.im)
+            }
+
+            /// Argument (phase angle) in radians.
+            #[inline]
+            pub fn arg(self) -> $t {
+                self.im.atan2(self.re)
+            }
+
+            /// Multiplicative inverse `1/z`.
+            #[inline]
+            pub fn recip(self) -> Self {
+                let d = self.norm_sqr();
+                Complex::new(self.re / d, -self.im / d)
+            }
+
+            /// Constructs a complex from polar form `r·e^{iθ}`.
+            #[inline]
+            pub fn from_polar(r: $t, theta: $t) -> Self {
+                Complex::new(r * theta.cos(), r * theta.sin())
+            }
+
+            /// Complex exponential `e^z`.
+            #[inline]
+            pub fn exp(self) -> Self {
+                Self::from_polar(self.re.exp(), self.im)
+            }
+
+            /// Scales by a real factor.
+            #[inline]
+            pub fn scale(self, s: $t) -> Self {
+                Complex::new(self.re * s, self.im * s)
+            }
+
+            /// True if either part is NaN.
+            #[inline]
+            pub fn is_nan(self) -> bool {
+                self.re.is_nan() || self.im.is_nan()
+            }
+        }
+
+        impl From<$t> for Complex<$t> {
+            #[inline]
+            fn from(re: $t) -> Self {
+                Complex::new(re, 0.0)
+            }
+        }
+
+        impl Add for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Complex::new(self.re + rhs.re, self.im + rhs.im)
+            }
+        }
+
+        impl Sub for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Complex::new(self.re - rhs.re, self.im - rhs.im)
+            }
+        }
+
+        impl Mul for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Complex::new(
+                    self.re * rhs.re - self.im * rhs.im,
+                    self.re * rhs.im + self.im * rhs.re,
+                )
+            }
+        }
+
+        impl Div for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * (1/w)
+            fn div(self, rhs: Self) -> Self {
+                self * rhs.recip()
+            }
+        }
+
+        impl Mul<$t> for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: $t) -> Self {
+                self.scale(rhs)
+            }
+        }
+
+        impl Div<$t> for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: $t) -> Self {
+                Complex::new(self.re / rhs, self.im / rhs)
+            }
+        }
+
+        impl Neg for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Complex::new(-self.re, -self.im)
+            }
+        }
+
+        impl AddAssign for Complex<$t> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl SubAssign for Complex<$t> {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl MulAssign for Complex<$t> {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl DivAssign for Complex<$t> {
+            #[inline]
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl Sum for Complex<$t> {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl fmt::Display for Complex<$t> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.im >= 0.0 {
+                    write!(f, "{}+{}i", self.re, self.im)
+                } else {
+                    write!(f, "{}{}i", self.re, self.im)
+                }
+            }
+        }
+    };
+}
+
+impl_complex_float!(f32);
+impl_complex_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert_eq!(z - z, Complex64::ZERO);
+        assert_eq!(-z, Complex64::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        // (1+2i)(3+4i) = 3+4i+6i+8i² = -5+10i
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, 4.0);
+        assert_eq!(a * b, Complex64::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.25, 4.0);
+        assert!(close(a * b / b, a, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_and_norms() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        // z · conj(z) = |z|²
+        assert_eq!(z * z.conj(), Complex64::new(25.0, 0.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euler_identity() {
+        // e^{iπ} = -1
+        let z = (Complex64::I * std::f64::consts::PI).exp();
+        assert!(close(z, Complex64::new(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn recip_of_i() {
+        // 1/i = -i
+        assert!(close(Complex64::I.recip(), -Complex64::I, 1e-15));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut z = Complex64::new(1.0, 1.0);
+        z += Complex64::new(1.0, 0.0);
+        z -= Complex64::new(0.0, 1.0);
+        z *= Complex64::new(2.0, 0.0);
+        z /= Complex64::new(4.0, 0.0);
+        assert!(close(z, Complex64::new(1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn real_scalar_ops_and_conversion() {
+        let z: Complex64 = 2.0.into();
+        assert_eq!(z, Complex64::new(2.0, 0.0));
+        assert_eq!(z * 3.0, Complex64::new(6.0, 0.0));
+        assert_eq!(z / 2.0, Complex64::ONE);
+    }
+
+    #[test]
+    fn single_precision_variant_works() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, 4.0);
+        assert_eq!(a * b, Complex32::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn layout_is_two_scalars() {
+        // Required for by-value passing across the generated C binding.
+        assert_eq!(std::mem::size_of::<Complex64>(), 16);
+        assert_eq!(std::mem::size_of::<Complex32>(), 8);
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex64::new(1.0, 2.0).is_nan());
+    }
+}

@@ -1,0 +1,144 @@
+//! Error type shared by the data-model substrate.
+
+use std::fmt;
+
+/// Errors produced by the data layer (shape mismatches, invalid
+/// distributions, out-of-range indices, type-map type confusion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Array shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// The shape the operation required.
+        expected: Vec<usize>,
+        /// The shape that was supplied.
+        found: Vec<usize>,
+    },
+    /// A multi-index was outside the array bounds.
+    IndexOutOfBounds {
+        /// The offending multi-index.
+        index: Vec<isize>,
+        /// The array's lower bounds.
+        lower: Vec<isize>,
+        /// The array's extents.
+        extents: Vec<usize>,
+    },
+    /// The requested rank is unsupported or inconsistent.
+    RankMismatch {
+        /// The rank the operation required.
+        expected: usize,
+        /// The rank that was supplied.
+        found: usize,
+    },
+    /// A distribution descriptor is invalid (e.g. zero block size, empty
+    /// process grid, grid rank != array rank).
+    InvalidDistribution(String),
+    /// A slice specification is invalid (zero step, inverted range, ...).
+    InvalidSlice(String),
+    /// A `TypeMap` entry exists but has a different type than requested.
+    TypeMismatch {
+        /// The map key that was accessed.
+        key: String,
+        /// The requested type name.
+        expected: &'static str,
+        /// The stored type name.
+        found: &'static str,
+    },
+    /// A `TypeMap` key is absent.
+    KeyNotFound(String),
+    /// Redistribution endpoints disagree on the global array.
+    GlobalShapeMismatch {
+        /// Global extents on the source side.
+        source: Vec<usize>,
+        /// Global extents on the target side.
+        target: Vec<usize>,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected:?}, found {found:?}")
+            }
+            DataError::IndexOutOfBounds {
+                index,
+                lower,
+                extents,
+            } => write!(
+                f,
+                "index {index:?} out of bounds (lower {lower:?}, extents {extents:?})"
+            ),
+            DataError::RankMismatch { expected, found } => {
+                write!(f, "rank mismatch: expected {expected}, found {found}")
+            }
+            DataError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
+            DataError::InvalidSlice(msg) => write!(f, "invalid slice: {msg}"),
+            DataError::TypeMismatch {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type map entry '{key}' has type {found}, expected {expected}"
+            ),
+            DataError::KeyNotFound(key) => write!(f, "type map key '{key}' not found"),
+            DataError::GlobalShapeMismatch { source, target } => write!(
+                f,
+                "redistribution endpoints disagree on global shape: source {source:?}, target {target:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_variants() {
+        let cases: Vec<DataError> = vec![
+            DataError::ShapeMismatch {
+                expected: vec![2, 3],
+                found: vec![3, 2],
+            },
+            DataError::IndexOutOfBounds {
+                index: vec![5],
+                lower: vec![0],
+                extents: vec![4],
+            },
+            DataError::RankMismatch {
+                expected: 2,
+                found: 3,
+            },
+            DataError::InvalidDistribution("empty grid".into()),
+            DataError::InvalidSlice("zero step".into()),
+            DataError::TypeMismatch {
+                key: "tol".into(),
+                expected: "f64",
+                found: "i64",
+            },
+            DataError::KeyNotFound("missing".into()),
+            DataError::GlobalShapeMismatch {
+                source: vec![10],
+                target: vec![12],
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DataError::KeyNotFound("x".into()),
+            DataError::KeyNotFound("x".into())
+        );
+        assert_ne!(
+            DataError::KeyNotFound("x".into()),
+            DataError::KeyNotFound("y".into())
+        );
+    }
+}

@@ -1,0 +1,913 @@
+//! Dynamically dimensioned, Fortran-style multidimensional arrays.
+//!
+//! §5 of the paper requires the SIDL to support "dynamically dimensioned
+//! multidimensional arrays" with Fortran semantics, because scientific
+//! components written in Fortran 77/90 exchange such arrays across language
+//! boundaries. [`NdArray`] reproduces the Babel-era array model:
+//!
+//! * rank is a *runtime* property (1 ..= [`MAX_RANK`]),
+//! * storage is column-major ([`Order::ColumnMajor`]) by default, the layout
+//!   Fortran mandates, with row-major available for C callers,
+//! * each dimension has an arbitrary (possibly negative) *lower bound*, as
+//!   in `REAL A(-3:10)`,
+//! * explicit strides permit describing non-contiguous sections, which is
+//!   what array-section arguments (`A(1:10:2, :)`) marshal to.
+
+use crate::error::DataError;
+use std::fmt;
+
+/// Maximum supported array rank (the Babel/SIDL implementations capped
+/// arrays at rank 7, matching Fortran 77's limit).
+pub const MAX_RANK: usize = 7;
+
+/// Storage order of an [`NdArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Order {
+    /// Fortran order: the *first* index varies fastest. SIDL's default.
+    #[default]
+    ColumnMajor,
+    /// C order: the *last* index varies fastest.
+    RowMajor,
+}
+
+/// A slice specification for one dimension: `start ..= end` (inclusive, in
+/// index space, honouring lower bounds) with a positive `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// First index taken (in the dimension's own index space).
+    pub start: isize,
+    /// Last index that may be taken (inclusive).
+    pub end: isize,
+    /// Step between taken indices; must be >= 1.
+    pub step: usize,
+}
+
+impl Slice {
+    /// A contiguous inclusive range with step 1.
+    pub fn range(start: isize, end: isize) -> Self {
+        Slice {
+            start,
+            end,
+            step: 1,
+        }
+    }
+
+    /// A strided inclusive range.
+    pub fn strided(start: isize, end: isize, step: usize) -> Self {
+        Slice { start, end, step }
+    }
+
+    /// Number of indices the slice selects (0 if the range is empty).
+    pub fn len(&self) -> usize {
+        if self.end < self.start || self.step == 0 {
+            0
+        } else {
+            (self.end - self.start) as usize / self.step + 1
+        }
+    }
+
+    /// True if the slice selects no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A dynamically dimensioned multidimensional array.
+///
+/// The array owns its storage. Logical indices run from `lower[d]` to
+/// `lower[d] + extents[d] - 1` in each dimension `d`.
+#[derive(Clone, PartialEq)]
+pub struct NdArray<T> {
+    data: Vec<T>,
+    lower: Vec<isize>,
+    extents: Vec<usize>,
+    strides: Vec<usize>,
+    order: Order,
+}
+
+impl<T: Clone + Default> NdArray<T> {
+    /// Creates an array of the given extents filled with `T::default()`,
+    /// lower bounds all zero, column-major.
+    pub fn zeros(extents: &[usize]) -> Self {
+        Self::filled(extents, T::default())
+    }
+}
+
+impl<T: Clone> NdArray<T> {
+    /// Creates an array of the given extents filled with copies of `value`.
+    pub fn filled(extents: &[usize], value: T) -> Self {
+        let n: usize = extents.iter().product();
+        Self::from_vec_ordered(extents, vec![value; n], Order::ColumnMajor)
+            .expect("extents product matches data length by construction")
+    }
+
+    /// Creates a column-major array from a flat vector whose elements are
+    /// already in column-major order. Lower bounds are zero.
+    pub fn from_vec(extents: &[usize], data: Vec<T>) -> Result<Self, DataError> {
+        Self::from_vec_ordered(extents, data, Order::ColumnMajor)
+    }
+
+    /// Creates an array from a flat vector in the given storage order.
+    pub fn from_vec_ordered(
+        extents: &[usize],
+        data: Vec<T>,
+        order: Order,
+    ) -> Result<Self, DataError> {
+        let lower = vec![0isize; extents.len()];
+        Self::with_lower(&lower, extents, data, order)
+    }
+
+    /// Full-control constructor: explicit lower bounds, extents, storage
+    /// order. `data.len()` must equal the product of `extents`.
+    pub fn with_lower(
+        lower: &[isize],
+        extents: &[usize],
+        data: Vec<T>,
+        order: Order,
+    ) -> Result<Self, DataError> {
+        if extents.is_empty() || extents.len() > MAX_RANK {
+            return Err(DataError::RankMismatch {
+                expected: MAX_RANK,
+                found: extents.len(),
+            });
+        }
+        if lower.len() != extents.len() {
+            return Err(DataError::RankMismatch {
+                expected: extents.len(),
+                found: lower.len(),
+            });
+        }
+        let n: usize = extents.iter().product();
+        if data.len() != n {
+            return Err(DataError::ShapeMismatch {
+                expected: extents.to_vec(),
+                found: vec![data.len()],
+            });
+        }
+        let strides = Self::contiguous_strides(extents, order);
+        Ok(NdArray {
+            data,
+            lower: lower.to_vec(),
+            extents: extents.to_vec(),
+            strides,
+            order,
+        })
+    }
+
+    fn contiguous_strides(extents: &[usize], order: Order) -> Vec<usize> {
+        let rank = extents.len();
+        let mut strides = vec![1usize; rank];
+        match order {
+            Order::ColumnMajor => {
+                for d in 1..rank {
+                    strides[d] = strides[d - 1] * extents[d - 1];
+                }
+            }
+            Order::RowMajor => {
+                for d in (0..rank.saturating_sub(1)).rev() {
+                    strides[d] = strides[d + 1] * extents[d + 1];
+                }
+            }
+        }
+        strides
+    }
+
+    /// Array rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Per-dimension extents.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Per-dimension lower bounds.
+    pub fn lower(&self) -> &[isize] {
+        &self.lower
+    }
+
+    /// Per-dimension upper bounds (inclusive).
+    pub fn upper(&self) -> Vec<isize> {
+        self.lower
+            .iter()
+            .zip(&self.extents)
+            .map(|(&l, &e)| l + e as isize - 1)
+            .collect()
+    }
+
+    /// Storage order.
+    pub fn order(&self) -> Order {
+        self.order
+    }
+
+    /// Per-dimension strides, in elements.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Flat storage offset of a logical multi-index.
+    pub fn offset_of(&self, index: &[isize]) -> Result<usize, DataError> {
+        if index.len() != self.rank() {
+            return Err(DataError::RankMismatch {
+                expected: self.rank(),
+                found: index.len(),
+            });
+        }
+        let mut off = 0usize;
+        for d in 0..self.rank() {
+            let rel = index[d] - self.lower[d];
+            if rel < 0 || rel as usize >= self.extents[d] {
+                return Err(DataError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    lower: self.lower.clone(),
+                    extents: self.extents.clone(),
+                });
+            }
+            off += rel as usize * self.strides[d];
+        }
+        Ok(off)
+    }
+
+    /// Logical multi-index of a flat storage offset (the inverse of
+    /// [`offset_of`](Self::offset_of) for contiguous arrays).
+    pub fn multi_index_of(&self, offset: usize) -> Result<Vec<isize>, DataError> {
+        if offset >= self.len() {
+            return Err(DataError::IndexOutOfBounds {
+                index: vec![offset as isize],
+                lower: vec![0],
+                extents: vec![self.len()],
+            });
+        }
+        let mut index = vec![0isize; self.rank()];
+        for d in 0..self.rank() {
+            let rel = (offset / self.strides[d]) % self.extents[d];
+            index[d] = self.lower[d] + rel as isize;
+        }
+        Ok(index)
+    }
+
+    /// Reference to the element at a logical multi-index.
+    pub fn get(&self, index: &[isize]) -> Result<&T, DataError> {
+        Ok(&self.data[self.offset_of(index)?])
+    }
+
+    /// Mutable reference to the element at a logical multi-index.
+    pub fn get_mut(&mut self, index: &[isize]) -> Result<&mut T, DataError> {
+        let off = self.offset_of(index)?;
+        Ok(&mut self.data[off])
+    }
+
+    /// Sets the element at a logical multi-index.
+    pub fn set(&mut self, index: &[isize], value: T) -> Result<(), DataError> {
+        let off = self.offset_of(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Raw storage in layout order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw storage in layout order.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning its flat storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over `(multi_index, &element)` pairs in storage order.
+    pub fn indexed_iter(&self) -> impl Iterator<Item = (Vec<isize>, &T)> + '_ {
+        (0..self.len()).map(move |off| {
+            (
+                self.multi_index_of(off).expect("offset in range"),
+                &self.data[off],
+            )
+        })
+    }
+
+    /// Extracts a rectangular (possibly strided) section as a new owned
+    /// array. The result keeps the source's storage order; its lower bounds
+    /// are reset to zero (section semantics, as in Fortran dummy arguments).
+    pub fn slice(&self, spec: &[Slice]) -> Result<NdArray<T>, DataError> {
+        if spec.len() != self.rank() {
+            return Err(DataError::RankMismatch {
+                expected: self.rank(),
+                found: spec.len(),
+            });
+        }
+        let upper = self.upper();
+        for (d, s) in spec.iter().enumerate() {
+            if s.step == 0 {
+                return Err(DataError::InvalidSlice(format!("dimension {d}: step 0")));
+            }
+            if !s.is_empty() && (s.start < self.lower[d] || s.end > upper[d]) {
+                return Err(DataError::InvalidSlice(format!(
+                    "dimension {d}: {}..={} outside {}..={}",
+                    s.start, s.end, self.lower[d], upper[d]
+                )));
+            }
+        }
+        let new_extents: Vec<usize> = spec.iter().map(|s| s.len()).collect();
+        let n: usize = new_extents.iter().product();
+        let mut out = Vec::with_capacity(n);
+        let result_shape_probe =
+            NdArray::<u8>::from_vec_ordered(&new_extents, vec![0; n], self.order)?;
+        let mut src_index = vec![0isize; self.rank()];
+        for off in 0..n {
+            let rel = result_shape_probe.multi_index_of(off)?;
+            for d in 0..self.rank() {
+                src_index[d] = spec[d].start + rel[d] * spec[d].step as isize;
+            }
+            out.push(self.get(&src_index)?.clone());
+        }
+        NdArray::from_vec_ordered(&new_extents, out, self.order)
+    }
+
+    /// Reinterprets the array with new extents (same element count, same
+    /// storage order, lower bounds reset to zero).
+    pub fn reshape(&self, extents: &[usize]) -> Result<NdArray<T>, DataError> {
+        let n: usize = extents.iter().product();
+        if n != self.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: extents.to_vec(),
+                found: self.extents.clone(),
+            });
+        }
+        NdArray::from_vec_ordered(extents, self.data.clone(), self.order)
+    }
+
+    /// Returns a copy converted to the requested storage order, preserving
+    /// logical element positions.
+    pub fn to_order(&self, order: Order) -> NdArray<T> {
+        if order == self.order {
+            return self.clone();
+        }
+        let mut out = NdArray {
+            data: self.data.clone(),
+            lower: self.lower.clone(),
+            extents: self.extents.clone(),
+            strides: Self::contiguous_strides(&self.extents, order),
+            order,
+        };
+        for off in 0..self.len() {
+            let idx = self.multi_index_of(off).expect("offset in range");
+            let dst = out.offset_of(&idx).expect("index in range");
+            out.data[dst] = self.data[off].clone();
+        }
+        out
+    }
+
+    /// Permutes dimensions. `perm` must be a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Result<NdArray<T>, DataError> {
+        if perm.len() != self.rank() {
+            return Err(DataError::RankMismatch {
+                expected: self.rank(),
+                found: perm.len(),
+            });
+        }
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            if p >= self.rank() || seen[p] {
+                return Err(DataError::InvalidSlice(format!(
+                    "invalid permutation {perm:?}"
+                )));
+            }
+            seen[p] = true;
+        }
+        let new_extents: Vec<usize> = perm.iter().map(|&p| self.extents[p]).collect();
+        let new_lower: Vec<isize> = perm.iter().map(|&p| self.lower[p]).collect();
+        let n = self.len();
+        let mut out = NdArray {
+            data: self.data.clone(),
+            lower: new_lower,
+            extents: new_extents.clone(),
+            strides: Self::contiguous_strides(&new_extents, self.order),
+            order: self.order,
+        };
+        let mut new_idx = vec![0isize; self.rank()];
+        for off in 0..n {
+            let idx = self.multi_index_of(off).expect("offset in range");
+            for (d, &p) in perm.iter().enumerate() {
+                new_idx[d] = idx[p];
+            }
+            let dst = out.offset_of(&new_idx).expect("index in range");
+            out.data[dst] = self.data[off].clone();
+        }
+        Ok(out)
+    }
+
+    /// Elementwise map producing a new array with the same shape.
+    pub fn map<U: Clone>(&self, f: impl Fn(&T) -> U) -> NdArray<U> {
+        NdArray {
+            data: self.data.iter().map(f).collect(),
+            lower: self.lower.clone(),
+            extents: self.extents.clone(),
+            strides: self.strides.clone(),
+            order: self.order,
+        }
+    }
+
+    /// Elementwise zip of two same-shape arrays (shapes must match exactly,
+    /// including lower bounds and storage order).
+    pub fn zip_map<U: Clone, V: Clone>(
+        &self,
+        other: &NdArray<U>,
+        f: impl Fn(&T, &U) -> V,
+    ) -> Result<NdArray<V>, DataError> {
+        if self.extents != other.extents || self.lower != other.lower || self.order != other.order
+        {
+            return Err(DataError::ShapeMismatch {
+                expected: self.extents.clone(),
+                found: other.extents.clone(),
+            });
+        }
+        Ok(NdArray {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| f(a, b))
+                .collect(),
+            lower: self.lower.clone(),
+            extents: self.extents.clone(),
+            strides: self.strides.clone(),
+            order: self.order,
+        })
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for NdArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NdArray")
+            .field("lower", &self.lower)
+            .field("extents", &self.extents)
+            .field("order", &self.order)
+            .field("data", &self.data)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_offsets_match_fortran() {
+        // A(0:2, 0:1): offset(i,j) = i + 3j, first index fastest.
+        let a = NdArray::<i32>::from_vec(&[3, 2], (0..6).collect()).unwrap();
+        assert_eq!(a.offset_of(&[0, 0]).unwrap(), 0);
+        assert_eq!(a.offset_of(&[1, 0]).unwrap(), 1);
+        assert_eq!(a.offset_of(&[2, 0]).unwrap(), 2);
+        assert_eq!(a.offset_of(&[0, 1]).unwrap(), 3);
+        assert_eq!(a.offset_of(&[2, 1]).unwrap(), 5);
+    }
+
+    #[test]
+    fn row_major_offsets_match_c() {
+        let a =
+            NdArray::<i32>::from_vec_ordered(&[3, 2], (0..6).collect(), Order::RowMajor).unwrap();
+        assert_eq!(a.offset_of(&[0, 0]).unwrap(), 0);
+        assert_eq!(a.offset_of(&[0, 1]).unwrap(), 1);
+        assert_eq!(a.offset_of(&[1, 0]).unwrap(), 2);
+        assert_eq!(a.offset_of(&[2, 1]).unwrap(), 5);
+    }
+
+    #[test]
+    fn fortran_lower_bounds() {
+        // REAL A(-2:2) — five elements indexed -2..=2.
+        let a = NdArray::with_lower(&[-2], &[5], vec![10, 11, 12, 13, 14], Order::ColumnMajor)
+            .unwrap();
+        assert_eq!(*a.get(&[-2]).unwrap(), 10);
+        assert_eq!(*a.get(&[0]).unwrap(), 12);
+        assert_eq!(*a.get(&[2]).unwrap(), 14);
+        assert_eq!(a.upper(), vec![2]);
+        assert!(a.get(&[3]).is_err());
+        assert!(a.get(&[-3]).is_err());
+    }
+
+    #[test]
+    fn offset_index_round_trip() {
+        let a = NdArray::<u8>::with_lower(
+            &[-1, 2, 0],
+            &[3, 4, 2],
+            vec![0; 24],
+            Order::ColumnMajor,
+        )
+        .unwrap();
+        for off in 0..a.len() {
+            let idx = a.multi_index_of(off).unwrap();
+            assert_eq!(a.offset_of(&idx).unwrap(), off, "index {idx:?}");
+        }
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut a = NdArray::<f64>::zeros(&[2, 2, 2]);
+        a.set(&[1, 0, 1], 42.0).unwrap();
+        assert_eq!(*a.get(&[1, 0, 1]).unwrap(), 42.0);
+        *a.get_mut(&[0, 1, 0]).unwrap() = 7.0;
+        assert_eq!(*a.get(&[0, 1, 0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn rank_limits_enforced() {
+        assert!(NdArray::<u8>::from_vec(&[], vec![]).is_err());
+        let extents = vec![1usize; MAX_RANK + 1];
+        assert!(NdArray::<u8>::from_vec(&extents, vec![0]).is_err());
+        let extents = vec![1usize; MAX_RANK];
+        assert!(NdArray::<u8>::from_vec(&extents, vec![0]).is_ok());
+    }
+
+    #[test]
+    fn data_length_checked() {
+        assert!(NdArray::<u8>::from_vec(&[2, 2], vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn slicing_contiguous() {
+        let a = NdArray::<i32>::from_vec(&[4, 3], (0..12).collect()).unwrap();
+        let s = a
+            .slice(&[Slice::range(1, 2), Slice::range(0, 2)])
+            .unwrap();
+        assert_eq!(s.extents(), &[2, 3]);
+        // s(i,j) = a(i+1, j)
+        for j in 0..3isize {
+            for i in 0..2isize {
+                assert_eq!(s.get(&[i, j]).unwrap(), a.get(&[i + 1, j]).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn slicing_strided_matches_fortran_section() {
+        // A(1:9:2) of A(0:9) -> elements 1,3,5,7,9
+        let a = NdArray::<i32>::from_vec(&[10], (0..10).collect()).unwrap();
+        let s = a.slice(&[Slice::strided(1, 9, 2)]).unwrap();
+        assert_eq!(s.into_vec(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn slice_validation() {
+        let a = NdArray::<i32>::from_vec(&[4], (0..4).collect()).unwrap();
+        assert!(a.slice(&[Slice::strided(0, 3, 0)]).is_err());
+        assert!(a.slice(&[Slice::range(0, 4)]).is_err());
+        assert!(a.slice(&[Slice::range(-1, 2)]).is_err());
+        // empty slice is fine
+        let e = a.slice(&[Slice::range(2, 1)]).unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reshape_preserves_storage_order() {
+        let a = NdArray::<i32>::from_vec(&[2, 3], (0..6).collect()).unwrap();
+        let b = a.reshape(&[3, 2]).unwrap();
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn order_conversion_preserves_logical_elements() {
+        let a = NdArray::<i32>::from_vec(&[3, 2], (0..6).collect()).unwrap();
+        let b = a.to_order(Order::RowMajor);
+        for j in 0..2isize {
+            for i in 0..3isize {
+                assert_eq!(a.get(&[i, j]).unwrap(), b.get(&[i, j]).unwrap());
+            }
+        }
+        // Physical layout differs.
+        assert_ne!(a.as_slice(), b.as_slice());
+        // Round trip restores layout.
+        assert_eq!(b.to_order(Order::ColumnMajor).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn permute_is_transpose_for_rank2() {
+        let a = NdArray::<i32>::from_vec(&[3, 2], (0..6).collect()).unwrap();
+        let t = a.permute(&[1, 0]).unwrap();
+        assert_eq!(t.extents(), &[2, 3]);
+        for j in 0..2isize {
+            for i in 0..3isize {
+                assert_eq!(a.get(&[i, j]).unwrap(), t.get(&[j, i]).unwrap());
+            }
+        }
+        assert!(a.permute(&[0, 0]).is_err());
+        assert!(a.permute(&[0]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = NdArray::<i32>::from_vec(&[2, 2], vec![1, 2, 3, 4]).unwrap();
+        let b = a.map(|x| x * 10);
+        assert_eq!(b.as_slice(), &[10, 20, 30, 40]);
+        let c = a.zip_map(&b, |x, y| x + y).unwrap();
+        assert_eq!(c.as_slice(), &[11, 22, 33, 44]);
+        let d = NdArray::<i32>::from_vec(&[4], vec![0; 4]).unwrap();
+        assert!(a.zip_map(&d, |x, _| *x).is_err());
+    }
+
+    #[test]
+    fn indexed_iter_visits_all_elements_once() {
+        let a = NdArray::<i32>::from_vec(&[2, 3], (0..6).collect()).unwrap();
+        let mut seen = vec![false; 6];
+        for (idx, &v) in a.indexed_iter() {
+            assert_eq!(*a.get(&idx).unwrap(), v);
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_shape() -> impl Strategy<Value = (Vec<isize>, Vec<usize>)> {
+        (1usize..=4)
+            .prop_flat_map(|rank| {
+                (
+                    proptest::collection::vec(-5isize..5, rank),
+                    proptest::collection::vec(1usize..5, rank),
+                )
+            })
+            .prop_filter("bounded element count", |(_, e)| {
+                e.iter().product::<usize>() <= 256
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn offset_index_bijection((lower, extents) in arb_shape(),
+                                   row_major in any::<bool>()) {
+            let order = if row_major { Order::RowMajor } else { Order::ColumnMajor };
+            let n: usize = extents.iter().product();
+            let a = NdArray::<u8>::with_lower(&lower, &extents, vec![0; n], order).unwrap();
+            let mut seen = vec![false; n];
+            for off in 0..n {
+                let idx = a.multi_index_of(off).unwrap();
+                let back = a.offset_of(&idx).unwrap();
+                prop_assert_eq!(back, off);
+                prop_assert!(!seen[off]);
+                seen[off] = true;
+                // Index is within bounds.
+                for d in 0..a.rank() {
+                    prop_assert!(idx[d] >= lower[d]);
+                    prop_assert!(idx[d] < lower[d] + extents[d] as isize);
+                }
+            }
+        }
+
+        #[test]
+        fn order_conversion_round_trips((lower, extents) in arb_shape()) {
+            let n: usize = extents.iter().product();
+            let data: Vec<u32> = (0..n as u32).collect();
+            let a = NdArray::with_lower(&lower, &extents, data, Order::ColumnMajor).unwrap();
+            let back = a.to_order(Order::RowMajor).to_order(Order::ColumnMajor);
+            prop_assert_eq!(a, back);
+        }
+
+        #[test]
+        fn slice_full_range_is_identity((lower, extents) in arb_shape()) {
+            let n: usize = extents.iter().product();
+            let data: Vec<u32> = (0..n as u32).collect();
+            let a = NdArray::with_lower(&lower, &extents, data, Order::ColumnMajor).unwrap();
+            let spec: Vec<Slice> = (0..a.rank())
+                .map(|d| Slice::range(lower[d], lower[d] + extents[d] as isize - 1))
+                .collect();
+            let s = a.slice(&spec).unwrap();
+            prop_assert_eq!(s.as_slice(), a.as_slice());
+        }
+    }
+}
+
+/// A borrowed, possibly strided view of an [`NdArray`] — the zero-copy
+/// form of a Fortran array section (`A(1:9:2, :)`), which is what SIDL
+/// bindings pass when a caller hands a section to a component without
+/// copying.
+#[derive(Debug, Clone, Copy)]
+pub struct NdView<'a, T> {
+    data: &'a [T],
+    offset: usize,
+    extents: &'a [usize],
+    strides: &'a [usize],
+}
+
+impl<T: Clone> NdArray<T> {
+    /// A full view of the array (zero lower bounds).
+    pub fn view(&self) -> NdView<'_, T> {
+        NdView {
+            data: &self.data,
+            offset: 0,
+            extents: &self.extents,
+            strides: &self.strides,
+        }
+    }
+
+    /// A zero-copy strided section. Unlike [`NdArray::slice`] this does
+    /// not copy the elements; it records an offset plus scaled strides.
+    /// The view's indices are zero-based over the section.
+    pub fn section<'a>(
+        &'a self,
+        spec: &[Slice],
+        storage: &'a mut ViewStorage,
+    ) -> Result<NdView<'a, T>, DataError> {
+        if spec.len() != self.rank() {
+            return Err(DataError::RankMismatch {
+                expected: self.rank(),
+                found: spec.len(),
+            });
+        }
+        let upper = self.upper();
+        let mut offset = 0usize;
+        storage.extents.clear();
+        storage.strides.clear();
+        for (d, s) in spec.iter().enumerate() {
+            if s.step == 0 {
+                return Err(DataError::InvalidSlice(format!("dimension {d}: step 0")));
+            }
+            if !s.is_empty() && (s.start < self.lower[d] || s.end > upper[d]) {
+                return Err(DataError::InvalidSlice(format!(
+                    "dimension {d}: {}..={} outside {}..={}",
+                    s.start, s.end, self.lower[d], upper[d]
+                )));
+            }
+            let rel0 = (s.start - self.lower[d]).max(0) as usize;
+            offset += rel0 * self.strides[d];
+            storage.extents.push(s.len());
+            storage.strides.push(self.strides[d] * s.step);
+        }
+        Ok(NdView {
+            data: &self.data,
+            offset,
+            extents: &storage.extents,
+            strides: &storage.strides,
+        })
+    }
+}
+
+/// Scratch space holding a section view's shape (lets [`NdView`] borrow
+/// rather than allocate per access).
+#[derive(Debug, Default, Clone)]
+pub struct ViewStorage {
+    extents: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl<'a, T: Clone> NdView<'a, T> {
+    /// View rank.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Per-dimension extents of the view.
+    pub fn extents(&self) -> &[usize] {
+        self.extents
+    }
+
+    /// Total elements the view selects.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// True if the view selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at a zero-based view index.
+    pub fn get(&self, index: &[usize]) -> Result<&'a T, DataError> {
+        if index.len() != self.rank() {
+            return Err(DataError::RankMismatch {
+                expected: self.rank(),
+                found: index.len(),
+            });
+        }
+        let mut off = self.offset;
+        for d in 0..self.rank() {
+            if index[d] >= self.extents[d] {
+                return Err(DataError::IndexOutOfBounds {
+                    index: index.iter().map(|&i| i as isize).collect(),
+                    lower: vec![0; self.rank()],
+                    extents: self.extents.to_vec(),
+                });
+            }
+            off += index[d] * self.strides[d];
+        }
+        Ok(&self.data[off])
+    }
+
+    /// Copies the view into a fresh contiguous column-major array.
+    pub fn to_array(&self) -> NdArray<T> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let mut idx = vec![0usize; self.rank()];
+        for _ in 0..n {
+            out.push(self.get(&idx).expect("in-range").clone());
+            // Column-major increment.
+            for d in 0..self.rank() {
+                idx[d] += 1;
+                if idx[d] < self.extents[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        NdArray::from_vec(self.extents, out).expect("shape matches")
+    }
+}
+
+#[cfg(test)]
+mod view_tests {
+    use super::*;
+
+    #[test]
+    fn full_view_reads_all_elements() {
+        let a = NdArray::<i32>::from_vec(&[3, 2], (0..6).collect()).unwrap();
+        let v = a.view();
+        assert_eq!(v.rank(), 2);
+        assert_eq!(v.len(), 6);
+        for j in 0..2 {
+            for i in 0..3 {
+                assert_eq!(
+                    v.get(&[i, j]).unwrap(),
+                    a.get(&[i as isize, j as isize]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_section_is_zero_copy_and_correct() {
+        // A(1:9:2) of a 10-vector: view must see 1,3,5,7,9 without copying.
+        let a = NdArray::<i32>::from_vec(&[10], (0..10).collect()).unwrap();
+        let mut storage = ViewStorage::default();
+        let v = a.section(&[Slice::strided(1, 9, 2)], &mut storage).unwrap();
+        assert_eq!(v.extents(), &[5]);
+        for k in 0..5 {
+            assert_eq!(*v.get(&[k]).unwrap(), 1 + 2 * k as i32);
+        }
+        // Equivalent to the copying slice.
+        assert_eq!(
+            v.to_array().as_slice(),
+            a.slice(&[Slice::strided(1, 9, 2)]).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn two_dimensional_section_matches_copying_slice() {
+        let a = NdArray::<i32>::from_vec(&[4, 4], (0..16).collect()).unwrap();
+        let spec = [Slice::strided(0, 3, 2), Slice::range(1, 2)];
+        let mut storage = ViewStorage::default();
+        let v = a.section(&spec, &mut storage).unwrap();
+        let copied = a.slice(&spec).unwrap();
+        assert_eq!(v.to_array(), copied);
+    }
+
+    #[test]
+    fn section_respects_lower_bounds() {
+        let a =
+            NdArray::with_lower(&[-2], &[5], vec![10, 11, 12, 13, 14], Order::ColumnMajor)
+                .unwrap();
+        let mut storage = ViewStorage::default();
+        let v = a.section(&[Slice::range(-1, 1)], &mut storage).unwrap();
+        assert_eq!(v.extents(), &[3]);
+        assert_eq!(*v.get(&[0]).unwrap(), 11);
+        assert_eq!(*v.get(&[2]).unwrap(), 13);
+    }
+
+    #[test]
+    fn view_bounds_checked() {
+        let a = NdArray::<i32>::from_vec(&[2, 2], (0..4).collect()).unwrap();
+        let v = a.view();
+        assert!(v.get(&[2, 0]).is_err());
+        assert!(v.get(&[0]).is_err());
+        let mut storage = ViewStorage::default();
+        assert!(a.section(&[Slice::range(0, 2), Slice::range(0, 1)], &mut storage).is_err());
+        assert!(a.section(&[Slice::range(0, 1)], &mut storage).is_err());
+    }
+
+    #[test]
+    fn empty_section() {
+        let a = NdArray::<i32>::from_vec(&[4], (0..4).collect()).unwrap();
+        let mut storage = ViewStorage::default();
+        let v = a.section(&[Slice::range(3, 1)], &mut storage).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.to_array().len(), 0);
+    }
+}

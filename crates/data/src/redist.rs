@@ -1,0 +1,766 @@
+//! M×N data redistribution between differently distributed components.
+//!
+//! §6.3: "Collective ports are defined generally enough to allow data to be
+//! distributed arbitrarily in the connected components; ... this capability
+//! is useful in connecting a parallel numerical simulation with differently
+//! distributed visualization tools."
+//!
+//! A [`RedistPlan`] is the pure-data core of that capability: given a source
+//! descriptor over M ranks and a target descriptor over N ranks for the same
+//! global array, it computes the exact set of [`Transfer`]s (source rank →
+//! destination rank, global region) needed so that every element arrives at
+//! its new owner exactly once. The plan is deterministic and symmetric —
+//! both sides can compute it independently from the two descriptors, which
+//! is how the paper's collective ports avoid any central coordinator.
+//!
+//! Planning is separated from execution: `cca-parallel` executes plans with
+//! messages between SPMD ranks, while [`RedistPlan::apply`] executes them
+//! in-memory for testing and for same-address-space connections.
+
+use crate::dist::{DistArrayDesc, Region};
+use crate::error::DataError;
+
+/// One message of a redistribution: move the elements of `region` (a global
+/// index-space rectangle) from `src_rank`'s local buffer to `dst_rank`'s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Rank in the *source* decomposition that owns the region now.
+    pub src_rank: usize,
+    /// Rank in the *target* decomposition that must own it afterwards.
+    pub dst_rank: usize,
+    /// The global region to move.
+    pub region: Region,
+}
+
+impl Transfer {
+    /// Number of elements this transfer moves.
+    pub fn count(&self) -> usize {
+        self.region.count()
+    }
+}
+
+/// A complete, deterministic M×N redistribution plan.
+///
+/// ```
+/// use cca_data::{DistArrayDesc, Distribution, RedistPlan};
+/// // 12 elements: 3-way block source, serial target (a gather).
+/// let src = DistArrayDesc::new(&[12], Distribution::block_1d(3, 1)?)?;
+/// let dst = DistArrayDesc::new(&[12], Distribution::serial(1)?)?;
+/// let plan = RedistPlan::build(&src, &dst)?;
+/// assert_eq!(plan.total_elements(), 12);
+/// let out = plan.apply(&[vec![0.0; 4], vec![1.0; 4], vec![2.0; 4]])?;
+/// assert_eq!(out[0][4], 1.0); // rank 1's block landed in the middle
+/// # Ok::<(), cca_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RedistPlan {
+    source: DistArrayDesc,
+    target: DistArrayDesc,
+    transfers: Vec<Transfer>,
+}
+
+impl RedistPlan {
+    /// Builds the plan by intersecting every source-owned region with every
+    /// target-owned region. Cost is O(M·N·regions²) in the worst (cyclic)
+    /// case, which is why plans are built once and reused across timesteps
+    /// (see the E4 ablation).
+    pub fn build(source: &DistArrayDesc, target: &DistArrayDesc) -> Result<Self, DataError> {
+        if source.global_extents() != target.global_extents() {
+            return Err(DataError::GlobalShapeMismatch {
+                source: source.global_extents().to_vec(),
+                target: target.global_extents().to_vec(),
+            });
+        }
+        let mut transfers = Vec::new();
+        for src_rank in 0..source.nranks() {
+            let src_regions = source.owned_regions(src_rank)?;
+            if src_regions.is_empty() {
+                continue;
+            }
+            for dst_rank in 0..target.nranks() {
+                for dst_region in target.owned_regions(dst_rank)? {
+                    for src_region in &src_regions {
+                        if let Some(overlap) = src_region.intersect(&dst_region) {
+                            transfers.push(Transfer {
+                                src_rank,
+                                dst_rank,
+                                region: overlap,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(RedistPlan {
+            source: source.clone(),
+            target: target.clone(),
+            transfers,
+        })
+    }
+
+    /// The individual transfers, ordered by (src, dst).
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// Source descriptor the plan was built for.
+    pub fn source(&self) -> &DistArrayDesc {
+        &self.source
+    }
+
+    /// Target descriptor the plan was built for.
+    pub fn target(&self) -> &DistArrayDesc {
+        &self.target
+    }
+
+    /// Total number of elements moved (equals the global element count).
+    pub fn total_elements(&self) -> usize {
+        self.transfers.iter().map(Transfer::count).sum()
+    }
+
+    /// Number of elements whose source and destination rank coincide —
+    /// with matched decompositions this is *all* of them, the paper's "data
+    /// would not need redistribution" fast path.
+    pub fn resident_elements(&self) -> usize {
+        self.transfers
+            .iter()
+            .filter(|t| t.src_rank == t.dst_rank)
+            .map(Transfer::count)
+            .sum()
+    }
+
+    /// Number of elements that must cross ranks.
+    pub fn moved_elements(&self) -> usize {
+        self.total_elements() - self.resident_elements()
+    }
+
+    /// True when the two decompositions are element-for-element identical,
+    /// so the collective port may skip communication entirely.
+    pub fn is_matched(&self) -> bool {
+        self.moved_elements() == 0 && self.source.nranks() == self.target.nranks()
+    }
+
+    /// Transfers originating at `src_rank` (what that rank must send).
+    pub fn sends_from(&self, src_rank: usize) -> impl Iterator<Item = &Transfer> + '_ {
+        self.transfers.iter().filter(move |t| t.src_rank == src_rank)
+    }
+
+    /// Transfers terminating at `dst_rank` (what that rank must receive).
+    pub fn receives_at(&self, dst_rank: usize) -> impl Iterator<Item = &Transfer> + '_ {
+        self.transfers.iter().filter(move |t| t.dst_rank == dst_rank)
+    }
+
+    /// Flat column-major offset of a *global* index within `rank`'s local
+    /// buffer under descriptor `desc`.
+    pub fn local_offset(
+        desc: &DistArrayDesc,
+        rank: usize,
+        global: &[usize],
+    ) -> Result<usize, DataError> {
+        let (owner, local) = desc.global_to_local(global)?;
+        if owner != rank {
+            return Err(DataError::InvalidDistribution(format!(
+                "global index {global:?} owned by rank {owner}, not {rank}"
+            )));
+        }
+        let extents = desc.local_extents(rank)?;
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for d in 0..extents.len() {
+            off += local[d] * stride;
+            stride *= extents[d];
+        }
+        Ok(off)
+    }
+
+    /// Packs the elements of one transfer out of the source rank's local
+    /// buffer, in the region's canonical (column-major) traversal order.
+    pub fn pack<T: Clone>(&self, t: &Transfer, src_local: &[T]) -> Result<Vec<T>, DataError> {
+        let mut out = Vec::with_capacity(t.count());
+        for idx in t.region.indices() {
+            let off = Self::local_offset(&self.source, t.src_rank, &idx)?;
+            out.push(src_local[off].clone());
+        }
+        Ok(out)
+    }
+
+    /// Unpacks one transfer's payload into the destination rank's local
+    /// buffer (payload must be in the canonical traversal order).
+    pub fn unpack<T: Clone>(
+        &self,
+        t: &Transfer,
+        payload: &[T],
+        dst_local: &mut [T],
+    ) -> Result<(), DataError> {
+        if payload.len() != t.count() {
+            return Err(DataError::ShapeMismatch {
+                expected: vec![t.count()],
+                found: vec![payload.len()],
+            });
+        }
+        for (k, idx) in t.region.indices().enumerate() {
+            let off = Self::local_offset(&self.target, t.dst_rank, &idx)?;
+            dst_local[off] = payload[k].clone();
+        }
+        Ok(())
+    }
+
+    /// Executes the whole plan in memory: given every source rank's local
+    /// buffer, produces every target rank's local buffer. Used for testing
+    /// and for same-address-space collective connections.
+    pub fn apply<T: Clone + Default>(
+        &self,
+        src_buffers: &[Vec<T>],
+    ) -> Result<Vec<Vec<T>>, DataError> {
+        if src_buffers.len() != self.source.nranks() {
+            return Err(DataError::ShapeMismatch {
+                expected: vec![self.source.nranks()],
+                found: vec![src_buffers.len()],
+            });
+        }
+        for (r, buf) in src_buffers.iter().enumerate() {
+            let want = self.source.local_count(r)?;
+            if buf.len() != want {
+                return Err(DataError::ShapeMismatch {
+                    expected: vec![want],
+                    found: vec![buf.len()],
+                });
+            }
+        }
+        let mut dst: Vec<Vec<T>> = (0..self.target.nranks())
+            .map(|r| vec![T::default(); self.target.local_count(r).unwrap_or(0)])
+            .collect();
+        for t in &self.transfers {
+            let payload = self.pack(t, &src_buffers[t.src_rank])?;
+            self.unpack(t, &payload, &mut dst[t.dst_rank])?;
+        }
+        Ok(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{DimDist, Distribution, ProcessGrid};
+
+    fn block_desc(n: usize, p: usize) -> DistArrayDesc {
+        DistArrayDesc::new(&[n], Distribution::block_1d(p, 1).unwrap()).unwrap()
+    }
+
+    fn cyclic_desc(n: usize, p: usize) -> DistArrayDesc {
+        let dist =
+            Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
+        DistArrayDesc::new(&[n], dist).unwrap()
+    }
+
+    /// Fill each source rank's buffer with the global linear index of each
+    /// element, so correctness after redistribution is directly checkable.
+    fn tagged_buffers(desc: &DistArrayDesc) -> Vec<Vec<u64>> {
+        (0..desc.nranks())
+            .map(|r| {
+                let n = desc.local_count(r).unwrap();
+                let mut buf = vec![0u64; n];
+                for region in desc.owned_regions(r).unwrap() {
+                    for idx in region.indices() {
+                        let off = RedistPlan::local_offset(desc, r, &idx).unwrap();
+                        let gid: u64 = global_id(desc.global_extents(), &idx);
+                        buf[off] = gid;
+                    }
+                }
+                buf
+            })
+            .collect()
+    }
+
+    fn global_id(extents: &[usize], idx: &[usize]) -> u64 {
+        let mut id = 0u64;
+        let mut stride = 1u64;
+        for d in 0..extents.len() {
+            id += idx[d] as u64 * stride;
+            stride *= extents[d] as u64;
+        }
+        id
+    }
+
+    fn check_redistributed(desc: &DistArrayDesc, buffers: &[Vec<u64>]) {
+        for r in 0..desc.nranks() {
+            for region in desc.owned_regions(r).unwrap() {
+                for idx in region.indices() {
+                    let off = RedistPlan::local_offset(desc, r, &idx).unwrap();
+                    assert_eq!(
+                        buffers[r][off],
+                        global_id(desc.global_extents(), &idx),
+                        "rank {r} index {idx:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matched_decomposition_moves_nothing() {
+        let src = block_desc(12, 4);
+        let dst = block_desc(12, 4);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        assert!(plan.is_matched());
+        assert_eq!(plan.moved_elements(), 0);
+        assert_eq!(plan.total_elements(), 12);
+    }
+
+    #[test]
+    fn serial_to_parallel_is_scatter() {
+        let src = block_desc(12, 1);
+        let dst = block_desc(12, 4);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        // Everything leaves rank 0 except the part rank 0 keeps.
+        assert_eq!(plan.total_elements(), 12);
+        assert_eq!(plan.resident_elements(), 3);
+        assert_eq!(plan.sends_from(0).count(), 4);
+        let out = plan.apply(&tagged_buffers(&src)).unwrap();
+        check_redistributed(&dst, &out);
+    }
+
+    #[test]
+    fn parallel_to_serial_is_gather() {
+        let src = block_desc(10, 3);
+        let dst = block_desc(10, 1);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        assert_eq!(plan.receives_at(0).count(), 3);
+        let out = plan.apply(&tagged_buffers(&src)).unwrap();
+        assert_eq!(out.len(), 1);
+        check_redistributed(&dst, &out);
+    }
+
+    #[test]
+    fn block_to_cyclic_mxn() {
+        let src = block_desc(16, 4);
+        let dst = cyclic_desc(16, 3);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        assert_eq!(plan.total_elements(), 16);
+        let out = plan.apply(&tagged_buffers(&src)).unwrap();
+        check_redistributed(&dst, &out);
+    }
+
+    #[test]
+    fn shrinking_rank_count_4_to_2() {
+        let src = block_desc(20, 4);
+        let dst = block_desc(20, 2);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        let out = plan.apply(&tagged_buffers(&src)).unwrap();
+        check_redistributed(&dst, &out);
+        // Only src rank 0's block lands on the same-numbered dst rank
+        // (src 1 -> dst 0, src 2/3 -> dst 1).
+        assert_eq!(plan.resident_elements(), 5);
+        assert_eq!(plan.moved_elements(), 15);
+    }
+
+    #[test]
+    fn two_dimensional_redistribution() {
+        let src = DistArrayDesc::new(
+            &[6, 6],
+            Distribution::new(
+                ProcessGrid::new(&[2, 1]).unwrap(),
+                &[DimDist::Block, DimDist::Block],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let dst = DistArrayDesc::new(
+            &[6, 6],
+            Distribution::new(
+                ProcessGrid::new(&[1, 3]).unwrap(),
+                &[DimDist::Block, DimDist::Cyclic],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        assert_eq!(plan.total_elements(), 36);
+        let out = plan.apply(&tagged_buffers(&src)).unwrap();
+        check_redistributed(&dst, &out);
+    }
+
+    #[test]
+    fn mismatched_global_shapes_rejected() {
+        let src = block_desc(10, 2);
+        let dst = block_desc(12, 2);
+        assert!(matches!(
+            RedistPlan::build(&src, &dst),
+            Err(DataError::GlobalShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_validates_buffer_shapes() {
+        let src = block_desc(8, 2);
+        let dst = block_desc(8, 2);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        // Wrong number of buffers.
+        assert!(plan.apply(&[vec![0u64; 4]]).is_err());
+        // Wrong buffer length.
+        assert!(plan.apply(&[vec![0u64; 3], vec![0u64; 4]]).is_err());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_single_transfer() {
+        let src = block_desc(8, 2);
+        let dst = block_desc(8, 4);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        let bufs = tagged_buffers(&src);
+        let mut out: Vec<Vec<u64>> = (0..4)
+            .map(|r| vec![0; dst.local_count(r).unwrap()])
+            .collect();
+        for t in plan.transfers() {
+            let payload = plan.pack(t, &bufs[t.src_rank]).unwrap();
+            plan.unpack(t, &payload, &mut out[t.dst_rank]).unwrap();
+        }
+        check_redistributed(&dst, &out);
+    }
+
+    #[test]
+    fn unpack_rejects_wrong_payload_length() {
+        let src = block_desc(8, 2);
+        let dst = block_desc(8, 4);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        let t = &plan.transfers()[0];
+        let mut out = vec![0u64; dst.local_count(t.dst_rank).unwrap()];
+        assert!(plan.unpack(t, &vec![0u64; t.count() + 1], &mut out).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::dist::{DimDist, Distribution, ProcessGrid};
+    use proptest::prelude::*;
+
+    fn arb_dist(rank: usize) -> impl Strategy<Value = Distribution> {
+        (
+            proptest::collection::vec(1usize..4, rank),
+            proptest::collection::vec(
+                prop_oneof![
+                    Just(DimDist::Block),
+                    Just(DimDist::Cyclic),
+                    (1usize..3).prop_map(|b| DimDist::BlockCyclic { block: b }),
+                ],
+                rank,
+            ),
+        )
+            .prop_map(|(grid, dims)| {
+                Distribution::new(ProcessGrid::new(&grid).unwrap(), &dims).unwrap()
+            })
+    }
+
+    fn arb_pair() -> impl Strategy<Value = (DistArrayDesc, DistArrayDesc)> {
+        (1usize..=2)
+            .prop_flat_map(|rank| {
+                (
+                    proptest::collection::vec(1usize..10, rank),
+                    arb_dist(rank),
+                    arb_dist(rank),
+                )
+            })
+            .prop_map(|(extents, d1, d2)| {
+                (
+                    DistArrayDesc::new(&extents, d1).unwrap(),
+                    DistArrayDesc::new(&extents, d2).unwrap(),
+                )
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn plan_moves_every_element_exactly_once((src, dst) in arb_pair()) {
+            let plan = RedistPlan::build(&src, &dst).unwrap();
+            let global: usize = src.global_extents().iter().product();
+            prop_assert_eq!(plan.total_elements(), global);
+            // No two transfers overlap: mark every (global index) once.
+            let mut seen = vec![false; global];
+            for t in plan.transfers() {
+                for idx in t.region.indices() {
+                    let mut id = 0usize;
+                    let mut stride = 1usize;
+                    for d in 0..idx.len() {
+                        id += idx[d] * stride;
+                        stride *= src.global_extents()[d];
+                    }
+                    prop_assert!(!seen[id], "element {:?} moved twice", idx);
+                    seen[id] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn apply_delivers_correct_values((src, dst) in arb_pair()) {
+            let plan = RedistPlan::build(&src, &dst).unwrap();
+            // Tag every element with its global id.
+            let bufs: Vec<Vec<u64>> = (0..src.nranks()).map(|r| {
+                let mut buf = vec![0u64; src.local_count(r).unwrap()];
+                for region in src.owned_regions(r).unwrap() {
+                    for idx in region.indices() {
+                        let off = RedistPlan::local_offset(&src, r, &idx).unwrap();
+                        let mut id = 0u64;
+                        let mut stride = 1u64;
+                        for d in 0..idx.len() {
+                            id += idx[d] as u64 * stride;
+                            stride *= src.global_extents()[d] as u64;
+                        }
+                        buf[off] = id;
+                    }
+                }
+                buf
+            }).collect();
+            let out = plan.apply(&bufs).unwrap();
+            for r in 0..dst.nranks() {
+                for region in dst.owned_regions(r).unwrap() {
+                    for idx in region.indices() {
+                        let off = RedistPlan::local_offset(&dst, r, &idx).unwrap();
+                        let mut id = 0u64;
+                        let mut stride = 1u64;
+                        for d in 0..idx.len() {
+                            id += idx[d] as u64 * stride;
+                            stride *= dst.global_extents()[d] as u64;
+                        }
+                        prop_assert_eq!(out[r][off], id);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn identical_descriptors_are_matched(desc in arb_pair().prop_map(|(s, _)| s)) {
+            let plan = RedistPlan::build(&desc, &desc).unwrap();
+            prop_assert!(plan.is_matched());
+        }
+
+        #[test]
+        fn compiled_plan_equals_interpreted_plan((src, dst) in arb_pair()) {
+            let plan = RedistPlan::build(&src, &dst).unwrap();
+            let compiled = plan.compile().unwrap();
+            let bufs: Vec<Vec<u64>> = (0..src.nranks()).map(|r| {
+                let n = src.local_count(r).unwrap();
+                (0..n as u64).map(|k| k * 1000 + r as u64).collect()
+            }).collect();
+            prop_assert_eq!(plan.apply(&bufs).unwrap(), compiled.apply(&bufs).unwrap());
+        }
+    }
+}
+
+/// A [`RedistPlan`] with per-transfer flat offsets precomputed — the form
+/// a collective port actually executes every timestep.
+///
+/// [`RedistPlan::pack`]/[`RedistPlan::unpack`] translate every element's
+/// global index to a local offset on every call (division-heavy, ~100s of
+/// ns/element). Compiling does that translation once per connection; the
+/// per-timestep work collapses to indexed gathers/scatters. Experiment E4
+/// measures both paths as the plan-reuse ablation called out in DESIGN.md.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    transfers: Vec<CompiledTransfer>,
+    src_counts: Vec<usize>,
+    dst_counts: Vec<usize>,
+}
+
+/// One transfer with its gather/scatter index lists.
+#[derive(Debug, Clone)]
+pub struct CompiledTransfer {
+    /// Source rank.
+    pub src_rank: usize,
+    /// Destination rank.
+    pub dst_rank: usize,
+    /// Flat offsets into the source rank's local buffer, in payload order.
+    pub src_offsets: Box<[usize]>,
+    /// Flat offsets into the destination rank's local buffer, same order.
+    pub dst_offsets: Box<[usize]>,
+}
+
+impl CompiledTransfer {
+    /// Elements moved by this transfer.
+    pub fn count(&self) -> usize {
+        self.src_offsets.len()
+    }
+
+    /// Gathers this transfer's payload from the source local buffer.
+    pub fn pack<T: Clone>(&self, src_local: &[T]) -> Vec<T> {
+        self.src_offsets
+            .iter()
+            .map(|&off| src_local[off].clone())
+            .collect()
+    }
+
+    /// Scatters a payload into the destination local buffer.
+    pub fn unpack<T: Clone>(&self, payload: &[T], dst_local: &mut [T]) {
+        debug_assert_eq!(payload.len(), self.dst_offsets.len());
+        for (v, &off) in payload.iter().zip(self.dst_offsets.iter()) {
+            dst_local[off] = v.clone();
+        }
+    }
+}
+
+impl RedistPlan {
+    /// Precomputes every transfer's offset lists.
+    pub fn compile(&self) -> Result<CompiledPlan, DataError> {
+        let mut transfers = Vec::with_capacity(self.transfers.len());
+        for t in &self.transfers {
+            let n = t.count();
+            let mut src_offsets = Vec::with_capacity(n);
+            let mut dst_offsets = Vec::with_capacity(n);
+            for idx in t.region.indices() {
+                src_offsets.push(Self::local_offset(&self.source, t.src_rank, &idx)?);
+                dst_offsets.push(Self::local_offset(&self.target, t.dst_rank, &idx)?);
+            }
+            transfers.push(CompiledTransfer {
+                src_rank: t.src_rank,
+                dst_rank: t.dst_rank,
+                src_offsets: src_offsets.into_boxed_slice(),
+                dst_offsets: dst_offsets.into_boxed_slice(),
+            });
+        }
+        Ok(CompiledPlan {
+            transfers,
+            src_counts: (0..self.source.nranks())
+                .map(|r| self.source.local_count(r))
+                .collect::<Result<_, _>>()?,
+            dst_counts: (0..self.target.nranks())
+                .map(|r| self.target.local_count(r))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl CompiledPlan {
+    /// The compiled transfers in plan order.
+    pub fn transfers(&self) -> &[CompiledTransfer] {
+        &self.transfers
+    }
+
+    /// Transfers originating at `src_rank`.
+    pub fn sends_from(&self, src_rank: usize) -> impl Iterator<Item = &CompiledTransfer> + '_ {
+        self.transfers.iter().filter(move |t| t.src_rank == src_rank)
+    }
+
+    /// Transfers terminating at `dst_rank`.
+    pub fn receives_at(&self, dst_rank: usize) -> impl Iterator<Item = &CompiledTransfer> + '_ {
+        self.transfers.iter().filter(move |t| t.dst_rank == dst_rank)
+    }
+
+    /// In-memory execution (the fast counterpart of [`RedistPlan::apply`]).
+    pub fn apply<T: Clone + Default>(
+        &self,
+        src_buffers: &[Vec<T>],
+    ) -> Result<Vec<Vec<T>>, DataError> {
+        if src_buffers.len() != self.src_counts.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: vec![self.src_counts.len()],
+                found: vec![src_buffers.len()],
+            });
+        }
+        for (r, buf) in src_buffers.iter().enumerate() {
+            if buf.len() != self.src_counts[r] {
+                return Err(DataError::ShapeMismatch {
+                    expected: vec![self.src_counts[r]],
+                    found: vec![buf.len()],
+                });
+            }
+        }
+        let mut dst: Vec<Vec<T>> = self
+            .dst_counts
+            .iter()
+            .map(|&n| vec![T::default(); n])
+            .collect();
+        for t in &self.transfers {
+            let src = &src_buffers[t.src_rank];
+            let out = &mut dst[t.dst_rank];
+            for (&s, &d) in t.src_offsets.iter().zip(t.dst_offsets.iter()) {
+                out[d] = src[s].clone();
+            }
+        }
+        Ok(dst)
+    }
+}
+
+#[cfg(test)]
+mod compiled_tests {
+    use super::*;
+    use crate::dist::{DimDist, Distribution, ProcessGrid};
+
+    fn block_desc(n: usize, p: usize) -> DistArrayDesc {
+        DistArrayDesc::new(&[n], Distribution::block_1d(p, 1).unwrap()).unwrap()
+    }
+
+    fn cyclic_desc(n: usize, p: usize) -> DistArrayDesc {
+        let dist =
+            Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
+        DistArrayDesc::new(&[n], dist).unwrap()
+    }
+
+    fn tagged(desc: &DistArrayDesc) -> Vec<Vec<u64>> {
+        (0..desc.nranks())
+            .map(|r| {
+                let mut buf = vec![0u64; desc.local_count(r).unwrap()];
+                for region in desc.owned_regions(r).unwrap() {
+                    for idx in region.indices() {
+                        let off = RedistPlan::local_offset(desc, r, &idx).unwrap();
+                        buf[off] = idx[0] as u64;
+                    }
+                }
+                buf
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compiled_apply_matches_interpreted_apply() {
+        for (src, dst) in [
+            (block_desc(24, 4), block_desc(24, 4)),
+            (block_desc(24, 1), block_desc(24, 4)),
+            (block_desc(24, 4), cyclic_desc(24, 3)),
+            (cyclic_desc(17, 2), block_desc(17, 5)),
+        ] {
+            let plan = RedistPlan::build(&src, &dst).unwrap();
+            let compiled = plan.compile().unwrap();
+            let bufs = tagged(&src);
+            assert_eq!(
+                plan.apply(&bufs).unwrap(),
+                compiled.apply(&bufs).unwrap(),
+                "{src:?} -> {dst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_pack_unpack_matches_interpreted() {
+        let src = block_desc(16, 2);
+        let dst = cyclic_desc(16, 3);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        let compiled = plan.compile().unwrap();
+        let bufs = tagged(&src);
+        for (t, ct) in plan.transfers().iter().zip(compiled.transfers()) {
+            assert_eq!(t.src_rank, ct.src_rank);
+            assert_eq!(t.dst_rank, ct.dst_rank);
+            assert_eq!(t.count(), ct.count());
+            let slow = plan.pack(t, &bufs[t.src_rank]).unwrap();
+            let fast = ct.pack(&bufs[ct.src_rank]);
+            assert_eq!(slow, fast);
+        }
+    }
+
+    #[test]
+    fn compiled_apply_validates_buffers() {
+        let plan = RedistPlan::build(&block_desc(8, 2), &block_desc(8, 2)).unwrap();
+        let compiled = plan.compile().unwrap();
+        assert!(compiled.apply(&[vec![0u8; 4]]).is_err());
+        assert!(compiled.apply(&[vec![0u8; 4], vec![0u8; 3]]).is_err());
+    }
+
+    #[test]
+    fn send_receive_views() {
+        let plan = RedistPlan::build(&block_desc(12, 3), &block_desc(12, 2)).unwrap();
+        let compiled = plan.compile().unwrap();
+        let total_sends: usize = (0..3).map(|r| compiled.sends_from(r).count()).sum();
+        let total_recvs: usize = (0..2).map(|r| compiled.receives_at(r).count()).sum();
+        assert_eq!(total_sends, compiled.transfers().len());
+        assert_eq!(total_recvs, compiled.transfers().len());
+    }
+}

@@ -1,0 +1,457 @@
+//! Connection machinery: type checking, direct vs proxied hand-off,
+//! disconnection and redirection.
+//!
+//! Figure 3's step (2): "At the framework's option, either the interface or
+//! a proxy for the interface can be given to Component 2 through its
+//! CCAServices handle." The option is [`ConnectionPolicy`]; components on
+//! both ends are oblivious to the choice.
+
+use crate::framework::Framework;
+use cca_core::{CcaError, ConfigEvent, PortHandle};
+use cca_rpc::{ObjRef, RemotePortProxy};
+use cca_sidl::DynObject;
+use std::sync::Arc;
+
+/// How the framework realizes a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnectionPolicy {
+    /// Hand the provider's own object across (§6.2 direct connect): a call
+    /// is one virtual dispatch, "no penalty for using the provides/uses
+    /// component connection mechanism".
+    #[default]
+    Direct,
+    /// Interpose the framework ORB: the uses side receives a proxy whose
+    /// every call is marshaled through `cca-rpc`. This is what a real
+    /// framework does when the two components live in different address
+    /// spaces; here it also serves as the measurable baseline (E3).
+    Proxied,
+}
+
+/// A record of one live connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionInfo {
+    /// Using component instance.
+    pub user: String,
+    /// Uses port name on the user.
+    pub uses_port: String,
+    /// Providing component instance.
+    pub provider: String,
+    /// Provides port name on the provider.
+    pub provides_port: String,
+    /// The SIDL type carried.
+    pub port_type: String,
+    /// How the connection was realized.
+    pub policy: ConnectionPolicy,
+}
+
+impl Framework {
+    /// Connects `user.uses_port` to `provider.provides_port` with the
+    /// framework's default policy.
+    pub fn connect(
+        &self,
+        user: &str,
+        uses_port: &str,
+        provider: &str,
+        provides_port: &str,
+    ) -> Result<(), CcaError> {
+        self.connect_with(user, uses_port, provider, provides_port, self.default_policy)
+    }
+
+    /// Connects with an explicit policy.
+    pub fn connect_with(
+        &self,
+        user: &str,
+        uses_port: &str,
+        provider: &str,
+        provides_port: &str,
+        policy: ConnectionPolicy,
+    ) -> Result<(), CcaError> {
+        let user_services = self.services(user)?;
+        let provider_services = self.services(provider)?;
+        let uses_type = user_services.uses_port_type(uses_port)?;
+        let handle = provider_services.get_provides_port(provides_port)?;
+        let provides_type = handle.port_type().to_string();
+
+        // Port compatibility = object-oriented type compatibility (§6).
+        let compatible = if provides_type == uses_type {
+            true
+        } else {
+            self.repository().is_subtype_of(&provides_type, &uses_type)
+        };
+        if !compatible {
+            return Err(CcaError::IncompatiblePorts {
+                uses_type,
+                provides_type,
+            });
+        }
+
+        let delivered = match policy {
+            ConnectionPolicy::Direct => handle,
+            ConnectionPolicy::Proxied => self.proxy_handle(provider, provides_port, &handle)?,
+        };
+        user_services.connect_uses(uses_port, delivered)?;
+        self.connections.write().push(ConnectionInfo {
+            user: user.to_string(),
+            uses_port: uses_port.to_string(),
+            provider: provider.to_string(),
+            provides_port: provides_port.to_string(),
+            port_type: provides_type.clone(),
+            policy,
+        });
+        self.emit(ConfigEvent::Connected {
+            user: user.to_string(),
+            uses_port: uses_port.to_string(),
+            provider: provider.to_string(),
+            provides_port: provides_port.to_string(),
+            port_type: provides_type,
+        });
+        Ok(())
+    }
+
+    /// Builds the proxied version of a provides port: the provider's
+    /// dynamic facade is registered with the framework ORB and the user
+    /// receives a handle whose object *is* the proxy.
+    fn proxy_handle(
+        &self,
+        provider: &str,
+        provides_port: &str,
+        handle: &PortHandle,
+    ) -> Result<PortHandle, CcaError> {
+        let servant = handle.dynamic().cloned().ok_or_else(|| {
+            CcaError::Framework(format!(
+                "provides port '{provides_port}' of '{provider}' has no dynamic facade; \
+                 proxied connections need one (attach the SIDL skeleton with \
+                 PortHandle::with_dynamic)"
+            ))
+        })?;
+        let key = format!("{provider}/{provides_port}");
+        self.orb.register(key.clone(), servant);
+        let proxy =
+            RemotePortProxy::new(handle.port_type(), ObjRef::loopback(key, Arc::clone(&self.orb)));
+        let dyn_proxy: Arc<dyn DynObject> = proxy;
+        Ok(
+            PortHandle::new(handle.port_name(), handle.port_type(), Arc::clone(&dyn_proxy))
+                .with_dynamic(dyn_proxy)
+                .with_properties(handle.properties().clone()),
+        )
+    }
+
+    /// Breaks the connection between `user.uses_port` and `provider`.
+    pub fn disconnect(
+        &self,
+        user: &str,
+        uses_port: &str,
+        provider: &str,
+    ) -> Result<(), CcaError> {
+        let mut connections = self.connections.write();
+        // Position among this uses-port's connections = index in the slot.
+        let mut slot_index = 0usize;
+        let mut found = None;
+        for (i, c) in connections.iter().enumerate() {
+            if c.user == user && c.uses_port == uses_port {
+                if c.provider == provider {
+                    found = Some((i, slot_index));
+                    break;
+                }
+                slot_index += 1;
+            }
+        }
+        let (vec_index, slot_index) = found.ok_or_else(|| {
+            CcaError::PortNotConnected(format!("{user}.{uses_port} -> {provider}"))
+        })?;
+        self.services(user)?.disconnect_uses(uses_port, slot_index)?;
+        connections.remove(vec_index);
+        drop(connections);
+        self.emit(ConfigEvent::Disconnected {
+            user: user.to_string(),
+            uses_port: uses_port.to_string(),
+            provider: provider.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Atomically swaps the provider behind a uses port — the Configuration
+    /// API's "redirecting interactions between components". The new
+    /// connection takes the old one's position, preserving fan-out order.
+    pub fn redirect(
+        &self,
+        user: &str,
+        uses_port: &str,
+        old_provider: &str,
+        new_provider: &str,
+        new_provides_port: &str,
+    ) -> Result<(), CcaError> {
+        self.disconnect(user, uses_port, old_provider)?;
+        self.connect(user, uses_port, new_provider, new_provides_port)?;
+        self.emit(ConfigEvent::Redirected {
+            user: user.to_string(),
+            uses_port: uses_port.to_string(),
+            old_provider: old_provider.to_string(),
+            new_provider: new_provider.to_string(),
+        });
+        Ok(())
+    }
+
+    /// A snapshot of all live connections.
+    pub fn connections(&self) -> Vec<ConnectionInfo> {
+        self.connections.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_core::event::RecordingListener;
+    use cca_core::{CcaServices, Component};
+    use cca_data::TypeMap;
+    use cca_repository::Repository;
+    use cca_sidl::{DynValue, SidlError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // A provider component exposing a typed port plus a dynamic facade.
+    trait CounterPort: Send + Sync {
+        fn bump(&self) -> usize;
+    }
+
+    struct Counter {
+        count: AtomicUsize,
+        label: String,
+    }
+
+    impl CounterPort for Counter {
+        fn bump(&self) -> usize {
+            self.count.fetch_add(1, Ordering::SeqCst) + 1
+        }
+    }
+
+    impl DynObject for Counter {
+        fn sidl_type(&self) -> &str {
+            "demo.CounterPort"
+        }
+        fn invoke(&self, method: &str, _args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+            match method {
+                "bump" => Ok(DynValue::Long(self.bump() as i64)),
+                "label" => Ok(DynValue::Str(self.label.clone())),
+                other => Err(SidlError::invoke(format!("no method '{other}'"))),
+            }
+        }
+    }
+
+    struct Provider {
+        counter: Arc<Counter>,
+    }
+
+    impl Component for Provider {
+        fn component_type(&self) -> &str {
+            "demo.Provider"
+        }
+        fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+            let typed: Arc<dyn CounterPort> = self.counter.clone();
+            let dynamic: Arc<dyn DynObject> = self.counter.clone();
+            services.add_provides_port(
+                PortHandle::new("counter", "demo.CounterPort", typed).with_dynamic(dynamic),
+            )
+        }
+    }
+
+    struct User;
+    impl Component for User {
+        fn component_type(&self) -> &str {
+            "demo.User"
+        }
+        fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+            services.register_uses_port("input", "demo.CounterPort", TypeMap::new())
+        }
+    }
+
+    fn setup(policy: ConnectionPolicy) -> (Arc<Framework>, Arc<Counter>) {
+        let fw = Framework::with_policy(Repository::new(), policy);
+        let counter = Arc::new(Counter {
+            count: AtomicUsize::new(0),
+            label: "c0".into(),
+        });
+        fw.add_instance(
+            "provider0",
+            Arc::new(Provider {
+                counter: counter.clone(),
+            }),
+        )
+        .unwrap();
+        fw.add_instance("user0", Arc::new(User)).unwrap();
+        (fw, counter)
+    }
+
+    #[test]
+    fn direct_connection_hands_over_the_object() {
+        let (fw, counter) = setup(ConnectionPolicy::Direct);
+        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        let port: Arc<dyn CounterPort> = fw
+            .services("user0")
+            .unwrap()
+            .get_port_as("input")
+            .unwrap();
+        assert_eq!(port.bump(), 1);
+        assert_eq!(counter.count.load(Ordering::SeqCst), 1);
+        let info = &fw.connections()[0];
+        assert_eq!(info.policy, ConnectionPolicy::Direct);
+        assert_eq!(info.port_type, "demo.CounterPort");
+    }
+
+    #[test]
+    fn proxied_connection_is_transparent_to_dynamic_callers() {
+        let (fw, counter) = setup(ConnectionPolicy::Proxied);
+        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        let handle = fw.services("user0").unwrap().get_port("input").unwrap();
+        // The typed fast path is unavailable through a proxy...
+        assert!(handle.typed::<dyn CounterPort>().is_err());
+        // ...but the dynamic port behaves identically to the local one.
+        let port = handle.dynamic().unwrap();
+        let r = port.invoke("bump", vec![]).unwrap();
+        assert!(matches!(r, DynValue::Long(1)));
+        assert_eq!(counter.count.load(Ordering::SeqCst), 1);
+        // The ORB now holds the servant under provider0/counter.
+        assert_eq!(fw.orb().keys(), vec!["provider0/counter".to_string()]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let fw = Framework::new(Repository::new());
+        struct WrongUser;
+        impl Component for WrongUser {
+            fn component_type(&self) -> &str {
+                "demo.WrongUser"
+            }
+            fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+                services.register_uses_port("input", "demo.OtherPort", TypeMap::new())
+            }
+        }
+        let counter = Arc::new(Counter {
+            count: AtomicUsize::new(0),
+            label: "c".into(),
+        });
+        fw.add_instance("p", Arc::new(Provider { counter })).unwrap();
+        fw.add_instance("u", Arc::new(WrongUser)).unwrap();
+        assert!(matches!(
+            fw.connect("u", "input", "p", "counter"),
+            Err(CcaError::IncompatiblePorts { .. })
+        ));
+    }
+
+    #[test]
+    fn subtype_connection_allowed_via_repository() {
+        let repo = Repository::new();
+        repo.deposit_sidl(
+            "package demo {
+                interface BasePort { void bump(); }
+                class CounterPort implements-all BasePort { }
+            }",
+        )
+        .unwrap();
+        let fw = Framework::new(repo);
+        struct BaseUser;
+        impl Component for BaseUser {
+            fn component_type(&self) -> &str {
+                "demo.BaseUser"
+            }
+            fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+                services.register_uses_port("input", "demo.BasePort", TypeMap::new())
+            }
+        }
+        let counter = Arc::new(Counter {
+            count: AtomicUsize::new(0),
+            label: "c".into(),
+        });
+        fw.add_instance("p", Arc::new(Provider { counter })).unwrap();
+        fw.add_instance("u", Arc::new(BaseUser)).unwrap();
+        // demo.CounterPort is-a demo.BasePort per the deposited SIDL.
+        fw.connect("u", "input", "p", "counter").unwrap();
+    }
+
+    #[test]
+    fn disconnect_and_redirect() {
+        let (fw, _c0) = setup(ConnectionPolicy::Direct);
+        // Second provider with its own counter.
+        let c1 = Arc::new(Counter {
+            count: AtomicUsize::new(100),
+            label: "c1".into(),
+        });
+        fw.add_instance("provider1", Arc::new(Provider { counter: c1.clone() }))
+            .unwrap();
+        let rec = RecordingListener::new();
+        fw.add_listener(rec.clone());
+
+        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        fw.redirect("user0", "input", "provider0", "provider1", "counter")
+            .unwrap();
+        let port: Arc<dyn CounterPort> = fw
+            .services("user0")
+            .unwrap()
+            .get_port_as("input")
+            .unwrap();
+        assert_eq!(port.bump(), 101); // c1's counter
+        assert_eq!(fw.connections().len(), 1);
+        assert_eq!(fw.connections()[0].provider, "provider1");
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, ConfigEvent::Redirected { .. })));
+
+        fw.disconnect("user0", "input", "provider1").unwrap();
+        assert!(fw.connections().is_empty());
+        assert!(fw.services("user0").unwrap().get_port("input").is_err());
+        // Disconnecting again errors.
+        assert!(fw.disconnect("user0", "input", "provider1").is_err());
+    }
+
+    #[test]
+    fn fan_out_connections_disconnect_by_provider() {
+        let (fw, _c0) = setup(ConnectionPolicy::Direct);
+        let c1 = Arc::new(Counter {
+            count: AtomicUsize::new(0),
+            label: "c1".into(),
+        });
+        fw.add_instance("provider1", Arc::new(Provider { counter: c1 }))
+            .unwrap();
+        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        fw.connect("user0", "input", "provider1", "counter").unwrap();
+        assert_eq!(
+            fw.services("user0").unwrap().get_ports("input").unwrap().len(),
+            2
+        );
+        fw.disconnect("user0", "input", "provider0").unwrap();
+        let remaining = fw.connections();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].provider, "provider1");
+    }
+
+    #[test]
+    fn destroying_instance_breaks_its_connections() {
+        let (fw, _c) = setup(ConnectionPolicy::Direct);
+        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        fw.destroy_instance("provider0").unwrap();
+        assert!(fw.connections().is_empty());
+        assert!(fw.services("user0").unwrap().get_port("input").is_err());
+    }
+
+    #[test]
+    fn proxied_connection_requires_dynamic_facade() {
+        let fw = Framework::with_policy(Repository::new(), ConnectionPolicy::Proxied);
+        struct NoDynProvider;
+        impl Component for NoDynProvider {
+            fn component_type(&self) -> &str {
+                "demo.NoDyn"
+            }
+            fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+                let typed: Arc<dyn CounterPort> = Arc::new(Counter {
+                    count: AtomicUsize::new(0),
+                    label: String::new(),
+                });
+                services.add_provides_port(PortHandle::new("counter", "demo.CounterPort", typed))
+            }
+        }
+        fw.add_instance("p", Arc::new(NoDynProvider)).unwrap();
+        fw.add_instance("u", Arc::new(User)).unwrap();
+        let err = fw.connect("u", "input", "p", "counter").unwrap_err();
+        assert!(err.to_string().contains("dynamic facade"));
+    }
+}

@@ -1,0 +1,207 @@
+//! A topic-based event service.
+//!
+//! §6 of the paper discusses the JavaBeans model, where "components notify
+//! other listener components by generating events", and notes the proposed
+//! CORBA 3.0 component model adopted *both* events and provides/uses. The
+//! CCA eventually standardized an event service alongside ports; this
+//! module provides it: named topics carrying [`TypeMap`] payloads,
+//! delivered synchronously to subscribers in registration order.
+//!
+//! Events complement ports: ports are for *calls* (request/response,
+//! §6.1), events for *notifications* with zero or more interested parties
+//! — the same fan-out semantics as multi-listener uses ports, measured in
+//! experiment E8.
+
+use cca_data::TypeMap;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A subscriber callback.
+pub trait EventListener: Send + Sync {
+    /// Delivers one event.
+    fn on_event(&self, topic: &str, body: &TypeMap);
+}
+
+impl<F> EventListener for F
+where
+    F: Fn(&str, &TypeMap) + Send + Sync,
+{
+    fn on_event(&self, topic: &str, body: &TypeMap) {
+        self(topic, body)
+    }
+}
+
+/// A subscription handle (used to unsubscribe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+/// The event service: topics → subscriber lists.
+///
+/// Topic matching supports a trailing `*` wildcard segment
+/// (`"solver.*"` receives `"solver.converged"` and `"solver.failed"`).
+#[derive(Default)]
+pub struct EventService {
+    subscribers: RwLock<BTreeMap<String, Vec<(SubscriptionId, Arc<dyn EventListener>)>>>,
+    next_id: AtomicU64,
+}
+
+impl EventService {
+    /// Creates an empty service.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Subscribes a listener to a topic pattern. Returns the handle needed
+    /// to unsubscribe.
+    pub fn subscribe(
+        &self,
+        pattern: impl Into<String>,
+        listener: Arc<dyn EventListener>,
+    ) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.subscribers
+            .write()
+            .entry(pattern.into())
+            .or_default()
+            .push((id, listener));
+        id
+    }
+
+    /// Removes a subscription; returns true if it existed.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let mut subs = self.subscribers.write();
+        for list in subs.values_mut() {
+            if let Some(pos) = list.iter().position(|(sid, _)| *sid == id) {
+                list.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Publishes an event: synchronous delivery to every matching
+    /// subscriber, in (pattern, registration) order. Returns the number of
+    /// listeners reached — "zero or more invocations", as §6.1 has it.
+    pub fn publish(&self, topic: &str, body: &TypeMap) -> usize {
+        let subs = self.subscribers.read();
+        let mut delivered = 0;
+        for (pattern, list) in subs.iter() {
+            if Self::matches(pattern, topic) {
+                for (_, l) in list {
+                    l.on_event(topic, body);
+                    delivered += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscribers.read().values().map(Vec::len).sum()
+    }
+
+    fn matches(pattern: &str, topic: &str) -> bool {
+        if let Some(prefix) = pattern.strip_suffix('*') {
+            topic.starts_with(prefix)
+        } else {
+            pattern == topic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    fn recorder() -> (Arc<dyn EventListener>, Arc<Mutex<Vec<String>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let listener: Arc<dyn EventListener> = Arc::new(move |topic: &str, body: &TypeMap| {
+            log2.lock()
+                .push(format!("{topic}:{}", body.get_long("step", -1)));
+        });
+        (listener, log)
+    }
+
+    #[test]
+    fn publish_reaches_exact_subscribers() {
+        let svc = EventService::new();
+        let (l, log) = recorder();
+        svc.subscribe("solver.converged", l);
+        let mut body = TypeMap::new();
+        body.put_long("step", 7);
+        assert_eq!(svc.publish("solver.converged", &body), 1);
+        assert_eq!(svc.publish("solver.failed", &body), 0);
+        assert_eq!(log.lock().as_slice(), ["solver.converged:7"]);
+    }
+
+    #[test]
+    fn wildcard_patterns() {
+        let svc = EventService::new();
+        let (l, log) = recorder();
+        svc.subscribe("solver.*", l);
+        let body = TypeMap::new();
+        assert_eq!(svc.publish("solver.converged", &body), 1);
+        assert_eq!(svc.publish("solver.failed", &body), 1);
+        assert_eq!(svc.publish("mesh.refined", &body), 0);
+        assert_eq!(log.lock().len(), 2);
+    }
+
+    #[test]
+    fn zero_listeners_is_fine() {
+        let svc = EventService::new();
+        assert_eq!(svc.publish("anything", &TypeMap::new()), 0);
+    }
+
+    #[test]
+    fn multiple_listeners_fan_out_in_order() {
+        let svc = EventService::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let log2 = Arc::clone(&log);
+            svc.subscribe(
+                "tick",
+                Arc::new(move |_: &str, _: &TypeMap| log2.lock().push(i)),
+            );
+        }
+        assert_eq!(svc.publish("tick", &TypeMap::new()), 3);
+        assert_eq!(log.lock().as_slice(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let svc = EventService::new();
+        let (l, log) = recorder();
+        let id = svc.subscribe("t", l);
+        assert_eq!(svc.subscription_count(), 1);
+        assert!(svc.unsubscribe(id));
+        assert!(!svc.unsubscribe(id));
+        assert_eq!(svc.subscription_count(), 0);
+        svc.publish("t", &TypeMap::new());
+        assert!(log.lock().is_empty());
+    }
+
+    #[test]
+    fn payload_is_shared_not_copied_per_listener() {
+        // All listeners observe the same TypeMap contents.
+        let svc = EventService::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..2 {
+            let seen2 = Arc::clone(&seen);
+            svc.subscribe(
+                "data",
+                Arc::new(move |_: &str, b: &TypeMap| {
+                    seen2.lock().push(b.get_double("value", 0.0))
+                }),
+            );
+        }
+        let mut body = TypeMap::new();
+        body.put_double("value", 2.5);
+        svc.publish("data", &body);
+        assert_eq!(seen.lock().as_slice(), [2.5, 2.5]);
+    }
+}

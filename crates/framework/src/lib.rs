@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # cca-framework — a CCA-compliant reference framework
+//!
+//! The paper (§4): "A component framework is said to be CCA compliant if it
+//! conforms to these standards — that is, provides the required CCA
+//! services and implements the required CCA interfaces." This crate is the
+//! reference implementation the paper says is "tracking the evolution of
+//! the Common Component Architecture" — a Ccaffeine-style in-process
+//! framework:
+//!
+//! * [`framework`] — the [`Framework`] itself: component instantiation
+//!   from the repository, per-instance [`cca_core::CcaServices`], the
+//!   Configuration/Builder API (add/remove/redirect/failure events), and
+//!   `go`-port driving.
+//! * [`connect`] — the connection machinery. The framework owns the
+//!   direct-vs-proxy decision ("port connection is the responsibility of
+//!   the framework; therefore, a particular component may find itself
+//!   connected in a variety of different ways depending on its environment
+//!   and mode of use", §6.1): [`ConnectionPolicy::Direct`] hands the
+//!   provider's own object across; [`ConnectionPolicy::Proxied`] routes
+//!   the same port through the `cca-rpc` ORB without either component
+//!   knowing.
+//! * [`collective`] — collective ports (§6.3): M×N data redistribution
+//!   between differently-distributed parallel components, executed over
+//!   `cca-parallel` communicators or in-memory for same-address-space
+//!   connections.
+
+pub mod collective;
+pub mod connect;
+pub mod event;
+pub mod framework;
+pub mod script;
+
+pub use collective::MxNPort;
+pub use event::{EventListener, EventService, SubscriptionId};
+pub use connect::{ConnectionInfo, ConnectionPolicy};
+pub use framework::Framework;
+pub use script::{parse_script, Command};

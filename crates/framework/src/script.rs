@@ -1,0 +1,383 @@
+//! A Ccaffeine-style builder script language.
+//!
+//! The paper's Figure 2 shows "builders" driving the Configuration API.
+//! The historical CCA reference framework (Ccaffeine) was driven by `rc`
+//! scripts of exactly this shape; we reproduce the useful core so
+//! scenarios are reproducible artifacts rather than code:
+//!
+//! ```text
+//! # Figure 1, lower half
+//! instantiate esi.MatrixComponent matrix0
+//! instantiate esi.SolverComponent solver0
+//! connect solver0 A matrix0 A
+//! connect solver0 M precond0 M proxied
+//! redirect solver0 M precond0 precond1 M
+//! disconnect solver0 M precond1
+//! remove solver0
+//! go driver0 go
+//! ```
+//!
+//! Each command maps 1:1 onto a [`Framework`] builder call; `instantiate`
+//! resolves classes through the framework's repository.
+
+use crate::connect::ConnectionPolicy;
+use crate::framework::Framework;
+use cca_core::CcaError;
+
+/// One parsed builder command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `instantiate <class> <instance>`
+    Instantiate {
+        /// Repository class name.
+        class: String,
+        /// New instance name.
+        instance: String,
+    },
+    /// `connect <user> <usesPort> <provider> <providesPort> [direct|proxied]`
+    Connect {
+        /// Using instance.
+        user: String,
+        /// Uses-port name.
+        uses_port: String,
+        /// Providing instance.
+        provider: String,
+        /// Provides-port name.
+        provides_port: String,
+        /// Optional per-connection policy override.
+        policy: Option<ConnectionPolicy>,
+    },
+    /// `disconnect <user> <usesPort> <provider>`
+    Disconnect {
+        /// Using instance.
+        user: String,
+        /// Uses-port name.
+        uses_port: String,
+        /// Providing instance.
+        provider: String,
+    },
+    /// `redirect <user> <usesPort> <oldProvider> <newProvider> <providesPort>`
+    Redirect {
+        /// Using instance.
+        user: String,
+        /// Uses-port name.
+        uses_port: String,
+        /// Current providing instance.
+        old_provider: String,
+        /// Replacement providing instance.
+        new_provider: String,
+        /// Provides-port name on the replacement.
+        provides_port: String,
+    },
+    /// `remove <instance>`
+    Remove {
+        /// Instance to destroy.
+        instance: String,
+    },
+    /// `go <instance> <port>`
+    Go {
+        /// Instance owning the go port.
+        instance: String,
+        /// Go-port name.
+        port: String,
+    },
+}
+
+/// Parses a builder script. Blank lines and `#` comments are skipped.
+/// Errors carry 1-based line numbers.
+pub fn parse_script(source: &str) -> Result<Vec<Command>, CcaError> {
+    let mut commands = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: &str| {
+            Err(CcaError::Framework(format!(
+                "script line {}: {msg}: '{line}'",
+                lineno + 1
+            )))
+        };
+        let cmd = match (words[0], words.len()) {
+            ("instantiate", 3) => Command::Instantiate {
+                class: words[1].into(),
+                instance: words[2].into(),
+            },
+            ("instantiate", _) => return err("expected 'instantiate <class> <instance>'"),
+            ("connect", 5 | 6) => {
+                let policy = match words.get(5) {
+                    None => None,
+                    Some(&"direct") => Some(ConnectionPolicy::Direct),
+                    Some(&"proxied") => Some(ConnectionPolicy::Proxied),
+                    Some(other) => {
+                        return err(&format!("unknown connection policy '{other}'"))
+                    }
+                };
+                Command::Connect {
+                    user: words[1].into(),
+                    uses_port: words[2].into(),
+                    provider: words[3].into(),
+                    provides_port: words[4].into(),
+                    policy,
+                }
+            }
+            ("connect", _) => {
+                return err("expected 'connect <user> <usesPort> <provider> <providesPort> [policy]'")
+            }
+            ("disconnect", 4) => Command::Disconnect {
+                user: words[1].into(),
+                uses_port: words[2].into(),
+                provider: words[3].into(),
+            },
+            ("disconnect", _) => return err("expected 'disconnect <user> <usesPort> <provider>'"),
+            ("redirect", 6) => Command::Redirect {
+                user: words[1].into(),
+                uses_port: words[2].into(),
+                old_provider: words[3].into(),
+                new_provider: words[4].into(),
+                provides_port: words[5].into(),
+            },
+            ("redirect", _) => {
+                return err("expected 'redirect <user> <usesPort> <old> <new> <providesPort>'")
+            }
+            ("remove", 2) => Command::Remove {
+                instance: words[1].into(),
+            },
+            ("remove", _) => return err("expected 'remove <instance>'"),
+            ("go", 3) => Command::Go {
+                instance: words[1].into(),
+                port: words[2].into(),
+            },
+            ("go", _) => return err("expected 'go <instance> <port>'"),
+            (other, _) => return err(&format!("unknown command '{other}'")),
+        };
+        commands.push(cmd);
+    }
+    Ok(commands)
+}
+
+impl Framework {
+    /// Executes one builder command.
+    pub fn execute(&self, command: &Command) -> Result<(), CcaError> {
+        match command {
+            Command::Instantiate { class, instance } => self.create_instance(instance, class),
+            Command::Connect {
+                user,
+                uses_port,
+                provider,
+                provides_port,
+                policy,
+            } => match policy {
+                Some(p) => self.connect_with(user, uses_port, provider, provides_port, *p),
+                None => self.connect(user, uses_port, provider, provides_port),
+            },
+            Command::Disconnect {
+                user,
+                uses_port,
+                provider,
+            } => self.disconnect(user, uses_port, provider),
+            Command::Redirect {
+                user,
+                uses_port,
+                old_provider,
+                new_provider,
+                provides_port,
+            } => self.redirect(user, uses_port, old_provider, new_provider, provides_port),
+            Command::Remove { instance } => self.destroy_instance(instance),
+            Command::Go { instance, port } => self.run_go(instance, port),
+        }
+    }
+
+    /// Parses and executes a whole script, stopping at the first failing
+    /// command (whose index is reported).
+    pub fn run_script(&self, source: &str) -> Result<usize, CcaError> {
+        let commands = parse_script(source)?;
+        for (i, cmd) in commands.iter().enumerate() {
+            self.execute(cmd).map_err(|e| {
+                CcaError::Framework(format!("script command {} ({cmd:?}) failed: {e}", i + 1))
+            })?;
+        }
+        Ok(parse_script(source)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_core::{CcaServices, Component, GoPort, PortHandle};
+    use cca_data::TypeMap;
+    use cca_repository::{ComponentEntry, PortSpec, Repository};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn parses_full_command_set() {
+        let script = "
+            # a comment
+            instantiate esi.Matrix matrix0   # trailing comment
+
+            connect solver0 A matrix0 A
+            connect solver0 M precond0 M proxied
+            disconnect solver0 M precond0
+            redirect solver0 M precond0 precond1 M
+            remove matrix0
+            go driver0 go
+        ";
+        let cmds = parse_script(script).unwrap();
+        assert_eq!(cmds.len(), 7);
+        assert_eq!(
+            cmds[0],
+            Command::Instantiate {
+                class: "esi.Matrix".into(),
+                instance: "matrix0".into()
+            }
+        );
+        assert_eq!(
+            cmds[2],
+            Command::Connect {
+                user: "solver0".into(),
+                uses_port: "M".into(),
+                provider: "precond0".into(),
+                provides_port: "M".into(),
+                policy: Some(ConnectionPolicy::Proxied),
+            }
+        );
+        assert!(matches!(cmds[6], Command::Go { .. }));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_script("instantiate onlyone").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = parse_script("\n\nconnect a b c d warp").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(parse_script("launch x").is_err());
+    }
+
+    // Minimal component pair for execution tests.
+    trait NumPort: Send + Sync {
+        fn value(&self) -> i64;
+    }
+    struct Provider(i64);
+    impl Component for Provider {
+        fn component_type(&self) -> &str {
+            "demo.Provider"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            let p: Arc<dyn NumPort> = Arc::new(Num(self.0));
+            s.add_provides_port(PortHandle::new("out", "demo.Num", p))
+        }
+    }
+    struct Num(i64);
+    impl NumPort for Num {
+        fn value(&self) -> i64 {
+            self.0
+        }
+    }
+    struct User;
+    impl Component for User {
+        fn component_type(&self) -> &str {
+            "demo.User"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            s.register_uses_port("in", "demo.Num", TypeMap::new())
+        }
+    }
+    struct Driver {
+        runs: AtomicUsize,
+    }
+    impl Component for Driver {
+        fn component_type(&self) -> &str {
+            "demo.Driver"
+        }
+        fn set_services(&self, _s: Arc<CcaServices>) -> Result<(), CcaError> {
+            Ok(())
+        }
+    }
+    impl GoPort for Driver {
+        fn go(&self) -> Result<(), CcaError> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    fn scripted_repo() -> Arc<Repository> {
+        let repo = Repository::new();
+        for (class, v) in [("demo.ProviderA", 1i64), ("demo.ProviderB", 2)] {
+            repo.register_component(ComponentEntry {
+                class: class.into(),
+                description: String::new(),
+                provides: vec![PortSpec::new("out", "demo.Num")],
+                uses: vec![],
+                properties: TypeMap::new(),
+                factory: Arc::new(move || Arc::new(Provider(v)) as Arc<dyn Component>),
+            })
+            .unwrap();
+        }
+        repo.register_component(ComponentEntry {
+            class: "demo.User".into(),
+            description: String::new(),
+            provides: vec![],
+            uses: vec![PortSpec::new("in", "demo.Num")],
+            properties: TypeMap::new(),
+            factory: Arc::new(|| Arc::new(User) as Arc<dyn Component>),
+        })
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn script_drives_a_full_scenario() {
+        let fw = Framework::new(scripted_repo());
+        fw.run_script(
+            "
+            instantiate demo.ProviderA a0
+            instantiate demo.ProviderB b0
+            instantiate demo.User u0
+            connect u0 in a0 out
+            redirect u0 in a0 b0 out
+            ",
+        )
+        .unwrap();
+        let port: Arc<dyn NumPort> = fw.services("u0").unwrap().get_port_as("in").unwrap();
+        assert_eq!(port.value(), 2); // redirected to ProviderB
+        fw.run_script("disconnect u0 in b0\nremove b0\nremove a0")
+            .unwrap();
+        assert_eq!(fw.instance_names(), vec!["u0"]);
+    }
+
+    #[test]
+    fn failing_command_reports_its_position() {
+        let fw = Framework::new(scripted_repo());
+        let err = fw
+            .run_script(
+                "instantiate demo.ProviderA a0\nconnect ghost in a0 out",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("command 2"), "{err}");
+        // Partial effects before the failure remain (scripts are not
+        // transactional, matching Ccaffeine).
+        assert_eq!(fw.instance_names(), vec!["a0"]);
+    }
+
+    #[test]
+    fn go_command_runs_the_driver() {
+        let fw = Framework::new(scripted_repo());
+        let driver = Arc::new(Driver {
+            runs: AtomicUsize::new(0),
+        });
+        fw.add_instance("driver0", driver.clone()).unwrap();
+        let go: Arc<dyn GoPort> = driver.clone();
+        fw.services("driver0")
+            .unwrap()
+            .add_provides_port(PortHandle::new(
+                "go",
+                cca_core::component::GO_PORT_TYPE,
+                go,
+            ))
+            .unwrap();
+        fw.run_script("go driver0 go\ngo driver0 go").unwrap();
+        assert_eq!(driver.runs.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the SPMD substrate.
+
+use std::fmt;
+
+/// Errors produced by the communicator layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// A rank argument was outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank argument.
+        rank: usize,
+        /// The communicator's size.
+        size: usize,
+    },
+    /// A received payload had a different type than the receiver requested.
+    TypeMismatch {
+        /// The Rust type the receiver requested.
+        expected: &'static str,
+    },
+    /// The peer's channel is closed (its thread exited).
+    Disconnected {
+        /// The peer whose channel closed.
+        peer: usize,
+    },
+    /// A collective was called with inconsistent arguments across ranks
+    /// (detected where cheaply possible, e.g. scatter length != size).
+    CollectiveMismatch(String),
+    /// An invalid group size or topology request.
+    InvalidTopology(String),
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            ParallelError::TypeMismatch { expected } => {
+                write!(f, "received message payload is not of type {expected}")
+            }
+            ParallelError::Disconnected { peer } => {
+                write!(f, "peer rank {peer} disconnected")
+            }
+            ParallelError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+            ParallelError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParallelError::RankOutOfRange { rank: 5, size: 4 };
+        assert!(e.to_string().contains("rank 5"));
+        let e = ParallelError::TypeMismatch { expected: "f64" };
+        assert!(e.to_string().contains("f64"));
+    }
+}

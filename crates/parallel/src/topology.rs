@@ -1,0 +1,262 @@
+//! Cartesian process topologies for mesh-structured components.
+//!
+//! The paper's Figure 1 mesh component distributes itself over four
+//! processes; structured-mesh codes like CHAD decompose their domain over a
+//! cartesian process grid and exchange halos with axis neighbours. This
+//! module reproduces MPI's `MPI_Cart_create` / `MPI_Dims_create` /
+//! `MPI_Cart_shift` triple on top of [`Comm`].
+
+use crate::comm::{Comm, Tag};
+use crate::error::ParallelError;
+
+/// A communicator with cartesian structure layered on top.
+pub struct CartComm<'a> {
+    comm: &'a Comm,
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl<'a> CartComm<'a> {
+    /// Wraps `comm` in a cartesian topology with the given per-dimension
+    /// extents (product must equal `comm.size()`) and periodicity flags.
+    pub fn new(comm: &'a Comm, dims: &[usize], periodic: &[bool]) -> Result<Self, ParallelError> {
+        if dims.is_empty() || dims.iter().product::<usize>() != comm.size() {
+            return Err(ParallelError::InvalidTopology(format!(
+                "dims {dims:?} do not tile {} ranks",
+                comm.size()
+            )));
+        }
+        if periodic.len() != dims.len() {
+            return Err(ParallelError::InvalidTopology(
+                "periodic flags must match dims".into(),
+            ));
+        }
+        Ok(CartComm {
+            comm,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        })
+    }
+
+    /// Factors `size` into `ndims` extents as squarely as possible
+    /// (`MPI_Dims_create`). Extents are non-increasing.
+    pub fn dims_create(size: usize, ndims: usize) -> Vec<usize> {
+        assert!(ndims > 0 && size > 0);
+        let mut dims = vec![1usize; ndims];
+        let mut remaining = size;
+        // Repeatedly peel the smallest prime factor onto the smallest dim.
+        let mut factors = Vec::new();
+        let mut f = 2usize;
+        while f * f <= remaining {
+            while remaining % f == 0 {
+                factors.push(f);
+                remaining /= f;
+            }
+            f += 1;
+        }
+        if remaining > 1 {
+            factors.push(remaining);
+        }
+        // Assign largest factors first to the currently smallest dimension.
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let i = (0..ndims).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] *= f;
+        }
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        dims
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Comm {
+        self.comm
+    }
+
+    /// Per-dimension grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// My cartesian coordinates (first dimension varies fastest, matching
+    /// `cca_data::ProcessGrid`).
+    pub fn coords(&self) -> Vec<usize> {
+        self.coords_of(self.comm.rank())
+    }
+
+    /// Coordinates of an arbitrary rank.
+    pub fn coords_of(&self, mut rank: usize) -> Vec<usize> {
+        let mut coords = Vec::with_capacity(self.dims.len());
+        for &e in &self.dims {
+            coords.push(rank % e);
+            rank /= e;
+        }
+        coords
+    }
+
+    /// Rank holding the given coordinates.
+    pub fn rank_of(&self, coords: &[usize]) -> Result<usize, ParallelError> {
+        if coords.len() != self.dims.len() {
+            return Err(ParallelError::InvalidTopology(format!(
+                "coords {coords:?} have wrong rank"
+            )));
+        }
+        let mut rank = 0usize;
+        let mut stride = 1usize;
+        for (d, &c) in coords.iter().enumerate() {
+            if c >= self.dims[d] {
+                return Err(ParallelError::InvalidTopology(format!(
+                    "coordinate {c} out of range in dimension {d}"
+                )));
+            }
+            rank += c * stride;
+            stride *= self.dims[d];
+        }
+        Ok(rank)
+    }
+
+    /// The (source, destination) neighbour ranks for a shift of `disp`
+    /// along dimension `dim` (`MPI_Cart_shift`). `None` means "off the edge"
+    /// of a non-periodic dimension.
+    pub fn shift(&self, dim: usize, disp: isize) -> (Option<usize>, Option<usize>) {
+        let coords = self.coords();
+        let neighbour = |delta: isize| -> Option<usize> {
+            let e = self.dims[dim] as isize;
+            let mut c = coords[dim] as isize + delta;
+            if self.periodic[dim] {
+                c = c.rem_euclid(e);
+            } else if c < 0 || c >= e {
+                return None;
+            }
+            let mut nc = coords.clone();
+            nc[dim] = c as usize;
+            Some(self.rank_of(&nc).expect("in-range coordinates"))
+        };
+        (neighbour(-disp), neighbour(disp))
+    }
+
+    /// Exchanges halo values with both neighbours along `dim`: sends
+    /// `to_minus` toward the lower neighbour and `to_plus` toward the upper
+    /// neighbour, returning `(from_minus, from_plus)`. Edge ranks of
+    /// non-periodic dimensions get `None` on the missing side.
+    pub fn halo_exchange<T: Send + 'static>(
+        &self,
+        dim: usize,
+        tag: Tag,
+        to_minus: T,
+        to_plus: T,
+    ) -> Result<(Option<T>, Option<T>), ParallelError> {
+        let (minus, plus) = self.shift(dim, 1);
+        // Post sends first (channels are unbounded, so this cannot deadlock).
+        if let Some(m) = minus {
+            self.comm.send(m, tag, to_minus)?;
+        }
+        if let Some(p) = plus {
+            self.comm.send(p, tag, to_plus)?;
+        }
+        let from_minus = match minus {
+            Some(m) => Some(self.comm.recv(m, tag)?),
+            None => None,
+        };
+        let from_plus = match plus {
+            Some(p) => Some(self.comm.recv(p, tag)?),
+            None => None,
+        };
+        Ok((from_minus, from_plus))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::spmd;
+
+    #[test]
+    fn dims_create_is_square_ish() {
+        assert_eq!(CartComm::dims_create(4, 2), vec![2, 2]);
+        assert_eq!(CartComm::dims_create(6, 2), vec![3, 2]);
+        assert_eq!(CartComm::dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(CartComm::dims_create(12, 2), vec![4, 3]);
+        assert_eq!(CartComm::dims_create(7, 2), vec![7, 1]);
+        assert_eq!(CartComm::dims_create(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        spmd(6, |c| {
+            let cart = CartComm::new(c, &[3, 2], &[false, false]).unwrap();
+            let coords = cart.coords();
+            assert_eq!(cart.rank_of(&coords).unwrap(), c.rank());
+        });
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        spmd(4, |c| {
+            assert!(CartComm::new(c, &[3], &[false]).is_err());
+            assert!(CartComm::new(c, &[2, 2], &[false]).is_err());
+            assert!(CartComm::new(c, &[], &[]).is_err());
+        });
+    }
+
+    #[test]
+    fn shift_non_periodic_has_edges() {
+        spmd(4, |c| {
+            let cart = CartComm::new(c, &[4], &[false]).unwrap();
+            let (minus, plus) = cart.shift(0, 1);
+            match c.rank() {
+                0 => {
+                    assert_eq!(minus, None);
+                    assert_eq!(plus, Some(1));
+                }
+                3 => {
+                    assert_eq!(minus, Some(2));
+                    assert_eq!(plus, None);
+                }
+                r => {
+                    assert_eq!(minus, Some(r - 1));
+                    assert_eq!(plus, Some(r + 1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        spmd(4, |c| {
+            let cart = CartComm::new(c, &[4], &[true]).unwrap();
+            let (minus, plus) = cart.shift(0, 1);
+            assert_eq!(minus, Some((c.rank() + 3) % 4));
+            assert_eq!(plus, Some((c.rank() + 1) % 4));
+        });
+    }
+
+    #[test]
+    fn halo_exchange_1d() {
+        let results = spmd(4, |c| {
+            let cart = CartComm::new(c, &[4], &[false]).unwrap();
+            let r = c.rank() as i64;
+            // Send my rank to both neighbours.
+            let (from_minus, from_plus) = cart.halo_exchange(0, 3, r, r).unwrap();
+            (from_minus, from_plus)
+        });
+        assert_eq!(results[0], (None, Some(1)));
+        assert_eq!(results[1], (Some(0), Some(2)));
+        assert_eq!(results[2], (Some(1), Some(3)));
+        assert_eq!(results[3], (Some(2), None));
+    }
+
+    #[test]
+    fn halo_exchange_2d_grid() {
+        spmd(6, |c| {
+            let cart = CartComm::new(c, &[3, 2], &[false, true]).unwrap();
+            let coords = cart.coords();
+            // Dimension 1 is periodic with extent 2: neighbour is the other row.
+            let (fm, fp) = cart
+                .halo_exchange(1, 9, coords.clone(), coords.clone())
+                .unwrap();
+            let other = vec![coords[0], 1 - coords[1]];
+            assert_eq!(fm, Some(other.clone()));
+            assert_eq!(fp, Some(other));
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! The SIDL type catalog: deposit, merge, retrieve.
+
+use cca_sidl::ast::QName;
+use cca_sidl::fmt::print_packages;
+use cca_sidl::{CheckedModel, Reflection, SidlError};
+use std::collections::BTreeMap;
+
+/// A merged catalog of every SIDL package deposited so far.
+///
+/// Each deposit is parsed and semantically checked *against itself*; the
+/// catalog then merges its reflection data and keeps the canonical
+/// pretty-printed source so tools can retrieve interface definitions
+/// ("component descriptions using SIDL can be used by repositories and by
+/// a proxy generator", §4).
+#[derive(Default)]
+pub struct Catalog {
+    models: Vec<CheckedModel>,
+    reflection: Reflection,
+    /// Canonical source per package name.
+    sources: BTreeMap<String, String>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits SIDL source: parses, checks, merges. Returns the fully
+    /// qualified names of the newly registered types. Duplicate package
+    /// deposits are rejected.
+    pub fn deposit(&mut self, source: &str) -> Result<Vec<String>, SidlError> {
+        let packages = cca_sidl::parse(source)?;
+        for p in &packages {
+            let name = p.name.to_string();
+            if self.sources.contains_key(&name) {
+                return Err(SidlError::sema(
+                    p.span,
+                    format!("package '{name}' is already deposited"),
+                ));
+            }
+        }
+        let model = cca_sidl::check(&packages)?;
+        let reflection = Reflection::from_model(&model);
+        let mut new_types: Vec<String> = reflection.types().map(|t| t.qname.clone()).collect();
+        new_types.sort();
+        self.reflection.merge(&reflection);
+        for p in &packages {
+            self.sources
+                .insert(p.name.to_string(), print_packages(std::slice::from_ref(p)));
+        }
+        self.models.push(model);
+        Ok(new_types)
+    }
+
+    /// Merged reflection over everything deposited.
+    pub fn reflection(&self) -> &Reflection {
+        &self.reflection
+    }
+
+    /// The canonical SIDL source of a package, if deposited.
+    pub fn source_of(&self, package: &str) -> Option<&str> {
+        self.sources.get(package).map(String::as_str)
+    }
+
+    /// Deposited package names, sorted.
+    pub fn packages(&self) -> Vec<&str> {
+        self.sources.keys().map(String::as_str).collect()
+    }
+
+    /// Subtype query across all deposits (reflexive).
+    pub fn is_subtype_of(&self, sub: &str, sup: &str) -> bool {
+        self.reflection.is_subtype_of(sub, sup)
+    }
+
+    /// All classes implementing `interface`, across all deposits.
+    pub fn implementors(&self, interface: &str) -> Vec<String> {
+        let q = QName::parse(interface);
+        let mut out: Vec<String> = self
+            .models
+            .iter()
+            .flat_map(|m| m.implementors(&q))
+            .map(QName::to_string)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ESI: &str = "
+        package esi {
+            interface Solver { void solve(); }
+            class Cg implements-all Solver { }
+        }
+    ";
+    const APP: &str = "
+        package app {
+            interface Driver extends esi.Solver { void go(); }
+        }
+    ";
+
+    #[test]
+    fn deposit_and_query() {
+        let mut cat = Catalog::new();
+        let types = cat.deposit(ESI).unwrap();
+        assert_eq!(types, vec!["esi.Cg".to_string(), "esi.Solver".to_string()]);
+        assert!(cat.reflection().type_info("esi.Cg").is_some());
+        assert_eq!(cat.packages(), vec!["esi"]);
+        assert!(cat.is_subtype_of("esi.Cg", "esi.Solver"));
+        assert_eq!(cat.implementors("esi.Solver"), vec!["esi.Cg".to_string()]);
+    }
+
+    #[test]
+    fn cross_package_deposit_requires_self_containment() {
+        let mut cat = Catalog::new();
+        // app alone references esi.Solver, which is unknown within the
+        // deposit — rejected (deposits are checked units, as a repository
+        // must not accept dangling references).
+        assert!(cat.deposit(APP).is_err());
+        // Depositing both packages together works.
+        let combined = format!("{ESI}\n{APP}");
+        let types = cat.deposit(&combined).unwrap();
+        assert!(types.contains(&"app.Driver".to_string()));
+        assert!(cat.is_subtype_of("app.Driver", "esi.Solver"));
+    }
+
+    #[test]
+    fn duplicate_package_rejected() {
+        let mut cat = Catalog::new();
+        cat.deposit(ESI).unwrap();
+        let err = cat.deposit(ESI).unwrap_err();
+        assert!(err.to_string().contains("already deposited"));
+    }
+
+    #[test]
+    fn canonical_source_retrievable_and_reparsable() {
+        let mut cat = Catalog::new();
+        cat.deposit(ESI).unwrap();
+        let src = cat.source_of("esi").unwrap();
+        assert!(src.contains("interface Solver"));
+        // The stored canonical form is valid SIDL.
+        assert!(cca_sidl::compile(src).is_ok());
+        assert!(cat.source_of("nope").is_none());
+    }
+
+    #[test]
+    fn bad_sidl_rejected_and_catalog_unchanged() {
+        let mut cat = Catalog::new();
+        assert!(cat.deposit("package broken { interface X").is_err());
+        assert!(cat.packages().is_empty());
+        assert!(cat.reflection().is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # cca-repository — the CCA Repository API
+//!
+//! Figure 2 of the paper: component definitions written in SIDL "can be
+//! deposited in and retrieved from a repository by using a CCA Repository
+//! API. The repository API defines the functionality necessary to search a
+//! framework repository for components as well as to manipulate components
+//! within the repository."
+//!
+//! * [`catalog`] — the SIDL side: deposit sources, get back a merged,
+//!   queryable type catalog (checked models + reflection + canonical
+//!   sources for retrieval).
+//! * [`store`] — the component side: register component entries (class
+//!   name, port specs, a factory able to instantiate the component) and
+//!   create instances by class name.
+//! * [`query`] — the search API: find components by provided/used port
+//!   type (honouring SIDL subtyping), package, or free-text name.
+
+pub mod catalog;
+pub mod query;
+pub mod store;
+
+pub use catalog::Catalog;
+pub use query::Query;
+pub use store::{ComponentEntry, ComponentFactory, PortSpec, Repository};

@@ -1,0 +1,227 @@
+//! Searching the repository — "the functionality necessary to search a
+//! framework repository for components" (§4).
+
+use crate::store::{ComponentEntry, Repository};
+
+/// A conjunctive component query. Empty fields match everything.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Match components providing a port whose type *is-a* this interface.
+    pub provides: Option<String>,
+    /// Match components using a port of exactly this interface or a
+    /// supertype of it (i.e. components that could consume a provider of
+    /// the given type).
+    pub uses: Option<String>,
+    /// Match components whose class name starts with this package prefix.
+    pub package: Option<String>,
+    /// Match components whose class name or description contains this text
+    /// (case-insensitive).
+    pub text: Option<String>,
+}
+
+impl Query {
+    /// Matches everything.
+    pub fn any() -> Self {
+        Query::default()
+    }
+
+    /// Restricts to components providing (a subtype of) `port_type`.
+    pub fn providing(mut self, port_type: impl Into<String>) -> Self {
+        self.provides = Some(port_type.into());
+        self
+    }
+
+    /// Restricts to components using `port_type` (or a supertype).
+    pub fn using(mut self, port_type: impl Into<String>) -> Self {
+        self.uses = Some(port_type.into());
+        self
+    }
+
+    /// Restricts to a package prefix.
+    pub fn in_package(mut self, package: impl Into<String>) -> Self {
+        self.package = Some(package.into());
+        self
+    }
+
+    /// Restricts by free text.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = Some(text.into());
+        self
+    }
+}
+
+impl Repository {
+    /// Runs a query, returning matching entries sorted by class name.
+    pub fn search(&self, query: &Query) -> Vec<ComponentEntry> {
+        self.entries()
+            .into_iter()
+            .filter(|e| self.matches(e, query))
+            .collect()
+    }
+
+    fn matches(&self, entry: &ComponentEntry, query: &Query) -> bool {
+        if let Some(want) = &query.provides {
+            // The provided port type must be the wanted interface or a
+            // subtype of it.
+            let ok = entry
+                .provides
+                .iter()
+                .any(|p| self.is_subtype_of(&p.port_type, want));
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(offered) = &query.uses {
+            // A component can consume `offered` through a uses port whose
+            // declared type is `offered` itself or a supertype of it.
+            let ok = entry
+                .uses
+                .iter()
+                .any(|u| self.is_subtype_of(offered, &u.port_type));
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(pkg) = &query.package {
+            if !entry.class.starts_with(pkg.as_str()) {
+                return false;
+            }
+        }
+        if let Some(text) = &query.text {
+            let t = text.to_lowercase();
+            if !entry.class.to_lowercase().contains(&t)
+                && !entry.description.to_lowercase().contains(&t)
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PortSpec;
+    use cca_core::{CcaError, CcaServices, Component};
+    use cca_data::TypeMap;
+    use std::sync::Arc;
+
+    struct Nop;
+    impl Component for Nop {
+        fn component_type(&self) -> &str {
+            "x"
+        }
+        fn set_services(&self, _s: Arc<CcaServices>) -> Result<(), CcaError> {
+            Ok(())
+        }
+    }
+
+    fn entry(class: &str, desc: &str, provides: &[(&str, &str)], uses: &[(&str, &str)]) -> ComponentEntry {
+        ComponentEntry {
+            class: class.into(),
+            description: desc.into(),
+            provides: provides
+                .iter()
+                .map(|(n, t)| PortSpec::new(*n, *t))
+                .collect(),
+            uses: uses.iter().map(|(n, t)| PortSpec::new(*n, *t)).collect(),
+            properties: TypeMap::new(),
+            factory: Arc::new(|| Arc::new(Nop) as Arc<dyn Component>),
+        }
+    }
+
+    fn demo_repo() -> Arc<Repository> {
+        let repo = Repository::new();
+        repo.deposit_sidl(
+            "package esi {
+                interface Operator { void apply(); }
+                interface Solver extends Operator { void solve(); }
+                interface Precond extends Operator { void setup(); }
+                class Cg implements-all Solver { }
+                class Ilu implements-all Precond { }
+            }",
+        )
+        .unwrap();
+        repo.register_component(entry(
+            "esi.Cg",
+            "conjugate gradient Krylov solver",
+            &[("solver", "esi.Solver")],
+            &[("precond", "esi.Operator")],
+        ))
+        .unwrap();
+        repo.register_component(entry(
+            "esi.Ilu",
+            "incomplete factorization preconditioner",
+            &[("precond", "esi.Precond")],
+            &[],
+        ))
+        .unwrap();
+        repo.register_component(entry(
+            "viz.Plot",
+            "line plots",
+            &[("render", "viz.Render")],
+            &[("field", "viz.Field")],
+        ))
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn query_any_returns_all() {
+        let repo = demo_repo();
+        assert_eq!(repo.search(&Query::any()).len(), 3);
+    }
+
+    #[test]
+    fn providing_honours_subtyping() {
+        let repo = demo_repo();
+        // Both Cg (Solver) and Ilu (Precond) provide subtypes of Operator.
+        let ops = repo.search(&Query::any().providing("esi.Operator"));
+        let classes: Vec<&str> = ops.iter().map(|e| e.class.as_str()).collect();
+        assert_eq!(classes, vec!["esi.Cg", "esi.Ilu"]);
+        // Only Cg provides a Solver.
+        let solvers = repo.search(&Query::any().providing("esi.Solver"));
+        assert_eq!(solvers.len(), 1);
+        assert_eq!(solvers[0].class, "esi.Cg");
+    }
+
+    #[test]
+    fn using_finds_consumers_for_an_offered_type() {
+        let repo = demo_repo();
+        // Who could consume a provider of esi.Precond? Cg's uses port is
+        // declared as esi.Operator, and Precond is-a Operator.
+        let consumers = repo.search(&Query::any().using("esi.Precond"));
+        assert_eq!(consumers.len(), 1);
+        assert_eq!(consumers[0].class, "esi.Cg");
+        // Nothing consumes viz.Render.
+        assert!(repo.search(&Query::any().using("viz.Render")).is_empty());
+    }
+
+    #[test]
+    fn package_and_text_filters() {
+        let repo = demo_repo();
+        assert_eq!(repo.search(&Query::any().in_package("viz.")).len(), 1);
+        let krylov = repo.search(&Query::any().with_text("KRYLOV"));
+        assert_eq!(krylov.len(), 1);
+        assert_eq!(krylov[0].class, "esi.Cg");
+    }
+
+    #[test]
+    fn filters_conjoin() {
+        let repo = demo_repo();
+        let none = repo.search(
+            &Query::any()
+                .providing("esi.Operator")
+                .in_package("viz."),
+        );
+        assert!(none.is_empty());
+        let one = repo.search(
+            &Query::any()
+                .providing("esi.Operator")
+                .with_text("preconditioner"),
+        );
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].class, "esi.Ilu");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # cca-rpc — distributed substrate and the CORBA-like baseline
+//!
+//! The paper distinguishes two ways a connected port can behave: the
+//! direct-connect fast path (§6.2 — a virtual call, provided by
+//! `cca-core`), and *distributed* connections where "the provided
+//! DirectConnectPort can be translated through a proxy ... without the
+//! components on either end of the connection needing to know". This crate
+//! supplies the proxy machinery:
+//!
+//! * [`wire`] — a CDR-flavoured binary marshaling of [`cca_sidl::DynValue`]
+//!   request/reply messages (what a CORBA GIOP implementation does).
+//! * [`transport`] — synchronous request/response transports: an in-process
+//!   loopback and a latency/bandwidth-simulating wrapper standing in for a
+//!   real network (see DESIGN.md substitutions).
+//! * [`orb`] — a deliberately CORBA-shaped object request broker: objects
+//!   registered under string keys, every invocation marshaled, dispatched
+//!   by operation *name*, and demarshaled — even between objects in the
+//!   same address space. This is the baseline for the paper's §3 claim
+//!   that CORBA "is far too inefficient when a method call is made within
+//!   the same address space" (experiment E3).
+//! * [`proxy`] — a [`cca_sidl::DynObject`] that forwards through an ORB
+//!   reference, so a framework can hand a component a remote port through
+//!   the very same `PortHandle` mechanism as a local one.
+
+pub mod orb;
+pub mod proxy;
+pub mod transport;
+pub mod wire;
+
+pub use orb::{ObjRef, Orb};
+pub use proxy::RemotePortProxy;
+pub use transport::{LatencyTransport, LoopbackTransport, Transport};
+pub use wire::{decode_reply, decode_request, encode_reply, encode_request, Reply, Request};

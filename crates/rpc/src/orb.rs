@@ -1,0 +1,275 @@
+//! A deliberately CORBA-shaped Object Request Broker.
+//!
+//! §3 of the paper: "Although CORBA enables robust and efficient
+//! implementations for distributed applications, it is far too inefficient
+//! when a method call is made within the same address space." This module
+//! reproduces that cost structure faithfully so experiment E3 can measure
+//! it: every invocation through an [`ObjRef`], even to an object in the
+//! same process, pays
+//!
+//! 1. argument marshaling into a fresh buffer,
+//! 2. transport traversal (loopback at minimum),
+//! 3. object lookup by string key and dispatch by operation *name*,
+//! 4. reply marshaling and demarshaling.
+//!
+//! This is also the genuinely useful half of the paper's story: the same
+//! `ObjRef` behind a [`LatencyTransport`] is how the reference framework
+//! implements *distributed* port connections ("CCA over CORBA ...
+//! targeting distributed environments").
+
+use crate::transport::{Dispatcher, LoopbackTransport, Transport};
+use crate::wire::{decode_reply, decode_request, encode_reply, encode_request, Reply, Request};
+use bytes::Bytes;
+use cca_sidl::{DynObject, DynValue, SidlError};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The broker: a table of servant objects keyed by string.
+#[derive(Default)]
+pub struct Orb {
+    objects: Mutex<BTreeMap<String, Arc<dyn DynObject>>>,
+}
+
+impl Orb {
+    /// Creates an empty broker.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Orb::default())
+    }
+
+    /// Registers a servant under `key`, replacing any previous registration.
+    pub fn register(&self, key: impl Into<String>, object: Arc<dyn DynObject>) {
+        self.objects.lock().insert(key.into(), object);
+    }
+
+    /// Removes a servant.
+    pub fn unregister(&self, key: &str) -> Option<Arc<dyn DynObject>> {
+        self.objects.lock().remove(key)
+    }
+
+    /// Number of registered servants.
+    pub fn len(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// True if no servants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.objects.lock().is_empty()
+    }
+
+    /// Registered keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.objects.lock().keys().cloned().collect()
+    }
+}
+
+impl Dispatcher for Orb {
+    fn dispatch(&self, request: Bytes) -> Result<Bytes, SidlError> {
+        let req = decode_request(request)?;
+        let servant = self.objects.lock().get(&req.object_key).cloned();
+        let result = match servant {
+            Some(obj) => match obj.invoke(&req.operation, req.args) {
+                Ok(v) => Ok(v),
+                Err(SidlError::UserException {
+                    exception_type,
+                    message,
+                }) => Err((exception_type, message)),
+                Err(other) => Err(("cca.rpc.SystemException".to_string(), other.to_string())),
+            },
+            None => Err((
+                "cca.rpc.ObjectNotFound".to_string(),
+                format!("no servant registered under '{}'", req.object_key),
+            )),
+        };
+        encode_reply(&Reply {
+            request_id: req.request_id,
+            result,
+        })
+    }
+}
+
+/// A client-side object reference (CORBA's `Object`): invokes operations on
+/// a remote (or loopback-local) servant through a transport.
+pub struct ObjRef {
+    key: String,
+    transport: Arc<dyn Transport>,
+    next_id: AtomicU64,
+}
+
+impl ObjRef {
+    /// Creates a reference to the servant registered under `key`, reachable
+    /// through `transport`.
+    pub fn new(key: impl Into<String>, transport: Arc<dyn Transport>) -> Arc<Self> {
+        Arc::new(ObjRef {
+            key: key.into(),
+            transport,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Convenience: a loopback reference into a local ORB — the "CORBA in
+    /// the same address space" configuration of §3.
+    pub fn loopback(key: impl Into<String>, orb: Arc<Orb>) -> Arc<Self> {
+        Self::new(key, LoopbackTransport::new(orb))
+    }
+
+    /// The servant key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Invokes `operation` with `args`: marshal → transport → demarshal.
+    pub fn invoke(&self, operation: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let bytes = encode_request(&Request {
+            request_id,
+            object_key: self.key.clone(),
+            operation: operation.to_string(),
+            args,
+        })?;
+        let reply_bytes = self.transport.call(bytes)?;
+        let reply = decode_reply(reply_bytes)?;
+        if reply.request_id != request_id {
+            return Err(SidlError::invoke(format!(
+                "reply correlation mismatch: sent {request_id}, got {}",
+                reply.request_id
+            )));
+        }
+        match reply.result {
+            Ok(v) => Ok(v),
+            Err((exception_type, message)) => Err(SidlError::UserException {
+                exception_type,
+                message,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A servant with a bit of state.
+    struct Accumulator {
+        total: Mutex<f64>,
+    }
+
+    impl DynObject for Accumulator {
+        fn sidl_type(&self) -> &str {
+            "demo.Accumulator"
+        }
+
+        fn invoke(&self, method: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+            match method {
+                "add" => {
+                    let x = args[0].as_double()?;
+                    let mut t = self.total.lock();
+                    *t += x;
+                    Ok(DynValue::Double(*t))
+                }
+                "total" => Ok(DynValue::Double(*self.total.lock())),
+                "explode" => Err(SidlError::user("demo.Boom", "as requested")),
+                other => Err(SidlError::invoke(format!("no method '{other}'"))),
+            }
+        }
+    }
+
+    fn setup() -> (Arc<Orb>, Arc<ObjRef>) {
+        let orb = Orb::new();
+        orb.register(
+            "acc",
+            Arc::new(Accumulator {
+                total: Mutex::new(0.0),
+            }),
+        );
+        let objref = ObjRef::loopback("acc", Arc::clone(&orb));
+        (orb, objref)
+    }
+
+    #[test]
+    fn invocation_through_the_orb() {
+        let (_orb, acc) = setup();
+        let r = acc.invoke("add", vec![DynValue::Double(2.5)]).unwrap();
+        assert!(matches!(r, DynValue::Double(v) if v == 2.5));
+        let r = acc.invoke("add", vec![DynValue::Double(1.5)]).unwrap();
+        assert!(matches!(r, DynValue::Double(v) if v == 4.0));
+        let r = acc.invoke("total", vec![]).unwrap();
+        assert!(matches!(r, DynValue::Double(v) if v == 4.0));
+    }
+
+    #[test]
+    fn user_exceptions_cross_the_wire() {
+        let (_orb, acc) = setup();
+        let e = acc.invoke("explode", vec![]).unwrap_err();
+        match e {
+            SidlError::UserException {
+                exception_type,
+                message,
+            } => {
+                assert_eq!(exception_type, "demo.Boom");
+                assert_eq!(message, "as requested");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn system_errors_become_system_exceptions() {
+        let (_orb, acc) = setup();
+        let e = acc.invoke("missing", vec![]).unwrap_err();
+        match e {
+            SidlError::UserException { exception_type, .. } => {
+                assert_eq!(exception_type, "cca.rpc.SystemException");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_object_key() {
+        let (orb, _) = setup();
+        let bogus = ObjRef::loopback("nope", orb);
+        let e = bogus.invoke("total", vec![]).unwrap_err();
+        assert!(e.to_string().contains("ObjectNotFound"));
+    }
+
+    #[test]
+    fn registration_lifecycle() {
+        let (orb, acc) = setup();
+        assert_eq!(orb.len(), 1);
+        assert_eq!(orb.keys(), vec!["acc".to_string()]);
+        assert!(orb.unregister("acc").is_some());
+        assert!(orb.is_empty());
+        // Existing references now fail cleanly.
+        assert!(acc.invoke("total", vec![]).is_err());
+    }
+
+    #[test]
+    fn arrays_cross_the_orb() {
+        use cca_data::NdArray;
+        struct Summer;
+        impl DynObject for Summer {
+            fn sidl_type(&self) -> &str {
+                "demo.Summer"
+            }
+            fn invoke(&self, method: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+                match method {
+                    "sum" => {
+                        let a = args[0].as_double_array()?;
+                        Ok(DynValue::Double(a.as_slice().iter().sum()))
+                    }
+                    other => Err(SidlError::invoke(format!("no method '{other}'"))),
+                }
+            }
+        }
+        let orb = Orb::new();
+        orb.register("summer", Arc::new(Summer));
+        let objref = ObjRef::loopback("summer", orb);
+        let arr = NdArray::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let r = objref
+            .invoke("sum", vec![DynValue::DoubleArray(arr)])
+            .unwrap();
+        assert!(matches!(r, DynValue::Double(v) if v == 10.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Abstract syntax tree for SIDL sources.
+//!
+//! The shape follows the Babel-era language: a file holds packages; a
+//! package holds interfaces, classes, and enums; interfaces support
+//! multiple inheritance; classes extend at most one class and implement
+//! any number of interfaces (§5's "multiple interface inheritance and
+//! single implementation inheritance", the Java-style object model).
+
+use crate::error::Span;
+use std::fmt;
+
+/// A dot-separated qualified name, e.g. `esi.Vector`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName(pub Vec<String>);
+
+impl QName {
+    /// Builds a qualified name from dot-separated text.
+    pub fn parse(text: &str) -> Self {
+        QName(text.split('.').map(str::to_string).collect())
+    }
+
+    /// The final (unqualified) segment.
+    pub fn leaf(&self) -> &str {
+        self.0.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// True if the name has a package prefix.
+    pub fn is_qualified(&self) -> bool {
+        self.0.len() > 1
+    }
+
+    /// Returns this name qualified under `package` if it is not already.
+    pub fn qualified_in(&self, package: &str) -> QName {
+        if self.is_qualified() {
+            self.clone()
+        } else {
+            let mut parts: Vec<String> = package.split('.').map(str::to_string).collect();
+            parts.extend(self.0.iter().cloned());
+            QName(parts)
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("."))
+    }
+}
+
+/// A SIDL type expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value (return type only).
+    Void,
+    /// Boolean.
+    Bool,
+    /// Single character.
+    Char,
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer.
+    Long,
+    /// Single-precision real.
+    Float,
+    /// Double-precision real.
+    Double,
+    /// Single-precision complex — a SIDL primitive the paper adds.
+    Fcomplex,
+    /// Double-precision complex — a SIDL primitive the paper adds.
+    Dcomplex,
+    /// UTF-8 string.
+    Str,
+    /// An opaque pointer-sized handle.
+    Opaque,
+    /// `array<elem, rank>`: dynamically dimensioned multidimensional array.
+    /// `rank == 0` means "any rank at runtime".
+    Array {
+        /// Element type (primitives or named types).
+        elem: Box<Type>,
+        /// Declared rank; 0 leaves the rank dynamic.
+        rank: u32,
+    },
+    /// A user-defined interface, class, or enum, by (possibly unqualified)
+    /// name; resolution happens in `sema`.
+    Named(QName),
+}
+
+impl Type {
+    /// True for types that may appear as array elements.
+    pub fn can_be_element(&self) -> bool {
+        !matches!(self, Type::Void | Type::Array { .. })
+    }
+}
+
+/// Parameter passing mode. SIDL distinguishes the three CORBA-style modes;
+/// `out`/`inout` are how Fortran-style subroutines surface results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Caller supplies the value; callee must not modify it.
+    In,
+    /// Callee produces the value.
+    Out,
+    /// Caller supplies a value the callee may replace.
+    InOut,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::In => write!(f, "in"),
+            Mode::Out => write!(f, "out"),
+            Mode::InOut => write!(f, "inout"),
+        }
+    }
+}
+
+/// One formal argument of a method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Argument {
+    /// Passing mode.
+    pub mode: Mode,
+    /// Declared type.
+    pub ty: Type,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A method declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// Documentation comment (`/** ... */`), if present.
+    pub doc: Option<String>,
+    /// True for `static` methods (no receiver).
+    pub is_static: bool,
+    /// True for `final` methods (may not be overridden).
+    pub is_final: bool,
+    /// Return type.
+    pub ret: Type,
+    /// Method name.
+    pub name: String,
+    /// Formal arguments in declaration order.
+    pub args: Vec<Argument>,
+    /// Exception types the method may raise.
+    pub throws: Vec<QName>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+impl Method {
+    /// A structural signature key: name plus argument modes/types plus
+    /// return type. Two inherited methods *collide* iff they share a name
+    /// but differ in signature (SIDL has no overloading).
+    pub fn signature(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "{:?} {}(", self.ret, self.name);
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{} {:?}", a.mode, a.ty);
+        }
+        s.push(')');
+        s
+    }
+}
+
+/// An interface definition (multiple inheritance allowed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interface {
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// Unqualified name.
+    pub name: String,
+    /// Base interfaces.
+    pub extends: Vec<QName>,
+    /// Declared methods.
+    pub methods: Vec<Method>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A class definition (single implementation inheritance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Class {
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// True for `abstract` classes, which may leave methods unimplemented.
+    pub is_abstract: bool,
+    /// Unqualified name.
+    pub name: String,
+    /// At most one base class.
+    pub extends: Option<QName>,
+    /// Implemented interfaces (the `implements-all` form: every interface
+    /// method is pulled in without redeclaration).
+    pub implements: Vec<QName>,
+    /// Methods declared (or overridden) directly on the class.
+    pub methods: Vec<Method>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// Unqualified name.
+    pub name: String,
+    /// `(name, value)` pairs; explicit values are preserved, implicit ones
+    /// continue from the previous value as in C.
+    pub variants: Vec<(String, i64)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A top-level definition inside a package.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Definition {
+    /// An interface.
+    Interface(Interface),
+    /// A class.
+    Class(Class),
+    /// An enum.
+    Enum(EnumDef),
+}
+
+impl Definition {
+    /// The definition's unqualified name.
+    pub fn name(&self) -> &str {
+        match self {
+            Definition::Interface(i) => &i.name,
+            Definition::Class(c) => &c.name,
+            Definition::Enum(e) => &e.name,
+        }
+    }
+
+    /// The definition's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Definition::Interface(i) => i.span,
+            Definition::Class(c) => c.span,
+            Definition::Enum(e) => e.span,
+        }
+    }
+}
+
+/// A SIDL package: a named scope with a version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Package {
+    /// Dot-separated package name.
+    pub name: QName,
+    /// Version string (`version 1.0`), defaulting to "1.0".
+    pub version: String,
+    /// The package's definitions in source order.
+    pub definitions: Vec<Definition>,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qname_parse_and_display() {
+        let q = QName::parse("esi.solvers.Vector");
+        assert_eq!(q.leaf(), "Vector");
+        assert!(q.is_qualified());
+        assert_eq!(q.to_string(), "esi.solvers.Vector");
+        let u = QName::parse("Vector");
+        assert!(!u.is_qualified());
+        assert_eq!(u.qualified_in("esi.solvers").to_string(), "esi.solvers.Vector");
+        // Already-qualified names are untouched.
+        assert_eq!(q.qualified_in("other").to_string(), "esi.solvers.Vector");
+    }
+
+    #[test]
+    fn method_signature_ignores_arg_names_but_not_types() {
+        let m1 = Method {
+            doc: None,
+            is_static: false,
+            is_final: false,
+            ret: Type::Double,
+            name: "dot".into(),
+            args: vec![Argument {
+                mode: Mode::In,
+                ty: Type::Named(QName::parse("Vector")),
+                name: "y".into(),
+            }],
+            throws: vec![],
+            span: Span::default(),
+        };
+        let mut m2 = m1.clone();
+        m2.args[0].name = "other".into();
+        assert_eq!(m1.signature(), m2.signature());
+        let mut m3 = m1.clone();
+        m3.args[0].ty = Type::Double;
+        assert_ne!(m1.signature(), m3.signature());
+        let mut m4 = m1.clone();
+        m4.ret = Type::Float;
+        assert_ne!(m1.signature(), m4.signature());
+    }
+
+    #[test]
+    fn array_element_rules() {
+        assert!(Type::Double.can_be_element());
+        assert!(!Type::Void.can_be_element());
+        assert!(!Type::Array {
+            elem: Box::new(Type::Int),
+            rank: 1
+        }
+        .can_be_element());
+    }
+}

@@ -1,0 +1,135 @@
+//! Errors and source positions for the SIDL toolchain.
+
+use std::fmt;
+
+/// A half-open source region `(line, column)`-addressed, 1-based, as
+/// reported in compiler diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error from lexing, parsing, semantic analysis, or dynamic
+/// invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SidlError {
+    /// Lexical error (bad character, unterminated comment/string).
+    Lex {
+        /// Where the error begins.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntax error with what was expected and what was found.
+    Parse {
+        /// Where the error begins.
+        span: Span,
+        /// What was expected and what was found.
+        message: String,
+    },
+    /// Semantic error (unknown type, inheritance violation, ...).
+    Sema {
+        /// The declaration the error is attached to.
+        span: Span,
+        /// The violated rule.
+        message: String,
+    },
+    /// Dynamic invocation failure (unknown method, arity/type mismatch).
+    Invoke {
+        /// What went wrong.
+        message: String,
+    },
+    /// The cross-language exception the SIDL runtime carries (§5: "the IDL
+    /// and associated run-time system provide facilities for cross-language
+    /// error reporting").
+    UserException {
+        /// SIDL type name of the exception (e.g. `esi.SolveFailure`).
+        exception_type: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl SidlError {
+    /// Convenience constructor for semantic errors.
+    pub fn sema(span: Span, message: impl Into<String>) -> Self {
+        SidlError::Sema {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for invocation errors.
+    pub fn invoke(message: impl Into<String>) -> Self {
+        SidlError::Invoke {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for user exceptions crossing the binding.
+    pub fn user(exception_type: impl Into<String>, message: impl Into<String>) -> Self {
+        SidlError::UserException {
+            exception_type: exception_type.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SidlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SidlError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            SidlError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            SidlError::Sema { span, message } => write!(f, "semantic error at {span}: {message}"),
+            SidlError::Invoke { message } => write!(f, "invocation error: {message}"),
+            SidlError::UserException {
+                exception_type,
+                message,
+            } => write!(f, "exception {exception_type}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SidlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_display_as_line_col() {
+        assert_eq!(Span::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn error_display_includes_position() {
+        let e = SidlError::Parse {
+            span: Span::new(2, 5),
+            message: "expected '{'".into(),
+        };
+        assert!(e.to_string().contains("2:5"));
+        assert!(e.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn user_exception_carries_type() {
+        let e = SidlError::user("esi.SolveFailure", "diverged");
+        assert!(e.to_string().contains("esi.SolveFailure"));
+    }
+}

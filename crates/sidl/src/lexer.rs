@@ -1,0 +1,370 @@
+//! Hand-written lexer for SIDL sources.
+//!
+//! Produces a token stream with source positions. Doc comments
+//! (`/** ... */`) are preserved as tokens so the parser can attach them to
+//! the following definition; line (`//`) and block (`/* */`) comments are
+//! skipped.
+
+use crate::error::{SidlError, Span};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (the parser distinguishes keywords).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (used for versions like `"1.0"`; bare `1.0` is also
+    /// accepted as a version via `Version`).
+    Version(String),
+    /// A doc comment's text, with the comment markers stripped.
+    DocComment(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable token description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier '{s}'"),
+            Tok::Int(v) => format!("integer {v}"),
+            Tok::Version(v) => format!("version '{v}'"),
+            Tok::DocComment(_) => "doc comment".into(),
+            Tok::LBrace => "'{'".into(),
+            Tok::RBrace => "'}'".into(),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::Lt => "'<'".into(),
+            Tok::Gt => "'>'".into(),
+            Tok::Comma => "','".into(),
+            Tok::Semi => "';'".into(),
+            Tok::Dot => "'.'".into(),
+            Tok::Eq => "'='".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it begins.
+    pub span: Span,
+}
+
+/// Tokenizes a complete SIDL source string.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, SidlError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let span = Span::new(line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '/' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        bump!();
+                    }
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    let is_doc = i + 2 < bytes.len() && bytes[i + 2] == b'*'
+                        // `/**/` is an empty plain comment, not a doc comment
+                        && !(i + 3 < bytes.len() && bytes[i + 3] == b'/');
+                    let start = i;
+                    bump!();
+                    bump!();
+                    let mut closed = false;
+                    while i + 1 < bytes.len() {
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            bump!();
+                            bump!();
+                            closed = true;
+                            break;
+                        }
+                        bump!();
+                    }
+                    if !closed {
+                        return Err(SidlError::Lex {
+                            span,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if is_doc {
+                        let text = &source[start + 3..i - 2];
+                        let cleaned = text
+                            .lines()
+                            .map(|l| l.trim().trim_start_matches('*').trim())
+                            .filter(|l| !l.is_empty())
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        out.push(SpannedTok {
+                            tok: Tok::DocComment(cleaned),
+                            span,
+                        });
+                    }
+                } else {
+                    return Err(SidlError::Lex {
+                        span,
+                        message: "unexpected '/'".into(),
+                    });
+                }
+            }
+            '"' => {
+                bump!();
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        return Err(SidlError::Lex {
+                            span,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    bump!();
+                }
+                if i >= bytes.len() {
+                    return Err(SidlError::Lex {
+                        span,
+                        message: "unterminated string".into(),
+                    });
+                }
+                let text = source[start..i].to_string();
+                bump!(); // closing quote
+                out.push(SpannedTok {
+                    tok: Tok::Version(text),
+                    span,
+                });
+            }
+            '{' | '}' | '(' | ')' | '<' | '>' | ',' | ';' | '.' | '=' => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '.' => Tok::Dot,
+                    _ => Tok::Eq,
+                };
+                out.push(SpannedTok { tok, span });
+                bump!();
+            }
+            _ if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                if c == '-' {
+                    bump!();
+                    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                        return Err(SidlError::Lex {
+                            span,
+                            message: "expected digits after '-'".into(),
+                        });
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                // Version-looking literal: digits '.' digits ('.' digits)*
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                        bump!();
+                    }
+                    out.push(SpannedTok {
+                        tok: Tok::Version(source[start..i].to_string()),
+                        span,
+                    });
+                } else {
+                    let text = &source[start..i];
+                    let value: i64 = text.parse().map_err(|_| SidlError::Lex {
+                        span,
+                        message: format!("invalid integer literal '{text}'"),
+                    })?;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(value),
+                        span,
+                    });
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'-')
+                {
+                    // Allow '-' inside identifiers only for the
+                    // `implements-all` keyword.
+                    if bytes[i] == b'-' && !source[start..i].ends_with("implements") {
+                        break;
+                    }
+                    bump!();
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    span,
+                });
+            }
+            _ => {
+                return Err(SidlError::Lex {
+                    span,
+                    message: format!("unexpected character '{c}'"),
+                });
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        span: Span::new(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            toks("interface Foo { }"),
+            vec![
+                Tok::Ident("interface".into()),
+                Tok::Ident("Foo".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_and_negatives() {
+        assert_eq!(toks("= 42"), vec![Tok::Eq, Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("= -7"), vec![Tok::Eq, Tok::Int(-7), Tok::Eof]);
+    }
+
+    #[test]
+    fn versions_bare_and_quoted() {
+        assert_eq!(
+            toks("version 1.0"),
+            vec![
+                Tok::Ident("version".into()),
+                Tok::Version("1.0".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("version \"2.4.1\""),
+            vec![
+                Tok::Ident("version".into()),
+                Tok::Version("2.4.1".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_doc_comments_kept() {
+        let src = "// line\n/* block */ /** The doc.\n * More. */ interface X {}";
+        let ts = toks(src);
+        assert_eq!(ts[0], Tok::DocComment("The doc. More.".into()));
+        assert_eq!(ts[1], Tok::Ident("interface".into()));
+    }
+
+    #[test]
+    fn empty_block_comment_is_not_doc() {
+        assert_eq!(toks("/**/ x"), vec![Tok::Ident("x".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn implements_all_is_one_token() {
+        assert_eq!(
+            toks("implements-all Vector"),
+            vec![
+                Tok::Ident("implements-all".into()),
+                Tok::Ident("Vector".into()),
+                Tok::Eof
+            ]
+        );
+        // But a '-' elsewhere is not part of an identifier: it begins a
+        // (here malformed) numeric literal.
+        assert!(lex("foo-bar").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span, Span::new(1, 1));
+        assert_eq!(ts[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("$"), Err(SidlError::Lex { .. })));
+        assert!(matches!(lex("/* open"), Err(SidlError::Lex { .. })));
+        assert!(matches!(lex("\"open"), Err(SidlError::Lex { .. })));
+        assert!(matches!(lex("- x"), Err(SidlError::Lex { .. })));
+        assert!(matches!(lex("/ x"), Err(SidlError::Lex { .. })));
+    }
+
+    #[test]
+    fn array_type_tokens() {
+        assert_eq!(
+            toks("array<double,2>"),
+            vec![
+                Tok::Ident("array".into()),
+                Tok::Lt,
+                Tok::Ident("double".into()),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,620 @@
+//! Recursive-descent parser producing the SIDL AST.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! file       := package*
+//! package    := doc? 'package' qname ('version' VERSION)? '{' definition* '}'
+//! definition := interface | class | enum
+//! interface  := doc? 'interface' IDENT ('extends' qlist)? '{' method* '}'
+//! class      := doc? 'abstract'? 'class' IDENT ('extends' qname)?
+//!               (('implements' | 'implements-all') qlist)? '{' method* '}'
+//! enum       := doc? 'enum' IDENT '{' IDENT ('=' INT)? (',' ...)* ','? '}'
+//! method     := doc? 'static'? 'final'? type IDENT '(' arglist? ')'
+//!               ('throws' qlist)? ';'
+//! arglist    := arg (',' arg)*
+//! arg        := ('in'|'out'|'inout') type IDENT
+//! type       := PRIMITIVE | 'array' '<' type (',' INT)? '>' | qname
+//! qlist      := qname (',' qname)*
+//! qname      := IDENT ('.' IDENT)*
+//! ```
+
+use crate::ast::*;
+use crate::error::{SidlError, Span};
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Parses a SIDL source string into its packages.
+pub fn parse(source: &str) -> Result<Vec<Package>, SidlError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut packages = Vec::new();
+    while !p.at_eof() {
+        packages.push(p.package()?);
+    }
+    if packages.is_empty() {
+        return Err(SidlError::Parse {
+            span: Span::new(1, 1),
+            message: "source contains no packages".into(),
+        });
+    }
+    Ok(packages)
+}
+
+struct Parser {
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &SpannedTok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().tok, Tok::Eof)
+    }
+
+    fn advance(&mut self) -> SpannedTok {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SidlError {
+        SidlError::Parse {
+            span: self.peek().span,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<SpannedTok, SidlError> {
+        if &self.peek().tok == want {
+            Ok(self.advance())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().tok.describe()
+            )))
+        }
+    }
+
+    /// Consumes a keyword (a specific identifier).
+    fn expect_kw(&mut self, kw: &str) -> Result<SpannedTok, SidlError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s == kw => Ok(self.advance()),
+            other => Err(self.error(format!(
+                "expected keyword '{kw}', found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), SidlError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                let span = self.peek().span;
+                self.advance();
+                Ok((s, span))
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn doc(&mut self) -> Option<String> {
+        if let Tok::DocComment(text) = self.peek().tok.clone() {
+            self.advance();
+            Some(text)
+        } else {
+            None
+        }
+    }
+
+    fn qname(&mut self) -> Result<QName, SidlError> {
+        let (first, _) = self.ident()?;
+        let mut parts = vec![first];
+        while matches!(self.peek().tok, Tok::Dot) {
+            self.advance();
+            let (next, _) = self.ident()?;
+            parts.push(next);
+        }
+        Ok(QName(parts))
+    }
+
+    fn qlist(&mut self) -> Result<Vec<QName>, SidlError> {
+        let mut names = vec![self.qname()?];
+        while matches!(self.peek().tok, Tok::Comma) {
+            self.advance();
+            names.push(self.qname()?);
+        }
+        Ok(names)
+    }
+
+    fn package(&mut self) -> Result<Package, SidlError> {
+        let _doc = self.doc();
+        let kw = self.expect_kw("package")?;
+        let name = self.qname()?;
+        let version = if self.eat_kw("version") {
+            match self.peek().tok.clone() {
+                Tok::Version(v) => {
+                    self.advance();
+                    v
+                }
+                Tok::Int(v) => {
+                    self.advance();
+                    v.to_string()
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected version literal, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        } else {
+            "1.0".to_string()
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut definitions = Vec::new();
+        while !matches!(self.peek().tok, Tok::RBrace) {
+            definitions.push(self.definition()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Package {
+            name,
+            version,
+            definitions,
+            span: kw.span,
+        })
+    }
+
+    fn definition(&mut self) -> Result<Definition, SidlError> {
+        let doc = self.doc();
+        match &self.peek().tok {
+            Tok::Ident(s) if s == "interface" => self.interface(doc).map(Definition::Interface),
+            Tok::Ident(s) if s == "class" || s == "abstract" => {
+                self.class(doc).map(Definition::Class)
+            }
+            Tok::Ident(s) if s == "enum" => self.enum_def(doc).map(Definition::Enum),
+            other => Err(self.error(format!(
+                "expected 'interface', 'class', 'abstract', or 'enum', found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn interface(&mut self, doc: Option<String>) -> Result<Interface, SidlError> {
+        let kw = self.expect_kw("interface")?;
+        let (name, _) = self.ident()?;
+        let extends = if self.eat_kw("extends") {
+            self.qlist()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut methods = Vec::new();
+        while !matches!(self.peek().tok, Tok::RBrace) {
+            methods.push(self.method()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Interface {
+            doc,
+            name,
+            extends,
+            methods,
+            span: kw.span,
+        })
+    }
+
+    fn class(&mut self, doc: Option<String>) -> Result<Class, SidlError> {
+        let is_abstract = self.eat_kw("abstract");
+        let kw = self.expect_kw("class")?;
+        let (name, _) = self.ident()?;
+        let extends = if self.eat_kw("extends") {
+            Some(self.qname()?)
+        } else {
+            None
+        };
+        let implements = if self.eat_kw("implements-all") || self.eat_kw("implements") {
+            self.qlist()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut methods = Vec::new();
+        while !matches!(self.peek().tok, Tok::RBrace) {
+            methods.push(self.method()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(Class {
+            doc,
+            is_abstract,
+            name,
+            extends,
+            implements,
+            methods,
+            span: kw.span,
+        })
+    }
+
+    fn enum_def(&mut self, doc: Option<String>) -> Result<EnumDef, SidlError> {
+        let kw = self.expect_kw("enum")?;
+        let (name, _) = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut variants: Vec<(String, i64)> = Vec::new();
+        let mut next_value = 0i64;
+        loop {
+            if matches!(self.peek().tok, Tok::RBrace) {
+                break;
+            }
+            let (vname, vspan) = self.ident()?;
+            let value = if matches!(self.peek().tok, Tok::Eq) {
+                self.advance();
+                match self.peek().tok.clone() {
+                    Tok::Int(v) => {
+                        self.advance();
+                        v
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "expected integer enum value, found {}",
+                            other.describe()
+                        )))
+                    }
+                }
+            } else {
+                next_value
+            };
+            if variants.iter().any(|(n, _)| n == &vname) {
+                return Err(SidlError::Parse {
+                    span: vspan,
+                    message: format!("duplicate enum variant '{vname}'"),
+                });
+            }
+            variants.push((vname, value));
+            next_value = value + 1;
+            if matches!(self.peek().tok, Tok::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        if variants.is_empty() {
+            return Err(SidlError::Parse {
+                span: kw.span,
+                message: format!("enum '{name}' has no variants"),
+            });
+        }
+        Ok(EnumDef {
+            doc,
+            name,
+            variants,
+            span: kw.span,
+        })
+    }
+
+    fn method(&mut self) -> Result<Method, SidlError> {
+        let doc = self.doc();
+        let mut is_static = false;
+        let mut is_final = false;
+        loop {
+            if !is_static && self.eat_kw("static") {
+                is_static = true;
+            } else if !is_final && self.eat_kw("final") {
+                is_final = true;
+            } else {
+                break;
+            }
+        }
+        let ret = self.ty()?;
+        let (name, span) = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if !matches!(self.peek().tok, Tok::RParen) {
+            loop {
+                args.push(self.arg()?);
+                if matches!(self.peek().tok, Tok::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let throws = if self.eat_kw("throws") {
+            self.qlist()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(Method {
+            doc,
+            is_static,
+            is_final,
+            ret,
+            name,
+            args,
+            throws,
+            span,
+        })
+    }
+
+    fn arg(&mut self) -> Result<Argument, SidlError> {
+        let mode = match &self.peek().tok {
+            Tok::Ident(s) if s == "in" => Mode::In,
+            Tok::Ident(s) if s == "out" => Mode::Out,
+            Tok::Ident(s) if s == "inout" => Mode::InOut,
+            other => {
+                return Err(self.error(format!(
+                    "expected parameter mode 'in'/'out'/'inout', found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.advance();
+        let span = self.peek().span;
+        let ty = self.ty()?;
+        if ty == Type::Void {
+            return Err(SidlError::Parse {
+                span,
+                message: "arguments cannot have type void".into(),
+            });
+        }
+        let (name, _) = self.ident()?;
+        Ok(Argument { mode, ty, name })
+    }
+
+    fn ty(&mut self) -> Result<Type, SidlError> {
+        let t = match &self.peek().tok {
+            Tok::Ident(s) => match s.as_str() {
+                "void" => Some(Type::Void),
+                "bool" => Some(Type::Bool),
+                "char" => Some(Type::Char),
+                "int" => Some(Type::Int),
+                "long" => Some(Type::Long),
+                "float" => Some(Type::Float),
+                "double" => Some(Type::Double),
+                "fcomplex" => Some(Type::Fcomplex),
+                "dcomplex" => Some(Type::Dcomplex),
+                "string" => Some(Type::Str),
+                "opaque" => Some(Type::Opaque),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(prim) = t {
+            self.advance();
+            return Ok(prim);
+        }
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == "array") {
+            let span = self.peek().span;
+            self.advance();
+            self.expect(&Tok::Lt)?;
+            let elem = self.ty()?;
+            if !elem.can_be_element() {
+                return Err(SidlError::Parse {
+                    span,
+                    message: format!("type {elem:?} cannot be an array element"),
+                });
+            }
+            let rank = if matches!(self.peek().tok, Tok::Comma) {
+                self.advance();
+                match self.peek().tok.clone() {
+                    Tok::Int(v) if (1..=7).contains(&v) => {
+                        self.advance();
+                        v as u32
+                    }
+                    Tok::Int(v) => {
+                        return Err(SidlError::Parse {
+                            span,
+                            message: format!("array rank must be 1..=7, got {v}"),
+                        })
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "expected array rank, found {}",
+                            other.describe()
+                        )))
+                    }
+                }
+            } else {
+                0
+            };
+            self.expect(&Tok::Gt)?;
+            return Ok(Type::Array {
+                elem: Box::new(elem),
+                rank,
+            });
+        }
+        // Fall through: user-defined type name.
+        Ok(Type::Named(self.qname()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ESI_EXAMPLE: &str = r#"
+        /** The ESI-style solver interfaces from the paper's section 2.2. */
+        package esi version 1.0 {
+            /** Base object with reference semantics. */
+            interface Object {
+                string typeName();
+            }
+
+            enum Status { OK, Diverged = 10, Breakdown }
+
+            /** A distributed vector. */
+            interface Vector extends Object {
+                double dot(in Vector y) throws esi.SolveFailure;
+                void axpy(in double alpha, in Vector x);
+                array<double, 1> local();
+            }
+
+            interface Operator extends Object {
+                void apply(in Vector x, out Vector y);
+            }
+
+            /** Preconditioner is both an Operator and tunable. */
+            interface Preconditioner extends Operator, Object {
+                void setup(in Operator a);
+            }
+
+            abstract class SolverBase implements-all Operator {
+                static int instances();
+            }
+
+            class CgSolver extends SolverBase implements-all Preconditioner {
+                final void solve(in Operator a, in Vector b, inout Vector x);
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_full_example() {
+        let pkgs = parse(ESI_EXAMPLE).unwrap();
+        assert_eq!(pkgs.len(), 1);
+        let p = &pkgs[0];
+        assert_eq!(p.name.to_string(), "esi");
+        assert_eq!(p.version, "1.0");
+        assert_eq!(p.definitions.len(), 7);
+        match &p.definitions[0] {
+            Definition::Interface(i) => {
+                assert_eq!(i.name, "Object");
+                assert!(i.doc.as_deref().unwrap().contains("reference semantics"));
+            }
+            other => panic!("expected interface, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enum_values_continue_from_explicit() {
+        let pkgs = parse(ESI_EXAMPLE).unwrap();
+        let Definition::Enum(e) = &pkgs[0].definitions[1] else {
+            panic!()
+        };
+        assert_eq!(
+            e.variants,
+            vec![
+                ("OK".to_string(), 0),
+                ("Diverged".to_string(), 10),
+                ("Breakdown".to_string(), 11)
+            ]
+        );
+    }
+
+    #[test]
+    fn method_details_parsed() {
+        let pkgs = parse(ESI_EXAMPLE).unwrap();
+        let Definition::Interface(v) = &pkgs[0].definitions[2] else {
+            panic!()
+        };
+        assert_eq!(v.name, "Vector");
+        assert_eq!(v.extends, vec![QName::parse("Object")]);
+        let dot = &v.methods[0];
+        assert_eq!(dot.name, "dot");
+        assert_eq!(dot.ret, Type::Double);
+        assert_eq!(dot.args.len(), 1);
+        assert_eq!(dot.args[0].mode, Mode::In);
+        assert_eq!(dot.throws, vec![QName::parse("esi.SolveFailure")]);
+        let local = &v.methods[2];
+        assert_eq!(
+            local.ret,
+            Type::Array {
+                elem: Box::new(Type::Double),
+                rank: 1
+            }
+        );
+    }
+
+    #[test]
+    fn class_modifiers_and_inheritance() {
+        let pkgs = parse(ESI_EXAMPLE).unwrap();
+        let Definition::Class(base) = &pkgs[0].definitions[5] else {
+            panic!()
+        };
+        assert!(base.is_abstract);
+        assert!(base.extends.is_none());
+        assert_eq!(base.implements, vec![QName::parse("Operator")]);
+        assert!(base.methods[0].is_static);
+        let Definition::Class(cg) = &pkgs[0].definitions[6] else {
+            panic!()
+        };
+        assert!(!cg.is_abstract);
+        assert_eq!(cg.extends, Some(QName::parse("SolverBase")));
+        assert!(cg.methods[0].is_final);
+        assert_eq!(cg.methods[0].args[2].mode, Mode::InOut);
+    }
+
+    #[test]
+    fn multiple_packages() {
+        let src = "package a { interface X {} } package b version 2.0 { class Y {} }";
+        let pkgs = parse(src).unwrap();
+        assert_eq!(pkgs.len(), 2);
+        assert_eq!(pkgs[1].version, "2.0");
+    }
+
+    #[test]
+    fn default_version() {
+        let pkgs = parse("package p { }").unwrap();
+        assert_eq!(pkgs[0].version, "1.0");
+    }
+
+    #[test]
+    fn dynamic_rank_array() {
+        let pkgs = parse("package p { interface I { array<int> any(); } }").unwrap();
+        let Definition::Interface(i) = &pkgs[0].definitions[0] else {
+            panic!()
+        };
+        assert_eq!(
+            i.methods[0].ret,
+            Type::Array {
+                elem: Box::new(Type::Int),
+                rank: 0
+            }
+        );
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let err = parse("package p {\n  interface {\n}").unwrap_err();
+        match err {
+            SidlError::Parse { span, .. } => assert_eq!(span.line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_constructs() {
+        assert!(parse("").is_err());
+        assert!(parse("package p { enum E { } }").is_err());
+        assert!(parse("package p { enum E { A, A } }").is_err());
+        assert!(parse("package p { interface I { void f(in void x); } }").is_err());
+        assert!(parse("package p { interface I { array<array<int,1>,1> f(); } }").is_err());
+        assert!(parse("package p { interface I { array<int,9> f(); } }").is_err());
+        assert!(parse("package p { interface I { double f(double x); } }").is_err());
+        assert!(parse("package p { interface I { double f() }").is_err());
+    }
+
+    #[test]
+    fn trailing_comma_in_enum() {
+        let pkgs = parse("package p { enum E { A, B, } }").unwrap();
+        let Definition::Enum(e) = &pkgs[0].definitions[0] else {
+            panic!()
+        };
+        assert_eq!(e.variants.len(), 2);
+    }
+}

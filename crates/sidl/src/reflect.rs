@@ -1,0 +1,307 @@
+//! Reflection metadata generated from checked SIDL.
+//!
+//! §5: "Reflection information for every interface and class will be
+//! generated automatically by the SIDL compiler based on IDL descriptions.
+//! ... components and the associated composition tools and frameworks must
+//! discover, query, and execute methods at run time." [`Reflection`] is
+//! that generated information: a registry of [`TypeInfo`] records that a
+//! framework can query without any compile-time knowledge of the types,
+//! mirroring `java.lang.reflect` as the paper prescribes.
+
+use crate::ast::{Mode, QName, Type};
+use crate::sema::CheckedModel;
+use std::collections::BTreeMap;
+
+/// What kind of SIDL entity a [`TypeInfo`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeKind {
+    /// An interface (may be multiply inherited).
+    Interface,
+    /// A class (single implementation inheritance).
+    Class,
+    /// An enum.
+    Enum,
+}
+
+/// Reflection record for one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodInfo {
+    /// Method name.
+    pub name: String,
+    /// Documentation comment, if present in the IDL.
+    pub doc: Option<String>,
+    /// True for `static` methods.
+    pub is_static: bool,
+    /// True for `final` methods.
+    pub is_final: bool,
+    /// Return type.
+    pub ret: Type,
+    /// `(mode, type, name)` for each formal argument.
+    pub args: Vec<(Mode, Type, String)>,
+    /// Exception type names.
+    pub throws: Vec<String>,
+    /// Fully qualified name of the type that declared the method.
+    pub declared_in: String,
+}
+
+impl MethodInfo {
+    /// Number of declared arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+/// Reflection record for one type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeInfo {
+    /// Fully qualified name.
+    pub qname: String,
+    /// Entity kind.
+    pub kind: TypeKind,
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// Every supertype (transitive; interfaces for interfaces, interfaces
+    /// plus base classes for classes), fully qualified and sorted.
+    pub bases: Vec<String>,
+    /// True for abstract classes.
+    pub is_abstract: bool,
+    /// The complete flattened method set.
+    pub methods: Vec<MethodInfo>,
+    /// Enum variants (empty unless `kind == Enum`).
+    pub variants: Vec<(String, i64)>,
+}
+
+impl TypeInfo {
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodInfo> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// A queryable registry of reflection records.
+#[derive(Debug, Clone, Default)]
+pub struct Reflection {
+    types: BTreeMap<String, TypeInfo>,
+}
+
+impl Reflection {
+    /// Generates reflection data from a checked model — the run-time
+    /// artifact of the SIDL compiler.
+    pub fn from_model(model: &CheckedModel) -> Self {
+        let mut types = BTreeMap::new();
+        for i in model.interfaces() {
+            types.insert(
+                i.qname.to_string(),
+                TypeInfo {
+                    qname: i.qname.to_string(),
+                    kind: TypeKind::Interface,
+                    doc: i.doc.clone(),
+                    bases: i.all_bases.iter().map(QName::to_string).collect(),
+                    is_abstract: false,
+                    methods: i
+                        .all_methods
+                        .iter()
+                        .map(|(decl, m)| method_info(decl, m))
+                        .collect(),
+                    variants: vec![],
+                },
+            );
+        }
+        for c in model.classes() {
+            let mut bases: Vec<String> =
+                c.all_interfaces.iter().map(QName::to_string).collect();
+            // Walk the class chain too.
+            let mut cur = c.extends.clone();
+            while let Some(base) = cur {
+                bases.push(base.to_string());
+                cur = model.class(&base).and_then(|b| b.extends.clone());
+            }
+            bases.sort();
+            bases.dedup();
+            types.insert(
+                c.qname.to_string(),
+                TypeInfo {
+                    qname: c.qname.to_string(),
+                    kind: TypeKind::Class,
+                    doc: c.doc.clone(),
+                    bases,
+                    is_abstract: c.is_abstract,
+                    methods: c
+                        .all_methods
+                        .iter()
+                        .map(|(decl, m)| method_info(decl, m))
+                        .collect(),
+                    variants: vec![],
+                },
+            );
+        }
+        for e in model.enums() {
+            types.insert(
+                e.qname.to_string(),
+                TypeInfo {
+                    qname: e.qname.to_string(),
+                    kind: TypeKind::Enum,
+                    doc: e.doc.clone(),
+                    bases: vec![],
+                    is_abstract: false,
+                    methods: vec![],
+                    variants: e.variants.clone(),
+                },
+            );
+        }
+        Reflection { types }
+    }
+
+    /// Looks up a type by fully qualified name.
+    pub fn type_info(&self, qname: &str) -> Option<&TypeInfo> {
+        self.types.get(qname)
+    }
+
+    /// All registered types in name order.
+    pub fn types(&self) -> impl Iterator<Item = &TypeInfo> {
+        self.types.values()
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True when no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// String-based subtype query usable without the model (reflexive).
+    pub fn is_subtype_of(&self, sub: &str, sup: &str) -> bool {
+        sub == sup
+            || self
+                .types
+                .get(sub)
+                .is_some_and(|t| t.bases.iter().any(|b| b == sup))
+    }
+
+    /// Merges another reflection registry into this one (later wins).
+    pub fn merge(&mut self, other: &Reflection) {
+        for (k, v) in &other.types {
+            self.types.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+fn method_info(decl: &QName, m: &crate::ast::Method) -> MethodInfo {
+    MethodInfo {
+        name: m.name.clone(),
+        doc: m.doc.clone(),
+        is_static: m.is_static,
+        is_final: m.is_final,
+        ret: m.ret.clone(),
+        args: m
+            .args
+            .iter()
+            .map(|a| (a.mode, a.ty.clone(), a.name.clone()))
+            .collect(),
+        throws: m.throws.iter().map(QName::to_string).collect(),
+        declared_in: decl.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const SRC: &str = "
+        package esi {
+            /** Base object. */
+            interface Object { string typeName(); }
+            interface Vector extends Object {
+                double dot(in Vector y);
+            }
+            abstract class Base implements-all Object { }
+            class Dense extends Base implements-all Vector {
+                void fill(in double value);
+            }
+            enum Status { OK, Fail = 9 }
+        }
+    ";
+
+    fn reflection() -> Reflection {
+        Reflection::from_model(&compile(SRC).unwrap())
+    }
+
+    #[test]
+    fn registry_contains_every_definition() {
+        let r = reflection();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.type_info("esi.Vector").unwrap().kind, TypeKind::Interface);
+        assert_eq!(r.type_info("esi.Dense").unwrap().kind, TypeKind::Class);
+        assert_eq!(r.type_info("esi.Status").unwrap().kind, TypeKind::Enum);
+        assert!(r.type_info("esi.Missing").is_none());
+    }
+
+    #[test]
+    fn flattened_methods_visible_with_declaring_type() {
+        let r = reflection();
+        let dense = r.type_info("esi.Dense").unwrap();
+        let names: Vec<&str> = dense.methods.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"fill"));
+        assert!(names.contains(&"dot"));
+        assert!(names.contains(&"typeName"));
+        let dot = dense.method("dot").unwrap();
+        assert_eq!(dot.declared_in, "esi.Vector");
+        assert_eq!(dot.arity(), 1);
+        assert_eq!(dot.ret, Type::Double);
+    }
+
+    #[test]
+    fn abstract_flag_and_bases() {
+        let r = reflection();
+        assert!(r.type_info("esi.Base").unwrap().is_abstract);
+        assert!(!r.type_info("esi.Dense").unwrap().is_abstract);
+        let dense = r.type_info("esi.Dense").unwrap();
+        assert!(dense.bases.contains(&"esi.Base".to_string()));
+        assert!(dense.bases.contains(&"esi.Vector".to_string()));
+        assert!(dense.bases.contains(&"esi.Object".to_string()));
+    }
+
+    #[test]
+    fn string_subtype_query() {
+        let r = reflection();
+        assert!(r.is_subtype_of("esi.Dense", "esi.Vector"));
+        assert!(r.is_subtype_of("esi.Vector", "esi.Object"));
+        assert!(r.is_subtype_of("esi.Vector", "esi.Vector"));
+        assert!(!r.is_subtype_of("esi.Object", "esi.Vector"));
+        assert!(!r.is_subtype_of("nope", "esi.Vector"));
+    }
+
+    #[test]
+    fn enum_variants_exposed() {
+        let r = reflection();
+        let status = r.type_info("esi.Status").unwrap();
+        assert_eq!(
+            status.variants,
+            vec![("OK".to_string(), 0), ("Fail".to_string(), 9)]
+        );
+    }
+
+    #[test]
+    fn merge_registries() {
+        let mut a = reflection();
+        let b = Reflection::from_model(
+            &compile("package other { interface X { void f(); } }").unwrap(),
+        );
+        a.merge(&b);
+        assert!(a.type_info("other.X").is_some());
+        assert!(a.type_info("esi.Vector").is_some());
+    }
+
+    #[test]
+    fn docs_flow_through() {
+        let r = reflection();
+        assert_eq!(
+            r.type_info("esi.Object").unwrap().doc.as_deref(),
+            Some("Base object.")
+        );
+    }
+}

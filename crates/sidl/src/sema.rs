@@ -1,0 +1,827 @@
+//! Semantic analysis: symbol resolution and object-model checking.
+//!
+//! Enforces the §5 object model: "object-oriented semantics with an
+//! inheritance model similar to that of Java with multiple interface
+//! inheritance and single implementation inheritance", including the rules
+//! that make the Equation Solver Interface's polymorphism well-defined —
+//! diamond inheritance is fine when signatures agree, but a name inherited
+//! with two different signatures is rejected (SIDL has no overloading).
+//!
+//! The output, [`CheckedModel`], is the compiler's middle end: the
+//! reflection generator, proxy generators, and the CCA port-compatibility
+//! check ([`CheckedModel::is_subtype_of`]) all consume it.
+
+use crate::ast::*;
+use crate::error::{SidlError, Span};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A fully resolved interface: its own methods plus the flattened method
+/// set inherited from every base interface (deduplicated).
+#[derive(Debug, Clone)]
+pub struct ResolvedInterface {
+    /// Fully qualified name.
+    pub qname: QName,
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// Direct base interfaces (fully qualified).
+    pub extends: Vec<QName>,
+    /// All base interfaces, transitively (fully qualified, sorted).
+    pub all_bases: Vec<QName>,
+    /// Methods declared directly on this interface.
+    pub own_methods: Vec<Method>,
+    /// The complete flattened method set: `(declaring interface, method)`,
+    /// in a deterministic order (own methods first, then inherited).
+    pub all_methods: Vec<(QName, Method)>,
+}
+
+/// A fully resolved class.
+#[derive(Debug, Clone)]
+pub struct ResolvedClass {
+    /// Fully qualified name.
+    pub qname: QName,
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// True for abstract classes (not instantiable).
+    pub is_abstract: bool,
+    /// Base class, fully qualified.
+    pub extends: Option<QName>,
+    /// Directly implemented interfaces, fully qualified.
+    pub implements: Vec<QName>,
+    /// Every interface the class satisfies, transitively (sorted).
+    pub all_interfaces: Vec<QName>,
+    /// Methods declared directly on the class.
+    pub own_methods: Vec<Method>,
+    /// The complete flattened method set the class exposes.
+    pub all_methods: Vec<(QName, Method)>,
+}
+
+/// A resolved enum (unchanged from the AST apart from qualification).
+#[derive(Debug, Clone)]
+pub struct ResolvedEnum {
+    /// Fully qualified name.
+    pub qname: QName,
+    /// Documentation comment.
+    pub doc: Option<String>,
+    /// `(name, value)` pairs.
+    pub variants: Vec<(String, i64)>,
+}
+
+/// The checked, resolved model of one or more SIDL packages.
+#[derive(Debug, Clone, Default)]
+pub struct CheckedModel {
+    interfaces: BTreeMap<QName, ResolvedInterface>,
+    classes: BTreeMap<QName, ResolvedClass>,
+    enums: BTreeMap<QName, ResolvedEnum>,
+    packages: Vec<(QName, String)>,
+}
+
+impl CheckedModel {
+    /// Looks up an interface by fully qualified name.
+    pub fn interface(&self, qname: &QName) -> Option<&ResolvedInterface> {
+        self.interfaces.get(qname)
+    }
+
+    /// Looks up a class by fully qualified name.
+    pub fn class(&self, qname: &QName) -> Option<&ResolvedClass> {
+        self.classes.get(qname)
+    }
+
+    /// Looks up an enum by fully qualified name.
+    pub fn enum_def(&self, qname: &QName) -> Option<&ResolvedEnum> {
+        self.enums.get(qname)
+    }
+
+    /// All interfaces, sorted by qualified name.
+    pub fn interfaces(&self) -> impl Iterator<Item = &ResolvedInterface> {
+        self.interfaces.values()
+    }
+
+    /// All classes, sorted by qualified name.
+    pub fn classes(&self) -> impl Iterator<Item = &ResolvedClass> {
+        self.classes.values()
+    }
+
+    /// All enums, sorted by qualified name.
+    pub fn enums(&self) -> impl Iterator<Item = &ResolvedEnum> {
+        self.enums.values()
+    }
+
+    /// `(package name, version)` pairs in source order.
+    pub fn packages(&self) -> &[(QName, String)] {
+        &self.packages
+    }
+
+    /// The CCA port-compatibility relation (§6: "port compatibility is
+    /// defined as object-oriented type compatibility of the port
+    /// interfaces"): true iff `sub` *is-a* `sup`. Both interfaces and
+    /// classes may appear on the left; only interfaces and classes on the
+    /// right. Reflexive.
+    pub fn is_subtype_of(&self, sub: &QName, sup: &QName) -> bool {
+        if sub == sup {
+            return true;
+        }
+        if let Some(i) = self.interfaces.get(sub) {
+            return i.all_bases.contains(sup);
+        }
+        if let Some(c) = self.classes.get(sub) {
+            if c.all_interfaces.contains(sup) {
+                return true;
+            }
+            let mut cur = c.extends.clone();
+            while let Some(base) = cur {
+                if &base == sup {
+                    return true;
+                }
+                cur = self.classes.get(&base).and_then(|b| b.extends.clone());
+            }
+        }
+        false
+    }
+
+    /// Classes that satisfy the given interface (useful for repository
+    /// queries: "find me components providing this port type").
+    pub fn implementors(&self, interface: &QName) -> Vec<&QName> {
+        self.classes
+            .values()
+            .filter(|c| c.all_interfaces.contains(interface))
+            .map(|c| &c.qname)
+            .collect()
+    }
+}
+
+/// Raw (pre-resolution) symbol.
+enum RawSym<'a> {
+    Interface(&'a Interface, String),
+    Class(&'a Class, String),
+    Enum(&'a EnumDef),
+}
+
+/// Checks parsed packages and produces the resolved model.
+pub fn check(packages: &[Package]) -> Result<CheckedModel, SidlError> {
+    // Pass 1: symbol table of fully qualified names.
+    let mut raw: BTreeMap<QName, RawSym<'_>> = BTreeMap::new();
+    let mut model = CheckedModel::default();
+    for pkg in packages {
+        let pkg_name = pkg.name.to_string();
+        model.packages.push((pkg.name.clone(), pkg.version.clone()));
+        for def in &pkg.definitions {
+            let qname = QName::parse(def.name()).qualified_in(&pkg_name);
+            if raw.contains_key(&qname) {
+                return Err(SidlError::sema(
+                    def.span(),
+                    format!("duplicate definition of '{qname}'"),
+                ));
+            }
+            let sym = match def {
+                Definition::Interface(i) => RawSym::Interface(i, pkg_name.clone()),
+                Definition::Class(c) => RawSym::Class(c, pkg_name.clone()),
+                Definition::Enum(e) => RawSym::Enum(e),
+            };
+            raw.insert(qname, sym);
+        }
+    }
+
+    let resolver = Resolver { raw: &raw };
+
+    // Pass 2: resolve enums (trivial) and interfaces (flatten inheritance).
+    for (qname, sym) in &raw {
+        match sym {
+            RawSym::Enum(e) => {
+                model.enums.insert(
+                    qname.clone(),
+                    ResolvedEnum {
+                        qname: qname.clone(),
+                        doc: e.doc.clone(),
+                        variants: e.variants.clone(),
+                    },
+                );
+            }
+            RawSym::Interface(_, _) => {
+                let resolved = resolver.resolve_interface(qname, &mut Vec::new())?;
+                model.interfaces.insert(qname.clone(), resolved);
+            }
+            RawSym::Class(_, _) => {}
+        }
+    }
+
+    // Pass 3: resolve classes (needs interfaces resolved).
+    for (qname, sym) in &raw {
+        if let RawSym::Class(c, pkg) = sym {
+            let resolved = resolver.resolve_class(qname, c, pkg, &model, &mut Vec::new())?;
+            model.classes.insert(qname.clone(), resolved);
+        }
+    }
+
+    // Pass 4: validate every method's referenced types (args, returns,
+    // throws) against the symbol table.
+    for pkg in packages {
+        let pkg_name = pkg.name.to_string();
+        for def in &pkg.definitions {
+            let methods: &[Method] = match def {
+                Definition::Interface(i) => &i.methods,
+                Definition::Class(c) => &c.methods,
+                Definition::Enum(_) => &[],
+            };
+            for m in methods {
+                resolver.check_type(&m.ret, &pkg_name, m.span)?;
+                for a in &m.args {
+                    resolver.check_type(&a.ty, &pkg_name, m.span)?;
+                    if a.ty == Type::Void {
+                        return Err(SidlError::sema(
+                            m.span,
+                            format!("argument '{}' of '{}' cannot be void", a.name, m.name),
+                        ));
+                    }
+                }
+                for t in &m.throws {
+                    let q = t.qualified_in(&pkg_name);
+                    if !raw.contains_key(&q) {
+                        return Err(SidlError::sema(
+                            m.span,
+                            format!("unknown exception type '{t}' in throws clause"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(model)
+}
+
+struct Resolver<'a> {
+    raw: &'a BTreeMap<QName, RawSym<'a>>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Resolves a possibly-unqualified reference from within `pkg`.
+    fn lookup(&self, name: &QName, pkg: &str, span: Span) -> Result<QName, SidlError> {
+        let local = name.qualified_in(pkg);
+        if self.raw.contains_key(&local) {
+            return Ok(local);
+        }
+        if name.is_qualified() && self.raw.contains_key(name) {
+            return Ok(name.clone());
+        }
+        Err(SidlError::sema(
+            span,
+            format!("unknown type '{name}' (looked up as '{local}')"),
+        ))
+    }
+
+    fn check_type(&self, ty: &Type, pkg: &str, span: Span) -> Result<(), SidlError> {
+        match ty {
+            Type::Named(q) => {
+                self.lookup(q, pkg, span)?;
+                Ok(())
+            }
+            Type::Array { elem, .. } => self.check_type(elem, pkg, span),
+            _ => Ok(()),
+        }
+    }
+
+    /// Rewrites a method's `Named` types and `throws` entries to fully
+    /// qualified names, resolving from the declaring package. Codegen and
+    /// reflection then never see package-relative names.
+    fn qualify_method(&self, m: &Method, pkg: &str) -> Result<Method, SidlError> {
+        fn qualify_type(
+            r: &Resolver<'_>,
+            ty: &Type,
+            pkg: &str,
+            span: Span,
+        ) -> Result<Type, SidlError> {
+            Ok(match ty {
+                Type::Named(q) => Type::Named(r.lookup(q, pkg, span)?),
+                Type::Array { elem, rank } => Type::Array {
+                    elem: Box::new(qualify_type(r, elem, pkg, span)?),
+                    rank: *rank,
+                },
+                other => other.clone(),
+            })
+        }
+        let mut out = m.clone();
+        out.ret = qualify_type(self, &m.ret, pkg, m.span)?;
+        for a in &mut out.args {
+            a.ty = qualify_type(self, &a.ty, pkg, m.span)?;
+        }
+        for t in &mut out.throws {
+            *t = self.lookup(t, pkg, m.span).map_err(|_| {
+                SidlError::sema(
+                    m.span,
+                    format!("unknown exception type '{t}' in throws clause"),
+                )
+            })?;
+        }
+        Ok(out)
+    }
+
+    fn interface_parts(&self, qname: &QName) -> Option<(&'a Interface, &str)> {
+        match self.raw.get(qname) {
+            Some(RawSym::Interface(i, pkg)) => Some((i, pkg.as_str())),
+            _ => None,
+        }
+    }
+
+    fn resolve_interface(
+        &self,
+        qname: &QName,
+        stack: &mut Vec<QName>,
+    ) -> Result<ResolvedInterface, SidlError> {
+        let (iface, pkg) = self.interface_parts(qname).ok_or_else(|| {
+            SidlError::sema(Span::default(), format!("'{qname}' is not an interface"))
+        })?;
+        if stack.contains(qname) {
+            return Err(SidlError::sema(
+                iface.span,
+                format!(
+                    "inheritance cycle involving '{qname}': {}",
+                    stack
+                        .iter()
+                        .map(QName::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                ),
+            ));
+        }
+        stack.push(qname.clone());
+
+        check_no_overloads(&iface.methods, &iface.name)?;
+        for m in &iface.methods {
+            if m.is_static {
+                return Err(SidlError::sema(
+                    m.span,
+                    format!("interface method '{}' cannot be static", m.name),
+                ));
+            }
+        }
+        let own_methods: Vec<Method> = iface
+            .methods
+            .iter()
+            .map(|m| self.qualify_method(m, pkg))
+            .collect::<Result<_, _>>()?;
+
+        let mut extends = Vec::new();
+        let mut all_bases = BTreeSet::new();
+        // name -> (declaring qname, method) for collision checking.
+        let mut merged: BTreeMap<String, (QName, Method)> = BTreeMap::new();
+        for m in &own_methods {
+            merged.insert(m.name.clone(), (qname.clone(), m.clone()));
+        }
+
+        let mut inherited: Vec<(QName, Method)> = Vec::new();
+        for base_ref in &iface.extends {
+            let base_q = self.lookup(base_ref, pkg, iface.span)?;
+            if self.interface_parts(&base_q).is_none() {
+                return Err(SidlError::sema(
+                    iface.span,
+                    format!("interface '{}' cannot extend non-interface '{base_q}'", iface.name),
+                ));
+            }
+            let base = self.resolve_interface(&base_q, stack)?;
+            extends.push(base_q.clone());
+            all_bases.insert(base_q.clone());
+            for b in &base.all_bases {
+                all_bases.insert(b.clone());
+            }
+            for (decl, m) in base.all_methods {
+                match merged.get(&m.name) {
+                    Some((prev_decl, prev)) => {
+                        if prev.signature() != m.signature() {
+                            return Err(SidlError::sema(
+                                iface.span,
+                                format!(
+                                    "method collision in '{qname}': '{}' inherited from \
+                                     '{decl}' conflicts with declaration in '{prev_decl}' \
+                                     (SIDL has no overloading)",
+                                    m.name
+                                ),
+                            ));
+                        }
+                        if prev_decl == qname && prev.signature() == m.signature() && m.is_final {
+                            return Err(SidlError::sema(
+                                iface.span,
+                                format!(
+                                    "'{qname}' overrides final method '{}' from '{decl}'",
+                                    m.name
+                                ),
+                            ));
+                        }
+                        // Diamond: identical signature, keep the first.
+                    }
+                    None => {
+                        merged.insert(m.name.clone(), (decl.clone(), m.clone()));
+                        inherited.push((decl, m));
+                    }
+                }
+            }
+        }
+        stack.pop();
+
+        let mut all_methods: Vec<(QName, Method)> = own_methods
+            .iter()
+            .map(|m| (qname.clone(), m.clone()))
+            .collect();
+        all_methods.extend(inherited);
+
+        Ok(ResolvedInterface {
+            qname: qname.clone(),
+            doc: iface.doc.clone(),
+            extends,
+            all_bases: all_bases.into_iter().collect(),
+            own_methods,
+            all_methods,
+        })
+    }
+
+    fn resolve_class(
+        &self,
+        qname: &QName,
+        class: &Class,
+        pkg: &str,
+        model: &CheckedModel,
+        stack: &mut Vec<QName>,
+    ) -> Result<ResolvedClass, SidlError> {
+        if stack.contains(qname) {
+            return Err(SidlError::sema(
+                class.span,
+                format!("class inheritance cycle involving '{qname}'"),
+            ));
+        }
+        stack.push(qname.clone());
+
+        check_no_overloads(&class.methods, &class.name)?;
+        let own_methods: Vec<Method> = class
+            .methods
+            .iter()
+            .map(|m| self.qualify_method(m, pkg))
+            .collect::<Result<_, _>>()?;
+
+        // Resolve base class chain.
+        let mut all_interfaces: BTreeSet<QName> = BTreeSet::new();
+        let mut merged: BTreeMap<String, (QName, Method)> = BTreeMap::new();
+        for m in &own_methods {
+            merged.insert(m.name.clone(), (qname.clone(), m.clone()));
+        }
+        let mut inherited: Vec<(QName, Method)> = Vec::new();
+
+        let extends = match &class.extends {
+            Some(base_ref) => {
+                let base_q = self.lookup(base_ref, pkg, class.span)?;
+                let (base_class, base_pkg) = match self.raw.get(&base_q) {
+                    Some(RawSym::Class(c, p)) => (*c, p.as_str()),
+                    _ => {
+                        return Err(SidlError::sema(
+                            class.span,
+                            format!("class '{}' cannot extend non-class '{base_q}'", class.name),
+                        ))
+                    }
+                };
+                let base = self.resolve_class(&base_q, base_class, base_pkg, model, stack)?;
+                for i in &base.all_interfaces {
+                    all_interfaces.insert(i.clone());
+                }
+                for (decl, m) in base.all_methods {
+                    match merged.get(&m.name) {
+                        Some((prev_decl, prev)) => {
+                            if prev.signature() != m.signature() {
+                                return Err(SidlError::sema(
+                                    class.span,
+                                    format!(
+                                        "'{qname}.{}' conflicts with inherited method from \
+                                         '{decl}' (different signature; no overloading)",
+                                        m.name
+                                    ),
+                                ));
+                            }
+                            if m.is_final && prev_decl == qname {
+                                return Err(SidlError::sema(
+                                    class.span,
+                                    format!(
+                                        "'{qname}' overrides final method '{}' from '{decl}'",
+                                        m.name
+                                    ),
+                                ));
+                            }
+                            // Legal override: keep the derived declaration.
+                        }
+                        None => {
+                            merged.insert(m.name.clone(), (decl.clone(), m.clone()));
+                            inherited.push((decl, m));
+                        }
+                    }
+                }
+                Some(base_q)
+            }
+            None => None,
+        };
+
+        // Resolve implemented interfaces.
+        let mut implements = Vec::new();
+        for iface_ref in &class.implements {
+            let iface_q = self.lookup(iface_ref, pkg, class.span)?;
+            let iface = self.resolve_interface(&iface_q, &mut Vec::new()).map_err(|_| {
+                SidlError::sema(
+                    class.span,
+                    format!(
+                        "class '{}' cannot implement non-interface '{iface_q}'",
+                        class.name
+                    ),
+                )
+            })?;
+            implements.push(iface_q.clone());
+            all_interfaces.insert(iface_q.clone());
+            for b in &iface.all_bases {
+                all_interfaces.insert(b.clone());
+            }
+            for (decl, m) in iface.all_methods {
+                match merged.get(&m.name) {
+                    Some((_, prev)) => {
+                        if prev.signature() != m.signature() {
+                            return Err(SidlError::sema(
+                                class.span,
+                                format!(
+                                    "'{qname}.{}' does not match the signature required by \
+                                     interface '{decl}'",
+                                    m.name
+                                ),
+                            ));
+                        }
+                        // Class (or base) implements the interface method.
+                    }
+                    None => {
+                        // implements-all semantics: pull the method in.
+                        merged.insert(m.name.clone(), (decl.clone(), m.clone()));
+                        inherited.push((decl, m));
+                    }
+                }
+            }
+        }
+        stack.pop();
+
+        let mut all_methods: Vec<(QName, Method)> = own_methods
+            .iter()
+            .map(|m| (qname.clone(), m.clone()))
+            .collect();
+        all_methods.extend(inherited);
+
+        Ok(ResolvedClass {
+            qname: qname.clone(),
+            doc: class.doc.clone(),
+            is_abstract: class.is_abstract,
+            extends,
+            implements,
+            all_interfaces: all_interfaces.into_iter().collect(),
+            own_methods,
+            all_methods,
+        })
+    }
+}
+
+fn check_no_overloads(methods: &[Method], owner: &str) -> Result<(), SidlError> {
+    let mut seen = BTreeSet::new();
+    for m in methods {
+        if !seen.insert(&m.name) {
+            return Err(SidlError::sema(
+                m.span,
+                format!("duplicate method '{}' in '{owner}' (SIDL has no overloading)", m.name),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn model(src: &str) -> CheckedModel {
+        check(&parse(src).unwrap()).unwrap()
+    }
+
+    fn err(src: &str) -> String {
+        check(&parse(src).unwrap()).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn resolves_cross_package_references() {
+        let m = model(
+            "package a { interface X { void f(); } } \
+             package b { interface Y extends a.X { void g(); } }",
+        );
+        let y = m.interface(&QName::parse("b.Y")).unwrap();
+        assert_eq!(y.extends, vec![QName::parse("a.X")]);
+        assert_eq!(y.all_methods.len(), 2);
+    }
+
+    #[test]
+    fn flattens_diamond_inheritance() {
+        let m = model(
+            "package p {
+                interface Root { string name(); }
+                interface A extends Root { void fa(); }
+                interface B extends Root { void fb(); }
+                interface D extends A, B { void fd(); }
+            }",
+        );
+        let d = m.interface(&QName::parse("p.D")).unwrap();
+        // name() appears once despite two inheritance paths.
+        let names: Vec<&str> = d.all_methods.iter().map(|(_, m)| m.name.as_str()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "name").count(), 1);
+        assert_eq!(d.all_methods.len(), 4);
+        assert_eq!(d.all_bases.len(), 3);
+    }
+
+    #[test]
+    fn signature_conflict_in_multiple_inheritance_rejected() {
+        let e = err(
+            "package p {
+                interface A { void f(in int x); }
+                interface B { void f(in double x); }
+                interface C extends A, B { }
+            }",
+        );
+        assert!(e.contains("collision"), "{e}");
+    }
+
+    #[test]
+    fn same_signature_diamond_is_fine() {
+        let m = model(
+            "package p {
+                interface A { void f(in int x); }
+                interface B { void f(in int x); }
+                interface C extends A, B { }
+            }",
+        );
+        let c = m.interface(&QName::parse("p.C")).unwrap();
+        assert_eq!(c.all_methods.len(), 1);
+    }
+
+    #[test]
+    fn inheritance_cycle_detected() {
+        let e = err(
+            "package p {
+                interface A extends B { }
+                interface B extends A { }
+            }",
+        );
+        assert!(e.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn class_cycle_detected() {
+        let e = err(
+            "package p {
+                class A extends B { }
+                class B extends A { }
+            }",
+        );
+        assert!(e.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn unknown_types_rejected() {
+        assert!(err("package p { interface A extends Nope { } }").contains("unknown type"));
+        assert!(err("package p { class C extends Nope { } }").contains("unknown type"));
+        assert!(
+            err("package p { interface A { void f(in Mystery m); } }").contains("unknown type")
+        );
+        assert!(err("package p { interface A { void f() throws Gone; } }")
+            .contains("unknown exception type"));
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        assert!(err(
+            "package p { class C { } interface I extends C { } }"
+        )
+        .contains("cannot extend non-interface"));
+        assert!(err(
+            "package p { interface I { } class C extends I { } }"
+        )
+        .contains("cannot extend non-class"));
+        assert!(err(
+            "package p { class D { } class C implements-all D { } }"
+        )
+        .contains("cannot implement non-interface"));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(err("package p { interface X { } class X { } }").contains("duplicate definition"));
+    }
+
+    #[test]
+    fn overloading_rejected() {
+        assert!(err("package p { interface I { void f(); void f(in int x); } }")
+            .contains("no overloading"));
+    }
+
+    #[test]
+    fn static_interface_methods_rejected() {
+        assert!(err("package p { interface I { static void f(); } }").contains("static"));
+    }
+
+    #[test]
+    fn implements_all_pulls_methods_into_class() {
+        let m = model(
+            "package p {
+                interface Op { void apply(in double x); }
+                interface Pre extends Op { void setup(); }
+                class Solver implements-all Pre { void solve(); }
+            }",
+        );
+        let c = m.class(&QName::parse("p.Solver")).unwrap();
+        let names: BTreeSet<&str> = c.all_methods.iter().map(|(_, m)| m.name.as_str()).collect();
+        assert_eq!(names, ["apply", "setup", "solve"].into_iter().collect());
+        assert_eq!(
+            c.all_interfaces,
+            vec![QName::parse("p.Op"), QName::parse("p.Pre")]
+        );
+    }
+
+    #[test]
+    fn class_override_keeps_derived_declaration() {
+        let m = model(
+            "package p {
+                class Base { /** base doc */ void run(); }
+                class Derived extends Base { /** derived doc */ void run(); }
+            }",
+        );
+        let d = m.class(&QName::parse("p.Derived")).unwrap();
+        assert_eq!(d.all_methods.len(), 1);
+        let (decl, m0) = &d.all_methods[0];
+        assert_eq!(decl.to_string(), "p.Derived");
+        assert_eq!(m0.doc.as_deref(), Some("derived doc"));
+    }
+
+    #[test]
+    fn final_method_override_rejected() {
+        let e = err(
+            "package p {
+                class Base { final void run(); }
+                class Derived extends Base { void run(); }
+            }",
+        );
+        assert!(e.contains("final"), "{e}");
+    }
+
+    #[test]
+    fn class_signature_must_match_interface() {
+        let e = err(
+            "package p {
+                interface I { void f(in int x); }
+                class C implements-all I { void f(in double x); }
+            }",
+        );
+        assert!(e.contains("signature"), "{e}");
+    }
+
+    #[test]
+    fn subtyping_relation() {
+        let m = model(
+            "package p {
+                interface Port { }
+                interface SolverPort extends Port { }
+                class Base { }
+                class Cg extends Base implements-all SolverPort { }
+            }",
+        );
+        let q = QName::parse;
+        assert!(m.is_subtype_of(&q("p.SolverPort"), &q("p.Port")));
+        assert!(m.is_subtype_of(&q("p.Cg"), &q("p.SolverPort")));
+        assert!(m.is_subtype_of(&q("p.Cg"), &q("p.Port")));
+        assert!(m.is_subtype_of(&q("p.Cg"), &q("p.Base")));
+        assert!(m.is_subtype_of(&q("p.Port"), &q("p.Port")));
+        assert!(!m.is_subtype_of(&q("p.Port"), &q("p.SolverPort")));
+        assert!(!m.is_subtype_of(&q("p.Base"), &q("p.Cg")));
+    }
+
+    #[test]
+    fn implementors_query() {
+        let m = model(
+            "package p {
+                interface Port { }
+                class A implements-all Port { }
+                class B { }
+                class C implements-all Port { }
+            }",
+        );
+        let found = m.implementors(&QName::parse("p.Port"));
+        let names: Vec<String> = found.iter().map(|q| q.to_string()).collect();
+        assert_eq!(names, vec!["p.A", "p.C"]);
+    }
+
+    #[test]
+    fn enums_resolved() {
+        let m = model("package p { enum E { X, Y = 5 } }");
+        let e = m.enum_def(&QName::parse("p.E")).unwrap();
+        assert_eq!(e.variants[1], ("Y".to_string(), 5));
+    }
+
+    #[test]
+    fn compile_entry_point() {
+        let m = crate::compile("package p { interface I { void f(); } }").unwrap();
+        assert!(m.interface(&QName::parse("p.I")).is_some());
+    }
+}

@@ -1,0 +1,339 @@
+//! Compressed sparse row matrices.
+//!
+//! The storage format every 1999-era solver library (PETSc, ISIS++,
+//! Aztec) used for the "very large ... sparse coefficient matrices" of
+//! §2.2. Rows are local; in SPMD use each rank holds a block of rows and
+//! column indices refer to a locally assembled (halo-extended) vector.
+
+use cca_core::CcaError;
+
+/// A CSR matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from raw CSR arrays, validating the invariants.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Result<Self, CcaError> {
+        if indptr.len() != nrows + 1 {
+            return Err(CcaError::Framework(format!(
+                "indptr has length {}, expected {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr[0] != 0 || *indptr.last().unwrap() != indices.len() {
+            return Err(CcaError::Framework("indptr endpoints invalid".into()));
+        }
+        if indices.len() != data.len() {
+            return Err(CcaError::Framework(
+                "indices and data lengths differ".into(),
+            ));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CcaError::Framework("indptr not monotone".into()));
+        }
+        if indices.iter().any(|&j| j >= ncols) {
+            return Err(CcaError::Framework("column index out of range".into()));
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Assembles from `(row, col, value)` triplets; duplicates accumulate.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, CcaError> {
+        for &(r, c, _) in triplets {
+            if r >= nrows || c >= ncols {
+                return Err(CcaError::Framework(format!(
+                    "triplet ({r},{c}) out of {nrows}x{ncols}"
+                )));
+            }
+        }
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
+        for &(r, c, v) in triplets {
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut data = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *data.last_mut().unwrap() += v;
+                } else {
+                    indices.push(c);
+                    data.push(v);
+                    last = Some(c);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::new(nrows, ncols, indptr, indices, data)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates the stored entries of one row as `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.data[lo..hi].iter().copied())
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length != ncols");
+        assert_eq!(y.len(), self.nrows, "y length != nrows");
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// The main diagonal (zeros where no entry is stored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows.min(self.ncols)];
+        for (r, item) in d.iter_mut().enumerate() {
+            for (c, v) in self.row(r) {
+                if c == r {
+                    *item = v;
+                }
+            }
+        }
+        d
+    }
+
+    /// Dense reference (tests only — O(n²) memory).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.ncols]; self.nrows];
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                dense[r][c] += v;
+            }
+        }
+        dense
+    }
+
+    /// The 5-point finite-difference Laplacian on an `nx × ny` grid with
+    /// Dirichlet boundaries (row-major grid numbering: `idx = i + nx*j`).
+    /// This is the "discretized linear system" of §2.2 in its simplest
+    /// honest form.
+    pub fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
+        let n = nx * ny;
+        let mut triplets = Vec::with_capacity(5 * n);
+        for j in 0..ny {
+            for i in 0..nx {
+                let idx = i + nx * j;
+                triplets.push((idx, idx, 4.0));
+                if i > 0 {
+                    triplets.push((idx, idx - 1, -1.0));
+                }
+                if i + 1 < nx {
+                    triplets.push((idx, idx + 1, -1.0));
+                }
+                if j > 0 {
+                    triplets.push((idx, idx - nx, -1.0));
+                }
+                if j + 1 < ny {
+                    triplets.push((idx, idx + nx, -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &triplets).expect("stencil triplets are valid")
+    }
+
+    /// Shifted operator `alpha I + beta A` with the same sparsity.
+    pub fn shift_scale(&self, alpha: f64, beta: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= beta;
+        }
+        // Add alpha on the diagonal (entry must exist; laplacian has it).
+        for r in 0..out.nrows {
+            let mut found = false;
+            for k in out.indptr[r]..out.indptr[r + 1] {
+                if out.indices[k] == r {
+                    out.data[k] += alpha;
+                    found = true;
+                }
+            }
+            assert!(found, "shift_scale requires stored diagonal");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn triplets_accumulate_duplicates() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.diagonal(), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_structure() {
+        assert!(CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(CsrMatrix::new(1, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::new(1, 1, vec![0, 1], vec![0], vec![]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(3, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn laplacian_structure() {
+        let a = CsrMatrix::laplacian_2d(3, 3);
+        assert_eq!(a.nrows(), 9);
+        // Interior point (1,1) = idx 4 has 5 entries.
+        assert_eq!(a.row(4).count(), 5);
+        // Corner has 3.
+        assert_eq!(a.row(0).count(), 3);
+        // Row sums: zero in the interior, positive on the boundary
+        // (Dirichlet), and the matrix is symmetric.
+        let dense = a.to_dense();
+        for r in 0..9 {
+            for c in 0..9 {
+                assert_eq!(dense[r][c], dense[c][r]);
+            }
+        }
+        let interior_sum: f64 = dense[4].iter().sum();
+        assert_eq!(interior_sum, 0.0);
+        let corner_sum: f64 = dense[0].iter().sum();
+        assert_eq!(corner_sum, 2.0);
+    }
+
+    #[test]
+    fn shift_scale_builds_helmholtz_like_operator() {
+        let a = CsrMatrix::laplacian_2d(3, 3);
+        let shifted = a.shift_scale(1.0, 0.5); // I + 0.5 A
+        let x = vec![1.0; 9];
+        let mut ya = vec![0.0; 9];
+        let mut ys = vec![0.0; 9];
+        a.matvec(&x, &mut ya);
+        shifted.matvec(&x, &mut ys);
+        for i in 0..9 {
+            assert!((ys[i] - (x[i] + 0.5 * ya[i])).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_legal() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (2, 2, 1.0)]).unwrap();
+        assert_eq!(a.row(1).count(), 0);
+        let mut y = vec![9.0; 3];
+        a.matvec(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+        (1usize..8, 1usize..8).prop_flat_map(|(nr, nc)| {
+            let t = proptest::collection::vec(
+                (0..nr, 0..nc, -5.0f64..5.0),
+                0..24,
+            );
+            (Just(nr), Just(nc), t)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn csr_matvec_matches_dense_reference((nr, nc, triplets) in arb_triplets(),
+                                              seed in 0u64..1000) {
+            let a = CsrMatrix::from_triplets(nr, nc, &triplets).unwrap();
+            // Deterministic pseudo-random x from the seed.
+            let x: Vec<f64> = (0..nc)
+                .map(|i| (((seed + i as u64) * 2654435761) % 1000) as f64 / 100.0)
+                .collect();
+            let mut y = vec![0.0; nr];
+            a.matvec(&x, &mut y);
+            let dense = a.to_dense();
+            for r in 0..nr {
+                let want: f64 = (0..nc).map(|c| dense[r][c] * x[c]).sum();
+                prop_assert!((y[r] - want).abs() < 1e-9);
+            }
+        }
+    }
+}

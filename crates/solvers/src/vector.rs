@@ -1,0 +1,153 @@
+//! BLAS-1 kernels and the serial/parallel reduction abstraction.
+//!
+//! Krylov methods only touch the distribution of a vector in two places:
+//! inner products and norms. [`Reduction`] abstracts that: a serial solver
+//! sums locally; an SPMD solver hands partial sums to `allreduce`. All
+//! other kernels (axpy, scale, copy) are embarrassingly local.
+
+use cca_parallel::{Comm, ReduceOp, SumOp};
+
+/// Where global sums come from.
+pub trait Reduction {
+    /// Reduces a local partial sum to the global sum (on every caller).
+    fn global_sum(&self, local: f64) -> f64;
+
+    /// Reduces two partial sums at once (one message in SPMD contexts —
+    /// the classic latency optimization for CG's paired dots).
+    fn global_sum2(&self, a: f64, b: f64) -> (f64, f64) {
+        (self.global_sum(a), self.global_sum(b))
+    }
+}
+
+/// Serial context: sums are already global.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialReduce;
+
+impl Reduction for SerialReduce {
+    fn global_sum(&self, local: f64) -> f64 {
+        local
+    }
+}
+
+/// SPMD context: partial sums go through `allreduce` on a communicator.
+pub struct CommReduce<'a>(pub &'a Comm);
+
+impl Reduction for CommReduce<'_> {
+    fn global_sum(&self, local: f64) -> f64 {
+        self.0
+            .allreduce(local, &SumOp)
+            .expect("allreduce on live communicator")
+    }
+
+    fn global_sum2(&self, a: f64, b: f64) -> (f64, f64) {
+        struct PairSum;
+        impl ReduceOp<(f64, f64)> for PairSum {
+            fn combine(&self, x: (f64, f64), y: (f64, f64)) -> (f64, f64) {
+                (x.0 + y.0, x.1 + y.1)
+            }
+        }
+        self.0
+            .allreduce((a, b), &PairSum)
+            .expect("allreduce on live communicator")
+    }
+}
+
+/// Local dot product of two equal-length slices.
+#[inline]
+pub fn dot_local(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Global dot product under a reduction context.
+#[inline]
+pub fn dot<R: Reduction>(r: &R, x: &[f64], y: &[f64]) -> f64 {
+    r.global_sum(dot_local(x, y))
+}
+
+/// Global 2-norm under a reduction context.
+#[inline]
+pub fn norm2<R: Reduction>(r: &R, x: &[f64]) -> f64 {
+    r.global_sum(dot_local(x, x)).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (the CG direction update).
+#[inline]
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Copies `x` into `y`.
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_parallel::spmd;
+
+    #[test]
+    fn local_kernels() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot_local(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![4.0, 6.5, 9.0]);
+        scale(2.0, &mut y);
+        assert_eq!(y, vec![8.0, 13.0, 18.0]);
+        let mut z = vec![0.0; 3];
+        copy(&x, &mut z);
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn serial_reduction_is_identity() {
+        let r = SerialReduce;
+        assert_eq!(r.global_sum(5.5), 5.5);
+        assert_eq!(r.global_sum2(1.0, 2.0), (1.0, 2.0));
+        assert_eq!(norm2(&r, &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn comm_reduction_matches_serial() {
+        // Global vector [0,1,2,...,11] split over 3 ranks.
+        let global: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let serial_dot = dot_local(&global, &global);
+        let results = spmd(3, |c| {
+            let chunk = &global[c.rank() * 4..(c.rank() + 1) * 4];
+            let r = CommReduce(c);
+            let d = dot(&r, chunk, chunk);
+            let (a, b) = r.global_sum2(chunk.iter().sum(), 1.0);
+            (d, a, b)
+        });
+        for (d, a, b) in results {
+            assert_eq!(d, serial_dot);
+            assert_eq!(a, global.iter().sum::<f64>());
+            assert_eq!(b, 3.0);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic rendering and statistics of 2-D fields.
+
+/// Summary statistics of a field snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Euclidean norm.
+    pub norm2: f64,
+    /// Element count.
+    pub count: usize,
+}
+
+impl FieldStats {
+    /// Computes statistics over a slice. Empty slices produce zeros.
+    pub fn of(data: &[f64]) -> FieldStats {
+        if data.is_empty() {
+            return FieldStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                norm2: 0.0,
+                count: 0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for &v in data {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            sq += v * v;
+        }
+        FieldStats {
+            min,
+            max,
+            mean: sum / data.len() as f64,
+            norm2: sq.sqrt(),
+            count: data.len(),
+        }
+    }
+}
+
+/// Intensity ramp used by the ASCII renderer, dimmest to brightest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a global 2-D field (column-major `[nx, ny]`, i.e.
+/// `value(i,j) = data[i + nx*j]`) as `width × height` ASCII characters by
+/// box-averaging. Values are normalized to the field's own min/max;
+/// constant fields render as all-minimum.
+pub fn render_ascii(data: &[f64], nx: usize, ny: usize, width: usize, height: usize) -> String {
+    assert_eq!(data.len(), nx * ny, "data length != nx*ny");
+    assert!(width > 0 && height > 0);
+    let stats = FieldStats::of(data);
+    let range = stats.max - stats.min;
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in 0..height {
+        // Render top row = largest j (like a plot, y upward).
+        let j_hi = ny - (row * ny) / height;
+        let j_lo = ny - ((row + 1) * ny) / height;
+        for col in 0..width {
+            let i_lo = (col * nx) / width;
+            let i_hi = (((col + 1) * nx) / width).max(i_lo + 1);
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for j in j_lo..j_hi.max(j_lo + 1).min(ny) {
+                for i in i_lo..i_hi.min(nx) {
+                    acc += data[i + nx * j];
+                    n += 1;
+                }
+            }
+            let v = if n == 0 { stats.min } else { acc / n as f64 };
+            let t = if range > 0.0 {
+                ((v - stats.min) / range).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Ramp used by [`sparkline`], 8 levels.
+const SPARK: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a numeric series as a one-line sparkline (monitor history at a
+/// glance). Values are normalized to the series' own min/max; a constant
+/// series renders at the lowest level; NaNs render as spaces.
+pub fn sparkline(series: &[f64]) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    });
+    let range = max - min;
+    series
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if range > 0.0 {
+                let t = ((v - min) / range).clamp(0.0, 1.0);
+                SPARK[((t * (SPARK.len() - 1) as f64).round() as usize).min(SPARK.len() - 1)]
+            } else {
+                SPARK[0]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        // Monotone ramp: first char lowest, last highest.
+        let s: Vec<char> = sparkline(&[0.0, 1.0, 2.0, 3.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[3], '█');
+        // Constant series renders at the floor.
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        // NaN becomes a gap.
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = FieldStats::of(&[1.0, -2.0, 3.0, 0.0]);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 0.5);
+        assert!((s.norm2 - (14.0f64).sqrt()).abs() < 1e-14);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = FieldStats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.norm2, 0.0);
+    }
+
+    #[test]
+    fn render_dimensions() {
+        let data = vec![0.0; 16];
+        let img = render_ascii(&data, 4, 4, 8, 3);
+        let lines: Vec<&str> = img.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 8));
+    }
+
+    #[test]
+    fn constant_field_renders_minimum() {
+        let data = vec![7.0; 9];
+        let img = render_ascii(&data, 3, 3, 3, 3);
+        assert!(img.chars().filter(|c| *c != '\n').all(|c| c == ' '));
+    }
+
+    #[test]
+    fn bright_spot_lands_where_expected() {
+        // Hot cell at (i=3, j=0) — bottom-right. Rendered bottom row,
+        // right column must be the brightest character.
+        let nx = 4;
+        let ny = 4;
+        let mut data = vec![0.0; nx * ny];
+        data[3] = 10.0; // i=3, j=0
+        let img = render_ascii(&data, nx, ny, 4, 4);
+        let lines: Vec<&str> = img.lines().collect();
+        let bottom = lines.last().unwrap();
+        assert_eq!(bottom.chars().last().unwrap(), '@');
+        // Top-left stays dim.
+        assert_eq!(lines[0].chars().next().unwrap(), ' ');
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let data: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let a = render_ascii(&data, 8, 8, 10, 5);
+        let b = render_ascii(&data, 8, 8, 10, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn render_validates_shape() {
+        render_ascii(&[0.0; 5], 2, 2, 2, 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Driving the framework with Ccaffeine-style builder scripts and
+//! observing it through the event service.
+//!
+//! ```text
+//! cargo run --example builder_scripts
+//! ```
+//!
+//! A builder script assembles a small pipeline from repository components,
+//! re-wires it mid-run, and tears it down; every Configuration-API action
+//! is mirrored both to a recording listener (the CCA configuration events)
+//! and to the topic-based event service.
+
+use cca::core::event::RecordingListener;
+use cca::core::{CcaError, CcaServices, Component, PortHandle};
+use cca::framework::{EventService, Framework};
+use cca::repository::{ComponentEntry, PortSpec, Repository};
+use cca_data::TypeMap;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+trait NumberPort: Send + Sync {
+    fn value(&self) -> f64;
+}
+
+struct ConstSource(f64);
+impl NumberPort for ConstSource {
+    fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+struct SourceComponent(f64);
+impl Component for SourceComponent {
+    fn component_type(&self) -> &str {
+        "pipeline.Source"
+    }
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        let port: Arc<dyn NumberPort> = Arc::new(ConstSource(self.0));
+        services.add_provides_port(PortHandle::new("out", "pipeline.Number", port))
+    }
+}
+
+struct ReaderComponent;
+impl Component for ReaderComponent {
+    fn component_type(&self) -> &str {
+        "pipeline.Reader"
+    }
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        services.register_uses_port("in", "pipeline.Number", TypeMap::new())
+    }
+}
+
+fn main() -> Result<(), CcaError> {
+    // Repository with two sources (different constants) and a reader.
+    let repo = Repository::new();
+    for (class, v) in [("pipeline.SourceA", 1.0f64), ("pipeline.SourceB", 2.0)] {
+        repo.register_component(ComponentEntry {
+            class: class.into(),
+            description: format!("constant source emitting {v}"),
+            provides: vec![PortSpec::new("out", "pipeline.Number")],
+            uses: vec![],
+            properties: TypeMap::new(),
+            factory: Arc::new(move || Arc::new(SourceComponent(v)) as Arc<dyn Component>),
+        })
+        .unwrap();
+    }
+    repo.register_component(ComponentEntry {
+        class: "pipeline.Reader".into(),
+        description: "reads a number port".into(),
+        provides: vec![],
+        uses: vec![PortSpec::new("in", "pipeline.Number")],
+        properties: TypeMap::new(),
+        factory: Arc::new(|| Arc::new(ReaderComponent) as Arc<dyn Component>),
+    })
+    .unwrap();
+
+    let fw = Framework::new(repo);
+    let recorder = RecordingListener::new();
+    fw.add_listener(recorder.clone());
+
+    // Topic events narrate the scenario for any interested tool.
+    let events = EventService::new();
+    let narration = Arc::new(Mutex::new(Vec::<String>::new()));
+    let sink = Arc::clone(&narration);
+    events.subscribe(
+        "builder.*",
+        Arc::new(move |topic: &str, body: &TypeMap| {
+            sink.lock()
+                .push(format!("{topic}: {}", body.get_string("detail", String::new())));
+        }),
+    );
+    let publish = |topic: &str, detail: &str| {
+        let mut body = TypeMap::new();
+        body.put_string("detail", detail.into());
+        events.publish(topic, &body);
+    };
+
+    let read = |fw: &Framework| -> f64 {
+        let port: Arc<dyn NumberPort> = fw
+            .services("reader0")
+            .unwrap()
+            .get_port_as("in")
+            .unwrap();
+        port.value()
+    };
+
+    println!("-- phase 1: scripted assembly --");
+    fw.run_script(
+        "
+        instantiate pipeline.SourceA sourceA
+        instantiate pipeline.SourceB sourceB
+        instantiate pipeline.Reader  reader0
+        connect reader0 in sourceA out
+        ",
+    )?;
+    publish("builder.assembled", "reader0 <- sourceA");
+    println!("reader sees {}", read(&fw));
+
+    println!("-- phase 2: scripted re-wiring --");
+    fw.run_script("redirect reader0 in sourceA sourceB out")?;
+    publish("builder.rewired", "reader0 <- sourceB");
+    println!("reader sees {}", read(&fw));
+
+    println!("-- phase 3: scripted teardown --");
+    fw.run_script(
+        "
+        disconnect reader0 in sourceB
+        remove sourceA
+        remove sourceB
+        remove reader0
+        ",
+    )?;
+    publish("builder.done", "scenario dismantled");
+
+    println!("\nconfiguration events seen by the builder:");
+    for e in recorder.events() {
+        println!("  {e:?}");
+    }
+    println!("\ntopic narration:");
+    for line in narration.lock().iter() {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md from bench_output.txt (Criterion output).
+
+Parses benchmark ids followed by `time: [lo mid hi]` lines and substitutes
+the {SLOT} placeholders in EXPERIMENTS.md.tmpl.
+"""
+import re
+
+def parse(path):
+    results = {}
+    last_id = None
+    for line in open(path):
+        ls = line.strip()
+        if ls.startswith("Benchmarking"):
+            continue
+        m = re.match(r"^([a-z0-9_]+(?:/[A-Za-z0-9_.\-]+)+)(?:\s+time:\s*\[\s*[\d.]+\s*\S+\s+([\d.]+\s*\S+))?", ls)
+        if m:
+            last_id = m.group(1)
+            if m.group(2):
+                results[last_id] = m.group(2)
+                last_id = None
+            continue
+        t = re.match(r"^time:\s*\[\s*[\d.]+\s*\S+\s+([\d.]+\s*\S+)", ls)
+        if t and last_id:
+            results[last_id] = t.group(1)
+            last_id = None
+    return results
+
+SLOTS = {
+    "E1_RAW": ("e1_direct_connect/raw_fn", 0.01),
+    "E1_TRAIT": ("e1_direct_connect/trait_object", 0.01),
+    "E1_PORT": ("e1_direct_connect/port_cached", 0.01),
+    "E1_GET": ("e1_direct_connect/port_get_each_call", 0.01),
+    "E2_UNIT": ("e2_sidl_binding/call_unit", 0.01),
+    "E2_DIRECT": ("e2_sidl_binding/direct_impl", 0.01),
+    "E2_VTABLE": ("e2_sidl_binding/vtable", 0.01),
+    "E2_STUB": ("e2_sidl_binding/sidl_stub", 0.01),
+    "E3_DIRECT": ("e3_orb_baseline/direct_port", 1),
+    "E3_DYN": ("e3_orb_baseline/dynamic_facade", 1),
+    "E3_ORB": ("e3_orb_baseline/orb_loopback/scalar", 1),
+    "E3_ORB1K": ("e3_orb_baseline/orb_loopback/array_doubles/128", 1),
+    "E3_DIR1K": ("e3_orb_baseline/direct_port/array_doubles/128", 1),
+    "E3_ORB64K": ("e3_orb_baseline/orb_loopback/array_doubles/8192", 1),
+    "E3_DIR64K": ("e3_orb_baseline/direct_port/array_doubles/8192", 1),
+    "E3_LAN": ("e3_orb_baseline_lan/orb_lan/scalar", 1),
+    "E4_M_C": ("e4_transfer/matched_4to4/compiled", 1),
+    "E4_M_I": ("e4_transfer/matched_4to4/interpreted", 1),
+    "E4_S_C": ("e4_transfer/scatter_1to4/compiled", 1),
+    "E4_S_I": ("e4_transfer/scatter_1to4/interpreted", 1),
+    "E4_G_C": ("e4_transfer/gather_4to1/compiled", 1),
+    "E4_G_I": ("e4_transfer/gather_4to1/interpreted", 1),
+    "E4_X_C": ("e4_transfer/mxn_4to3_block_to_blockcyclic/compiled", 1),
+    "E4_X_I": ("e4_transfer/mxn_4to3_block_to_blockcyclic/interpreted", 1),
+    "E4_H_C": ("e4_transfer/shrink_8to2/compiled", 1),
+    "E4_H_I": ("e4_transfer/shrink_8to2/interpreted", 1),
+    "E4_SW1": ("e4_transfer_sweep_mxn_4to3/4096", 1),
+    "E4_SW2": ("e4_transfer_sweep_mxn_4to3/16384", 1),
+    "E4_SW3": ("e4_transfer_sweep_mxn_4to3/65536", 1),
+    "E4_SW4": ("e4_transfer_sweep_mxn_4to3/262144", 1),
+    "E4_B1": ("e4_plan_build/block_4to4/build", 1),
+    "E4_B2": ("e4_plan_build/block_to_blockcyclic_4to3/build", 1),
+    "E4_B2C": ("e4_plan_build/block_to_blockcyclic_4to3/compile", 1),
+    "E4_B3": ("e4_plan_build/cyclic_to_cyclic_4to3_small/build", 1),
+    "E5_STATIC": ("e5_reflection/static_stub", 1),
+    "E5_DYN": ("e5_reflection/dynamic_invoke", 1),
+    "E5_CHK": ("e5_reflection/dynamic_checked", 1),
+    "E5_Q": ("e5_reflection/reflection_query", 1),
+    "E5_COMPILE": ("e5_reflection/compile_and_reflect_esi_sidl", 1),
+    "E6_M16": ("e6_hydro_timestep/monolithic/16", 1),
+    "E6_C16": ("e6_hydro_timestep/componentized/16", 1),
+    "E6_P16": ("e6_hydro_timestep/componentized_proxied/16", 1),
+    "E6_M32": ("e6_hydro_timestep/monolithic/32", 1),
+    "E6_C32": ("e6_hydro_timestep/componentized/32", 1),
+    "E6_P32": ("e6_hydro_timestep/componentized_proxied/32", 1),
+    "E6_M64": ("e6_hydro_timestep/monolithic/64", 1),
+    "E6_C64": ("e6_hydro_timestep/componentized/64", 1),
+    "E6_P64": ("e6_hydro_timestep/componentized_proxied/64", 1),
+    "E6_F16": ("e6_hydro_timestep/monolithic_matrixfree/16", 1),
+    "E6_F32": ("e6_hydro_timestep/monolithic_matrixfree/32", 1),
+    "E6_F64": ("e6_hydro_timestep/monolithic_matrixfree/64", 1),
+    "E6_SP1": ("e6_hydro_spmd_step/1", 1),
+    "E6_SP2": ("e6_hydro_spmd_step/2", 1),
+    "E6_SP4": ("e6_hydro_spmd_step/4", 1),
+    "E7_0": ("e7_dynamic_attach/step_with_viz/0", 1),
+    "E7_1": ("e7_dynamic_attach/step_with_viz/1", 1),
+    "E7_R": ("e7_dynamic_attach/redirect_provider", 1),
+    "E7_C": ("e7_dynamic_attach/attach_detach_cycle", 1),
+    "E8_0C": ("e8_fanout/cached_listeners/0", 1),
+    "E8_0R": ("e8_fanout/resolve_each_call/0", 1),
+    "E8_1C": ("e8_fanout/cached_listeners/1", 1),
+    "E8_1R": ("e8_fanout/resolve_each_call/1", 1),
+    "E8_2C": ("e8_fanout/cached_listeners/2", 1),
+    "E8_2R": ("e8_fanout/resolve_each_call/2", 1),
+    "E8_4C": ("e8_fanout/cached_listeners/4", 1),
+    "E8_4R": ("e8_fanout/resolve_each_call/4", 1),
+    "E8_8C": ("e8_fanout/cached_listeners/8", 1),
+    "E8_8R": ("e8_fanout/resolve_each_call/8", 1),
+}
+
+def scale(value, factor):
+    m = re.match(r"([\d.]+)\s*(\S+)", value)
+    if not m:
+        return value
+    num = float(m.group(1)) * factor
+    unit = m.group(2)
+    if factor != 1:
+        conv = {"ns": ("ps", 1000), "µs": ("ns", 1000), "ms": ("µs", 1000), "s": ("ms", 1000)}
+        if num < 1 and unit in conv:
+            u2, mult = conv[unit]
+            num *= mult
+            unit = u2
+    return f"{num:.3g} {unit}"
+
+def main():
+    r = parse("bench_output.txt")
+    template = open("EXPERIMENTS.md.tmpl").read()
+    missing = []
+    for slot, (bench_id, factor) in SLOTS.items():
+        if bench_id in r:
+            template = template.replace("{" + slot + "}", scale(r[bench_id], factor))
+        else:
+            missing.append(f"{slot} <- {bench_id}")
+            template = template.replace("{" + slot + "}", "n/a")
+    open("EXPERIMENTS.md", "w").write(template)
+    print("MISSING:\n  " + "\n  ".join(missing) if missing else "all slots filled")
+
+if __name__ == "__main__":
+    main()

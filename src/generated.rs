@@ -1,0 +1,10 @@
+//! Bindings generated at build time by the cca-sidl proxy generator from
+//! `sidl/esi.sidl`. See `build.rs`. The module demonstrates — and its use
+//! in tests and the E2 benchmark verifies — that the generator's output
+//! compiles and behaves: one object-safe trait per interface/class, a
+//! Babel-style `*Stub` per type (the 2-3-call binding layer of §6.2), and
+//! a `*Skel` adapter onto the dynamic-invocation protocol.
+include!(concat!(env!("OUT_DIR"), "/esi_generated.rs"));
+
+/// Path to the generated C header (Babel-IOR style), for inspection.
+pub const GENERATED_C_HEADER: &str = concat!(env!("OUT_DIR"), "/esi_generated.h");

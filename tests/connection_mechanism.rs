@@ -1,0 +1,163 @@
+//! F3 — Figure 3's connection mechanism, reproduced step by step:
+//!
+//! 1. Component 1 passes its provided interface to its `CCAServices` via
+//!    `addProvidesPort()`.
+//! 2. At the framework's option, either the interface **or a proxy for
+//!    it** is given to Component 2.
+//! 3. …through Component 2's `CCAServices` handle.
+//! 4. Component 2 retrieves the interface using `getPort()`.
+//!
+//! The test asserts the two framework options are observationally
+//! identical to the components.
+
+use cca::core::{CcaError, CcaServices, Component, PortHandle};
+use cca::framework::{ConnectionPolicy, Framework};
+use cca::repository::Repository;
+use cca::sidl::{DynObject, DynValue, SidlError};
+use cca_data::TypeMap;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The port Component 1 provides.
+trait TemperaturePort: Send + Sync {
+    fn reading(&self) -> f64;
+}
+
+struct Thermometer {
+    value: Mutex<f64>,
+}
+
+impl TemperaturePort for Thermometer {
+    fn reading(&self) -> f64 {
+        *self.value.lock()
+    }
+}
+
+impl DynObject for Thermometer {
+    fn sidl_type(&self) -> &str {
+        "lab.TemperaturePort"
+    }
+    fn invoke(&self, method: &str, _args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+        match method {
+            "reading" => Ok(DynValue::Double(self.reading())),
+            other => Err(SidlError::invoke(format!("no method '{other}'"))),
+        }
+    }
+}
+
+struct Component1 {
+    sensor: Arc<Thermometer>,
+}
+
+impl Component for Component1 {
+    fn component_type(&self) -> &str {
+        "lab.Sensor"
+    }
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        // Step (1): addProvidesPort.
+        let typed: Arc<dyn TemperaturePort> = self.sensor.clone();
+        let dynamic: Arc<dyn DynObject> = self.sensor.clone();
+        services.add_provides_port(
+            PortHandle::new("temperature", "lab.TemperaturePort", typed).with_dynamic(dynamic),
+        )
+    }
+}
+
+struct Component2;
+
+impl Component for Component2 {
+    fn component_type(&self) -> &str {
+        "lab.Display"
+    }
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        services.register_uses_port("input", "lab.TemperaturePort", TypeMap::new())
+    }
+}
+
+fn assemble(policy: ConnectionPolicy) -> (Arc<Framework>, Arc<Thermometer>) {
+    let fw = Framework::with_policy(Repository::new(), policy);
+    let sensor = Arc::new(Thermometer {
+        value: Mutex::new(21.5),
+    });
+    fw.add_instance(
+        "sensor0",
+        Arc::new(Component1 {
+            sensor: sensor.clone(),
+        }),
+    )
+    .unwrap();
+    fw.add_instance("display0", Arc::new(Component2)).unwrap();
+    // Steps (2)+(3): the framework moves the interface (or a proxy).
+    fw.connect("display0", "input", "sensor0", "temperature")
+        .unwrap();
+    (fw, sensor)
+}
+
+/// What Component 2 observes through its services handle — written once,
+/// executed under both framework options.
+fn observe_through_get_port(fw: &Framework) -> f64 {
+    // Step (4): getPort.
+    let handle = fw.services("display0").unwrap().get_port("input").unwrap();
+    // Components written against the dynamic facade cannot tell direct
+    // from proxied connections apart.
+    let port = handle.dynamic().expect("dynamic facade present");
+    match port.invoke("reading", vec![]).unwrap() {
+        DynValue::Double(v) => v,
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[test]
+fn direct_and_proxied_options_are_observationally_identical() {
+    let (fw_direct, sensor_d) = assemble(ConnectionPolicy::Direct);
+    let (fw_proxied, sensor_p) = assemble(ConnectionPolicy::Proxied);
+
+    assert_eq!(observe_through_get_port(&fw_direct), 21.5);
+    assert_eq!(observe_through_get_port(&fw_proxied), 21.5);
+
+    // Live connection: provider-side updates are visible through both.
+    *sensor_d.value.lock() = -3.25;
+    *sensor_p.value.lock() = -3.25;
+    assert_eq!(observe_through_get_port(&fw_direct), -3.25);
+    assert_eq!(observe_through_get_port(&fw_proxied), -3.25);
+}
+
+#[test]
+fn direct_option_hands_over_the_very_object() {
+    let (fw, sensor) = assemble(ConnectionPolicy::Direct);
+    let port: Arc<dyn TemperaturePort> = fw
+        .services("display0")
+        .unwrap()
+        .get_port_as("input")
+        .unwrap();
+    // §6.2: "the framework gets a Provides interface from one component
+    // and gives that same interface directly to a connecting component".
+    let provider: Arc<dyn TemperaturePort> = sensor;
+    assert_eq!(port.reading(), provider.reading());
+    assert_eq!(
+        fw.connections().first().map(|c| c.policy),
+        Some(cca::framework::ConnectionPolicy::Direct)
+    );
+}
+
+#[test]
+fn proxied_option_interposes_the_orb() {
+    let (fw, _sensor) = assemble(ConnectionPolicy::Proxied);
+    // Behind the scenes: the framework registered the servant in its ORB.
+    assert_eq!(fw.orb().keys(), vec!["sensor0/temperature".to_string()]);
+    // And the typed fast path is genuinely absent through the proxy.
+    let handle = fw.services("display0").unwrap().get_port("input").unwrap();
+    assert!(handle.typed::<dyn TemperaturePort>().is_err());
+}
+
+#[test]
+fn get_port_before_connect_fails_with_not_connected() {
+    let fw = Framework::new(Repository::new());
+    fw.add_instance("display0", Arc::new(Component2)).unwrap();
+    let err = fw
+        .services("display0")
+        .unwrap()
+        .get_port("input")
+        .unwrap_err();
+    assert!(matches!(err, CcaError::PortNotConnected(_)));
+}

@@ -1,0 +1,211 @@
+//! Failure injection across the architecture: failing components notify
+//! the builder (Configuration API), incompatible connections are refused,
+//! broken transports surface as exceptions rather than hangs, and solver
+//! failures travel as SIDL user exceptions.
+
+use cca::core::event::RecordingListener;
+use cca::core::{CcaError, CcaServices, Component, ConfigEvent, GoPort, PortHandle};
+use cca::framework::{ConnectionPolicy, Framework};
+use cca::repository::Repository;
+use cca::rpc::{ObjRef, Orb};
+use cca::sidl::{DynObject, DynValue, SidlError};
+use cca_data::TypeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct FlakyComponent {
+    failures_left: AtomicUsize,
+}
+
+impl Component for FlakyComponent {
+    fn component_type(&self) -> &str {
+        "test.Flaky"
+    }
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        let _ = services;
+        Ok(())
+    }
+}
+
+impl GoPort for FlakyComponent {
+    fn go(&self) -> Result<(), CcaError> {
+        if self.failures_left.load(Ordering::SeqCst) > 0 {
+            self.failures_left.fetch_sub(1, Ordering::SeqCst);
+            Err(CcaError::ComponentFailed {
+                component: "flaky0".into(),
+                reason: "injected fault".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn builder_sees_failures_then_recovery() {
+    let fw = Framework::new(Repository::new());
+    let rec = RecordingListener::new();
+    fw.add_listener(rec.clone());
+    let flaky = Arc::new(FlakyComponent {
+        failures_left: AtomicUsize::new(2),
+    });
+    fw.add_instance("flaky0", flaky.clone()).unwrap();
+    let go: Arc<dyn GoPort> = flaky;
+    fw.services("flaky0")
+        .unwrap()
+        .add_provides_port(PortHandle::new(
+            "go",
+            cca::core::component::GO_PORT_TYPE,
+            go,
+        ))
+        .unwrap();
+    assert!(fw.run_go("flaky0", "go").is_err());
+    assert!(fw.run_go("flaky0", "go").is_err());
+    fw.run_go("flaky0", "go").unwrap(); // recovered
+    let failures = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ConfigEvent::ComponentFailed { .. }))
+        .count();
+    assert_eq!(failures, 2);
+}
+
+#[test]
+fn incompatible_connection_is_refused_before_any_call() {
+    let fw = Framework::new(Repository::new());
+    struct P;
+    impl Component for P {
+        fn component_type(&self) -> &str {
+            "test.P"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            s.add_provides_port(PortHandle::new("out", "test.TypeA", Arc::new(1u8)))
+        }
+    }
+    struct U;
+    impl Component for U {
+        fn component_type(&self) -> &str {
+            "test.U"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            s.register_uses_port("in", "test.TypeB", TypeMap::new())
+        }
+    }
+    fw.add_instance("p0", Arc::new(P)).unwrap();
+    fw.add_instance("u0", Arc::new(U)).unwrap();
+    match fw.connect("u0", "in", "p0", "out") {
+        Err(CcaError::IncompatiblePorts {
+            uses_type,
+            provides_type,
+        }) => {
+            assert_eq!(uses_type, "test.TypeB");
+            assert_eq!(provides_type, "test.TypeA");
+        }
+        other => panic!("expected incompatibility, got {other:?}"),
+    }
+    // Nothing was wired.
+    assert!(fw.connections().is_empty());
+    assert!(fw.services("u0").unwrap().get_port("in").is_err());
+}
+
+#[test]
+fn orb_failures_surface_as_exceptions_not_hangs() {
+    struct Broken;
+    impl DynObject for Broken {
+        fn sidl_type(&self) -> &str {
+            "test.Broken"
+        }
+        fn invoke(&self, method: &str, _: Vec<DynValue>) -> Result<DynValue, SidlError> {
+            match method {
+                "user" => Err(SidlError::user("test.AppError", "application-level")),
+                "system" => Err(SidlError::invoke("internal corruption")),
+                _ => Ok(DynValue::Void),
+            }
+        }
+    }
+    let orb = Orb::new();
+    orb.register("broken", Arc::new(Broken));
+    let objref = ObjRef::loopback("broken", Arc::clone(&orb));
+
+    // User exceptions keep their SIDL type across the wire.
+    match objref.invoke("user", vec![]).unwrap_err() {
+        SidlError::UserException { exception_type, .. } => {
+            assert_eq!(exception_type, "test.AppError")
+        }
+        other => panic!("{other:?}"),
+    }
+    // System errors are wrapped but still errors.
+    assert!(objref.invoke("system", vec![]).is_err());
+    // Unregistering the servant turns calls into ObjectNotFound.
+    orb.unregister("broken");
+    let e = objref.invoke("fine", vec![]).unwrap_err();
+    assert!(e.to_string().contains("ObjectNotFound"));
+}
+
+#[test]
+fn destroying_a_provider_leaves_users_cleanly_disconnected() {
+    // Proxied variant: the servant also disappears from the ORB path.
+    let fw = Framework::with_policy(Repository::new(), ConnectionPolicy::Proxied);
+
+    struct Prov;
+    struct ProvPort;
+    impl DynObject for ProvPort {
+        fn sidl_type(&self) -> &str {
+            "test.Port"
+        }
+        fn invoke(&self, _: &str, _: Vec<DynValue>) -> Result<DynValue, SidlError> {
+            Ok(DynValue::Long(7))
+        }
+    }
+    impl Component for Prov {
+        fn component_type(&self) -> &str {
+            "test.Prov"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            let p: Arc<dyn DynObject> = Arc::new(ProvPort);
+            s.add_provides_port(
+                PortHandle::new("out", "test.Port", Arc::clone(&p)).with_dynamic(p),
+            )
+        }
+    }
+    struct User;
+    impl Component for User {
+        fn component_type(&self) -> &str {
+            "test.User"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            s.register_uses_port("in", "test.Port", TypeMap::new())
+        }
+    }
+    fw.add_instance("prov0", Arc::new(Prov)).unwrap();
+    fw.add_instance("user0", Arc::new(User)).unwrap();
+    fw.connect("user0", "in", "prov0", "out").unwrap();
+
+    // Works while alive.
+    let handle = fw.services("user0").unwrap().get_port("in").unwrap();
+    assert!(handle.dynamic().unwrap().invoke("x", vec![]).is_ok());
+
+    // Destroy the provider: connection is broken, getPort now errors.
+    fw.destroy_instance("prov0").unwrap();
+    assert!(fw.services("user0").unwrap().get_port("in").is_err());
+}
+
+#[test]
+fn double_faults_in_teardown_are_idempotent() {
+    let fw = Framework::new(Repository::new());
+    struct Nop;
+    impl Component for Nop {
+        fn component_type(&self) -> &str {
+            "test.Nop"
+        }
+        fn set_services(&self, _: Arc<CcaServices>) -> Result<(), CcaError> {
+            Ok(())
+        }
+    }
+    fw.add_instance("n0", Arc::new(Nop)).unwrap();
+    fw.destroy_instance("n0").unwrap();
+    assert!(matches!(
+        fw.destroy_instance("n0"),
+        Err(CcaError::ComponentNotFound(_))
+    ));
+}
