@@ -10,6 +10,10 @@
 //!   port_cached       — a port retrieved once via getPort, then called —
 //!                       the CCA direct-connect steady state. The claim
 //!                       holds iff port_cached ≈ trait_object;
+//!   cached_port_handle— a `CachedPort` revalidated on every call (one
+//!                       relaxed atomic generation check + the virtual
+//!                       call) — the safe steady state that still observes
+//!                       connect/disconnect;
 //!   port_get_each_call— pathological: getPort inside the loop, showing
 //!                       why components cache their ports.
 
@@ -84,6 +88,17 @@ fn bench(c: &mut Criterion) {
             let mut acc = 0.0;
             for _ in 0..100 {
                 acc = black_box(&port).accumulate(black_box(acc));
+            }
+            acc
+        })
+    });
+
+    let mut cached = user.cached_port::<dyn WorkPort>("in");
+    group.bench_function("cached_port_handle", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100 {
+                acc = cached.get().unwrap().accumulate(black_box(acc));
             }
             acc
         })

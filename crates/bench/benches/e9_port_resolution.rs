@@ -1,0 +1,222 @@
+//! E9 — the PR's acceptance measurement: port-resolution cost ladder and
+//! plan-cache behavior, recorded to `BENCH_ports.json`.
+//!
+//! §6.2 claims a direct-connected port call costs nothing beyond a virtual
+//! function call. This bench quantifies the claim for the current
+//! implementation:
+//!
+//! * `bare_virtual_call_ns` — calling through a plain `Arc<dyn Trait>`,
+//!   the floor;
+//! * `cached_port_ns` — calling through [`cca_core::CachedPort`]: one
+//!   relaxed atomic generation check + the same virtual call. Acceptance:
+//!   within 3× of the floor;
+//! * `uncached_get_port_ns` — full `get_port_as` per call (snapshot read,
+//!   BTreeMap lookup, downcast): the price the cache removes;
+//! * `fanout8_ns` — one multicast over 8 connected listeners through the
+//!   shared `Arc<[PortHandle]>` snapshot (zero allocations per call);
+//! * plan-cache build vs. hit latency plus hit/build counters across five
+//!   simulated timesteps.
+//!
+//! Uses its own wall-clock sampler (median of batched runs) rather than
+//! criterion so the ratios land in one JSON file the CI trend can track.
+
+use cca_core::{CcaServices, PortHandle};
+use cca_data::{DimDist, DistArrayDesc, Distribution, ProcessGrid, RedistPlan, TypeMap};
+use cca_framework::{MxNPort, PlanCache};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+trait WorkPort: Send + Sync {
+    fn accumulate(&self, x: f64) -> f64;
+}
+
+struct WorkImpl {
+    bias: f64,
+}
+
+impl WorkPort for WorkImpl {
+    fn accumulate(&self, x: f64) -> f64 {
+        x * 1.0000001 + self.bias
+    }
+}
+
+/// Median ns/iter over `samples` batches, each auto-calibrated to roughly
+/// `target` of wall-clock time.
+fn measure<R>(samples: usize, target: Duration, mut f: impl FnMut() -> R) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= 1 << 28 {
+            break;
+        }
+        iters = if elapsed.is_zero() {
+            iters * 16
+        } else {
+            let scale = target.as_secs_f64() / elapsed.as_secs_f64();
+            ((iters as f64 * scale.clamp(1.2, 16.0)) as u64).max(iters + 1)
+        };
+    }
+    let mut results: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    results[results.len() / 2]
+}
+
+fn wire_single() -> Arc<CcaServices> {
+    let provider = CcaServices::new("provider");
+    let obj: Arc<dyn WorkPort> = Arc::new(WorkImpl { bias: 0.5 });
+    provider
+        .add_provides_port(PortHandle::new("work", "bench.WorkPort", obj))
+        .unwrap();
+    let user = CcaServices::new("user");
+    user.register_uses_port("in", "bench.WorkPort", TypeMap::new())
+        .unwrap();
+    user.connect_uses("in", provider.get_provides_port("work").unwrap())
+        .unwrap();
+    user
+}
+
+fn wire_fanout(n: usize) -> Arc<CcaServices> {
+    let user = CcaServices::new("emitter");
+    user.register_uses_port("events", "bench.WorkPort", TypeMap::new())
+        .unwrap();
+    for i in 0..n {
+        let provider = CcaServices::new(format!("listener{i}"));
+        let obj: Arc<dyn WorkPort> = Arc::new(WorkImpl { bias: i as f64 });
+        provider
+            .add_provides_port(PortHandle::new("in", "bench.WorkPort", obj))
+            .unwrap();
+        user.connect_uses("events", provider.get_provides_port("in").unwrap())
+            .unwrap();
+    }
+    user
+}
+
+fn main() {
+    let fast = std::env::var_os("CCA_BENCH_FAST").is_some();
+    let samples = if fast { 5 } else { 11 };
+    let target = Duration::from_millis(if fast { 2 } else { 8 });
+
+    // --- port-resolution ladder ----------------------------------------
+    let obj: Arc<dyn WorkPort> = Arc::new(WorkImpl { bias: 0.5 });
+    let bare = measure(samples, target, || {
+        black_box(&obj).accumulate(black_box(1.0))
+    });
+
+    let user = wire_single();
+    let mut cached = user.cached_port::<dyn WorkPort>("in");
+    cached.get().unwrap();
+    let cached_ns = measure(samples, target, || {
+        cached.get().unwrap().accumulate(black_box(1.0))
+    });
+
+    let uncached = measure(samples, target, || {
+        let p: Arc<dyn WorkPort> = user.get_port_as("in").unwrap();
+        p.accumulate(black_box(1.0))
+    });
+
+    // --- fan-out over the shared snapshot ------------------------------
+    let emitter = wire_fanout(8);
+    let fanout8 = measure(samples, target, || {
+        let mut acc = 0.0;
+        for h in emitter.get_ports("events").unwrap().iter() {
+            let l: Arc<dyn WorkPort> = h.typed().unwrap();
+            acc = l.accumulate(black_box(acc));
+        }
+        acc
+    });
+
+    // --- plan cache across simulated timesteps -------------------------
+    let src = DistArrayDesc::new(&[4096], Distribution::block_1d(4, 1).unwrap()).unwrap();
+    let dst = DistArrayDesc::new(
+        &[4096],
+        Distribution::new(ProcessGrid::linear(3).unwrap(), &[DimDist::Cyclic]).unwrap(),
+    )
+    .unwrap();
+
+    let build_ns = measure(samples.min(7), target, || RedistPlan::build(&src, &dst).unwrap());
+
+    let cache = PlanCache::new();
+    cache.get_or_build(&src, &dst).unwrap(); // prime: the "first timestep"
+    let hit_ns = measure(samples, target, || cache.get_or_build(&src, &dst).unwrap());
+
+    let cache = PlanCache::new();
+    let builds_before = RedistPlan::build_count();
+    for step in 0..5u32 {
+        let port =
+            MxNPort::with_cache(&src, &dst, vec![0, 1, 2, 3], vec![0, 1, 2], 90 + step, &cache)
+                .unwrap();
+        black_box(port.plan().total_elements());
+    }
+    let timestep_builds = RedistPlan::build_count() - builds_before;
+
+    // --- report ---------------------------------------------------------
+    let cached_ratio = cached_ns / bare;
+    let uncached_ratio = uncached / bare;
+    println!("e9_port_resolution/bare_virtual_call      {bare:>10.2} ns/iter");
+    println!(
+        "e9_port_resolution/cached_port            {cached_ns:>10.2} ns/iter  ({cached_ratio:.2}x bare)"
+    );
+    println!(
+        "e9_port_resolution/uncached_get_port_as   {uncached:>10.2} ns/iter  ({uncached_ratio:.2}x bare)"
+    );
+    println!("e9_port_resolution/fanout8                {fanout8:>10.2} ns/iter");
+    println!("e9_port_resolution/plan_build             {build_ns:>10.2} ns");
+    println!("e9_port_resolution/plan_cache_hit         {hit_ns:>10.2} ns");
+    println!(
+        "e9_port_resolution/timestep_builds        {timestep_builds} (5 timesteps, cache hits {})",
+        cache.hits()
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bare_virtual_call_ns\": {:.3},\n",
+            "  \"cached_port_ns\": {:.3},\n",
+            "  \"uncached_get_port_ns\": {:.3},\n",
+            "  \"cached_over_bare_ratio\": {:.3},\n",
+            "  \"uncached_over_bare_ratio\": {:.3},\n",
+            "  \"fanout8_ns\": {:.3},\n",
+            "  \"plan_build_ns\": {:.1},\n",
+            "  \"plan_cache_hit_ns\": {:.1},\n",
+            "  \"timestep_plan_builds\": {},\n",
+            "  \"timestep_plan_hits\": {}\n",
+            "}}\n"
+        ),
+        bare,
+        cached_ns,
+        uncached,
+        cached_ratio,
+        uncached_ratio,
+        fanout8,
+        build_ns,
+        hit_ns,
+        timestep_builds,
+        cache.hits()
+    );
+    let out = std::env::var("BENCH_PORTS_OUT").unwrap_or_else(|_| "BENCH_ports.json".to_string());
+    std::fs::write(&out, &json).expect("write BENCH_ports.json");
+    println!("wrote {out}");
+
+    assert!(
+        cached_ratio <= 3.0,
+        "acceptance: cached port call must be within 3x of a bare virtual call \
+         (measured {cached_ratio:.2}x)"
+    );
+    assert_eq!(
+        timestep_builds, 1,
+        "acceptance: no RedistPlan::build after the first timestep"
+    );
+}

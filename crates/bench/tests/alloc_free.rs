@@ -1,0 +1,146 @@
+//! Acceptance check: the direct-connect steady state performs ZERO heap
+//! allocations per call.
+//!
+//! Counts every allocation through a wrapping `#[global_allocator]` and
+//! asserts the delta across the hot paths is exactly zero:
+//!
+//! * a uses-port fan-out (`get_ports` snapshot + `typed()` per listener) —
+//!   the snapshot is a shared `Arc<[PortHandle]>` and `typed()` clones an
+//!   `Arc`, so both are refcount bumps only;
+//! * a steady-state `CachedPort::get` (one relaxed generation load);
+//! * an uncached `get_port_as` success path (snapshot read + BTreeMap
+//!   lookup + downcast — slower, but still allocation-free).
+//!
+//! The tests share `SERIAL` so their measured regions never overlap — the
+//! harness runs tests on multiple threads, and a sibling's setup
+//! allocations would otherwise pollute the counter deltas.
+
+use cca_core::{CcaServices, PortHandle};
+use cca_data::TypeMap;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+trait EventPort: Send + Sync {
+    fn notify(&self, value: u64);
+}
+
+struct Listener {
+    seen: AtomicU64,
+}
+
+impl EventPort for Listener {
+    fn notify(&self, value: u64) {
+        self.seen.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+fn wire_fanout(n: usize) -> Arc<CcaServices> {
+    let user = CcaServices::new("emitter");
+    user.register_uses_port("events", "test.EventPort", TypeMap::new())
+        .unwrap();
+    for i in 0..n {
+        let provider = CcaServices::new(format!("listener{i}"));
+        let obj: Arc<dyn EventPort> = Arc::new(Listener {
+            seen: AtomicU64::new(0),
+        });
+        provider
+            .add_provides_port(PortHandle::new("in", "test.EventPort", obj))
+            .unwrap();
+        user.connect_uses("events", provider.get_provides_port("in").unwrap())
+            .unwrap();
+    }
+    user
+}
+
+#[test]
+fn fanout_multicast_allocates_nothing_per_call() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let user = wire_fanout(8);
+
+    // Warm-up pass outside the measured region (first call may touch lazy
+    // error formatting paths in a cold binary; it must not, but don't let
+    // one-time effects mask a per-call regression either way).
+    for h in user.get_ports("events").unwrap().iter() {
+        let l: Arc<dyn EventPort> = h.typed().unwrap();
+        l.notify(1);
+    }
+
+    let before = alloc_count();
+    for _ in 0..1000 {
+        for h in user.get_ports("events").unwrap().iter() {
+            let l: Arc<dyn EventPort> = h.typed().unwrap();
+            l.notify(1);
+        }
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "fan-out multicast must be allocation-free ({delta} allocations over 1000 calls)"
+    );
+}
+
+#[test]
+fn cached_port_get_allocates_nothing_in_steady_state() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let user = wire_fanout(1);
+    let mut cached = user.cached_port::<dyn EventPort>("events");
+    cached.get().unwrap().notify(1); // first get resolves (may allocate)
+
+    let before = alloc_count();
+    for _ in 0..1000 {
+        cached.get().unwrap().notify(1);
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state CachedPort::get must be allocation-free ({delta} allocations over 1000 calls)"
+    );
+}
+
+#[test]
+fn uncached_get_port_as_success_path_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let user = wire_fanout(1);
+    let _warm: Arc<dyn EventPort> = user.get_port_as("events").unwrap();
+
+    let before = alloc_count();
+    for _ in 0..1000 {
+        let p: Arc<dyn EventPort> = user.get_port_as("events").unwrap();
+        p.notify(1);
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "get_port_as success path must be allocation-free ({delta} allocations over 1000 calls)"
+    );
+}

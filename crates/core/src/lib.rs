@@ -16,7 +16,10 @@
 //! * [`services`] — the `CCAServices` handle of Figure 3: components add
 //!   provides ports, register uses ports, and `getPort` their connections;
 //!   "all interaction between the component and its containing framework
-//!   will occur through the component's CCAServices object".
+//!   will occur through the component's CCAServices object". Port tables
+//!   are published as immutable snapshots guarded by a generation counter,
+//!   and [`CachedPort`] memoizes the typed downcast so steady-state port
+//!   access costs one atomic load plus the virtual call (§6.2).
 //! * [`component`] — the `Component` trait (`setServices`) plus the
 //!   conventional `GoPort` used to drive an assembled application.
 //! * [`event`] — connection/configuration events, the vocabulary of the
@@ -35,4 +38,4 @@ pub use component::{Component, GoPort};
 pub use error::CcaError;
 pub use event::{ConfigEvent, ConfigListener};
 pub use port::{PortHandle, PortRecord, UsesSlot};
-pub use services::CcaServices;
+pub use services::{CachedPort, CcaServices};

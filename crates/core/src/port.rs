@@ -11,6 +11,12 @@
 //! [virtual] function call" — there is no framework interposition on the
 //! call path. A framework *may* instead hand out a proxy (the distributed
 //! case); the component cannot tell, which is exactly the paper's design.
+//!
+//! Handles are deliberately cheap to copy: names, types, and properties are
+//! interned behind `Arc`s, so `PortHandle::clone` is a handful of reference
+//! count bumps with **zero heap allocation**. This is what lets the services
+//! layer publish whole connection tables as immutable snapshots (see
+//! `services`) without paying per-read allocation costs.
 
 use crate::error::CcaError;
 use cca_data::TypeMap;
@@ -29,18 +35,18 @@ use std::sync::Arc;
 /// knowledge of the trait.
 #[derive(Clone)]
 pub struct PortHandle {
-    port_name: String,
-    port_type: String,
+    port_name: Arc<str>,
+    port_type: Arc<str>,
     object: Arc<dyn Any + Send + Sync>,
     dynamic: Option<Arc<dyn DynObject>>,
-    properties: TypeMap,
+    properties: Arc<TypeMap>,
 }
 
 impl PortHandle {
     /// Wraps a trait-object port. `P` is typically `dyn SomePortTrait`.
     pub fn new<P: ?Sized + Send + Sync + 'static>(
-        port_name: impl Into<String>,
-        port_type: impl Into<String>,
+        port_name: impl Into<Arc<str>>,
+        port_type: impl Into<Arc<str>>,
         object: Arc<P>,
     ) -> Self {
         PortHandle {
@@ -48,7 +54,7 @@ impl PortHandle {
             port_type: port_type.into(),
             object: Arc::new(object),
             dynamic: None,
-            properties: TypeMap::new(),
+            properties: Arc::new(TypeMap::new()),
         }
     }
 
@@ -61,7 +67,7 @@ impl PortHandle {
 
     /// Attaches port properties.
     pub fn with_properties(mut self, properties: TypeMap) -> Self {
-        self.properties = properties;
+        self.properties = Arc::new(properties);
         self
     }
 
@@ -70,8 +76,18 @@ impl PortHandle {
         &self.port_name
     }
 
+    /// The interned instance name (shareable without copying).
+    pub fn port_name_arc(&self) -> &Arc<str> {
+        &self.port_name
+    }
+
     /// The port's SIDL interface type.
     pub fn port_type(&self) -> &str {
+        &self.port_type
+    }
+
+    /// The interned SIDL interface type (shareable without copying).
+    pub fn port_type_arc(&self) -> &Arc<str> {
         &self.port_type
     }
 
@@ -82,13 +98,14 @@ impl PortHandle {
 
     /// Recovers the typed trait object — the direct-connect call path.
     /// `P` must be the exact `dyn Trait` (or concrete type) the provider
-    /// registered.
+    /// registered. The returned `Arc` is a reference-count bump, not an
+    /// allocation.
     pub fn typed<P: ?Sized + Send + Sync + 'static>(&self) -> Result<Arc<P>, CcaError> {
         self.object
             .downcast_ref::<Arc<P>>()
             .cloned()
             .ok_or_else(|| CcaError::WrongPortRust {
-                port: self.port_name.clone(),
+                port: self.port_name.to_string(),
                 requested: std::any::type_name::<P>(),
             })
     }
@@ -99,10 +116,14 @@ impl PortHandle {
     }
 
     /// Renames the handle (used by the framework when the provider's port
-    /// name differs from the consumer's uses-slot name).
-    pub fn renamed(&self, port_name: impl Into<String>) -> Self {
+    /// name differs from the consumer's uses-slot name). When the name is
+    /// unchanged this is a plain clone — no allocation.
+    pub fn renamed(&self, port_name: impl Into<Arc<str>>) -> Self {
+        let port_name = port_name.into();
         let mut h = self.clone();
-        h.port_name = port_name.into();
+        if *h.port_name != *port_name {
+            h.port_name = port_name;
+        }
         h
     }
 }
@@ -129,17 +150,27 @@ pub struct PortRecord {
     pub properties: TypeMap,
 }
 
+/// An empty, shared fan-out list — the zero-listener steady state costs no
+/// allocation either.
+fn empty_connections() -> Arc<[PortHandle]> {
+    Arc::from(Vec::new())
+}
+
 /// A uses port: a declaration plus the current connection list.
 ///
 /// §6.1: "Provides ports are generalized listeners in the sense that they
 /// listen to Uses interfaces ... Each Uses port maintains a list of
 /// listeners."
+///
+/// The connection list is stored as an immutable `Arc<[PortHandle]>`
+/// snapshot: readers (`get_ports`, fan-out invocation) share the slice by
+/// bumping one reference count; mutators build a fresh slice. Fan-out
+/// invocation therefore performs **zero heap allocations per call**.
 #[derive(Debug, Clone)]
 pub struct UsesSlot {
     /// The declaration.
     pub record: PortRecord,
-    /// Connected providers, in connection order.
-    pub connections: Vec<PortHandle>,
+    connections: Arc<[PortHandle]>,
 }
 
 impl UsesSlot {
@@ -147,8 +178,37 @@ impl UsesSlot {
     pub fn new(record: PortRecord) -> Self {
         UsesSlot {
             record,
-            connections: Vec::new(),
+            connections: empty_connections(),
         }
+    }
+
+    /// The shared fan-out list snapshot.
+    pub fn connections(&self) -> &Arc<[PortHandle]> {
+        &self.connections
+    }
+
+    /// Appends a connection (copy-on-write: builds a new shared slice).
+    pub fn push_connection(&mut self, handle: PortHandle) {
+        let mut v: Vec<PortHandle> = self.connections.to_vec();
+        v.push(handle);
+        self.connections = Arc::from(v);
+    }
+
+    /// Removes the connection at `index` (copy-on-write), returning it.
+    /// Returns `None` if the index is out of bounds.
+    pub fn remove_connection(&mut self, index: usize) -> Option<PortHandle> {
+        if index >= self.connections.len() {
+            return None;
+        }
+        let mut v: Vec<PortHandle> = self.connections.to_vec();
+        let removed = v.remove(index);
+        self.connections = Arc::from(v);
+        Some(removed)
+    }
+
+    /// Drops every connection.
+    pub fn clear_connections(&mut self) {
+        self.connections = empty_connections();
     }
 
     /// Number of connected providers.
@@ -197,6 +257,18 @@ mod tests {
     }
 
     #[test]
+    fn clone_and_same_name_rename_share_interned_strings() {
+        let provider: Arc<dyn Greeter> = Arc::new(English);
+        let handle = PortHandle::new("greeter", "demo.Greeter", provider);
+        let copy = handle.clone();
+        assert!(Arc::ptr_eq(handle.port_name_arc(), copy.port_name_arc()));
+        assert!(Arc::ptr_eq(handle.port_type_arc(), copy.port_type_arc()));
+        // Renaming to the identical name keeps the interned original.
+        let same = handle.renamed("greeter");
+        assert!(Arc::ptr_eq(handle.port_name_arc(), same.port_name_arc()));
+    }
+
+    #[test]
     fn wrong_rust_type_is_detected() {
         trait Other: Send + Sync {}
         let provider: Arc<dyn Greeter> = Arc::new(English);
@@ -236,11 +308,17 @@ mod tests {
         });
         assert!(!slot.is_connected());
         assert_eq!(slot.fan_out(), 0);
-        slot.connections
-            .push(PortHandle::new("s1", "esi.Solver", Arc::new(1u8)));
-        slot.connections
-            .push(PortHandle::new("s2", "esi.Solver", Arc::new(2u8)));
+        slot.push_connection(PortHandle::new("s1", "esi.Solver", Arc::new(1u8)));
+        slot.push_connection(PortHandle::new("s2", "esi.Solver", Arc::new(2u8)));
         assert!(slot.is_connected());
         assert_eq!(slot.fan_out(), 2);
+        // Copy-on-write: an earlier snapshot is unaffected by mutation.
+        let snapshot = Arc::clone(slot.connections());
+        assert!(slot.remove_connection(0).is_some());
+        assert!(slot.remove_connection(5).is_none());
+        assert_eq!(slot.fan_out(), 1);
+        assert_eq!(snapshot.len(), 2);
+        slot.clear_connections();
+        assert!(!slot.is_connected());
     }
 }

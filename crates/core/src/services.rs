@@ -12,13 +12,35 @@
 //! or a proxy is entirely the framework's choice — step (2) of Figure 3:
 //! "At the framework's option, either the interface or a proxy for the
 //! interface can be given to Component 2 through its CCAServices handle."
+//!
+//! # Direct-connect fast path
+//!
+//! §6.2 claims a connected port call costs "nothing more than a direct
+//! function call to the connected object". To keep the *resolution* side of
+//! that bargain, the provides/uses tables are published as immutable
+//! [`Arc`] **snapshots**: a reader clones one `Arc` (no map walk is ever
+//! blocked by a writer mutating entries) and every mutation builds a fresh
+//! snapshot off-line, swaps the pointer in O(1), and bumps a monotonic
+//! **generation counter**. [`CachedPort`] pushes this to the floor: it
+//! memoizes the typed downcast and revalidates with a single relaxed atomic
+//! load, so the steady-state cost of `get()` + call is one atomic load plus
+//! the virtual call — measured in `benches/e9_port_resolution.rs`.
 
 use crate::error::CcaError;
 use crate::port::{PortHandle, PortRecord, UsesSlot};
 use cca_data::TypeMap;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The immutable snapshot of one component's port tables. Readers share it
+/// by cloning the outer `Arc`; writers copy, modify, and republish.
+#[derive(Default, Clone)]
+struct Tables {
+    provides: BTreeMap<Arc<str>, PortHandle>,
+    uses: BTreeMap<Arc<str>, UsesSlot>,
+}
 
 /// Per-component services handle (Figure 3's `CCAServices`).
 ///
@@ -46,29 +68,57 @@ use std::sync::Arc;
 /// assert_eq!(echo.echo(), 42);
 /// # Ok::<(), cca_core::CcaError>(())
 /// ```
-#[derive(Default)]
 pub struct CcaServices {
-    inner: Mutex<Inner>,
-}
-
-#[derive(Default)]
-struct Inner {
-    component_name: String,
-    provides: BTreeMap<String, PortHandle>,
-    uses: BTreeMap<String, UsesSlot>,
+    /// Immutable after construction — no lock needed to read it.
+    component_name: Arc<str>,
+    /// The current snapshot. Writers swap the `Arc` in O(1); readers clone
+    /// it and walk the maps entirely outside any critical section.
+    tables: RwLock<Arc<Tables>>,
+    /// Bumped (release) after every published mutation; [`CachedPort`]
+    /// revalidates against it with one relaxed load.
+    generation: AtomicU64,
 }
 
 impl CcaServices {
     /// Creates a services handle for the named component instance.
-    pub fn new(component_name: impl Into<String>) -> Arc<Self> {
-        let s = CcaServices::default();
-        s.inner.lock().component_name = component_name.into();
-        Arc::new(s)
+    pub fn new(component_name: impl Into<Arc<str>>) -> Arc<Self> {
+        Arc::new(CcaServices {
+            component_name: component_name.into(),
+            tables: RwLock::new(Arc::new(Tables::default())),
+            generation: AtomicU64::new(0),
+        })
     }
 
     /// The owning component's instance name.
-    pub fn component_name(&self) -> String {
-        self.inner.lock().component_name.clone()
+    pub fn component_name(&self) -> &str {
+        &self.component_name
+    }
+
+    /// The current table generation. Any `connect`/`disconnect`/
+    /// `add`/`remove`/`register`/`release` bumps it; a [`CachedPort`] whose
+    /// remembered generation still matches may keep using its memoized
+    /// downcast without touching the tables.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Clones the current snapshot (one `Arc` refcount bump under a briefly
+    /// held read lock — never blocked by table *construction*, only by the
+    /// O(1) pointer swap itself).
+    fn snapshot(&self) -> Arc<Tables> {
+        Arc::clone(&self.tables.read())
+    }
+
+    /// Copy-on-write mutation: clones the tables, applies `f`, republishes
+    /// the new snapshot, and bumps the generation. Errors leave the
+    /// published snapshot (and generation) untouched.
+    fn mutate<R>(&self, f: impl FnOnce(&mut Tables) -> Result<R, CcaError>) -> Result<R, CcaError> {
+        let mut guard = self.tables.write();
+        let mut next = Tables::clone(&guard);
+        let result = f(&mut next)?;
+        *guard = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::Release);
+        Ok(result)
     }
 
     // ---- provider side -------------------------------------------------
@@ -76,31 +126,32 @@ impl CcaServices {
     /// `addProvidesPort` — step (1) of Figure 3: the component makes an
     /// interface it implements known to its containing framework.
     pub fn add_provides_port(&self, handle: PortHandle) -> Result<(), CcaError> {
-        let mut inner = self.inner.lock();
-        let name = handle.port_name().to_string();
-        if inner.provides.contains_key(&name) || inner.uses.contains_key(&name) {
-            return Err(CcaError::PortAlreadyExists(name));
-        }
-        inner.provides.insert(name, handle);
-        Ok(())
+        self.mutate(|t| {
+            let name = Arc::clone(handle.port_name_arc());
+            if t.provides.contains_key(&name) || t.uses.contains_key(&name) {
+                return Err(CcaError::PortAlreadyExists(name.to_string()));
+            }
+            t.provides.insert(name, handle);
+            Ok(())
+        })
     }
 
     /// Removes a provides port; existing connections made from it remain
     /// valid (reference counting keeps the object alive) but no new
     /// connections can be made.
     pub fn remove_provides_port(&self, name: &str) -> Result<PortHandle, CcaError> {
-        self.inner
-            .lock()
-            .provides
-            .remove(name)
-            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+        self.mutate(|t| {
+            t.provides
+                .remove(name)
+                .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+        })
     }
 
     /// The provides port registered under `name` (framework-facing; this is
-    /// what a builder connects *from*).
+    /// what a builder connects *from*). The returned handle shares the
+    /// stored one — cloning it does not allocate.
     pub fn get_provides_port(&self, name: &str) -> Result<PortHandle, CcaError> {
-        self.inner
-            .lock()
+        self.snapshot()
             .provides
             .get(name)
             .cloned()
@@ -109,8 +160,7 @@ impl CcaServices {
 
     /// All provides-port registrations.
     pub fn provided_ports(&self) -> Vec<PortRecord> {
-        self.inner
-            .lock()
+        self.snapshot()
             .provides
             .values()
             .map(|h| PortRecord {
@@ -132,28 +182,31 @@ impl CcaServices {
         properties: TypeMap,
     ) -> Result<(), CcaError> {
         let name = name.into();
-        let mut inner = self.inner.lock();
-        if inner.uses.contains_key(&name) || inner.provides.contains_key(&name) {
-            return Err(CcaError::PortAlreadyExists(name));
-        }
-        inner.uses.insert(
-            name.clone(),
-            UsesSlot::new(PortRecord {
-                name,
-                port_type: port_type.into(),
-                properties,
-            }),
-        );
-        Ok(())
+        let port_type = port_type.into();
+        self.mutate(|t| {
+            let key: Arc<str> = Arc::from(name.as_str());
+            if t.uses.contains_key(&key) || t.provides.contains_key(&key) {
+                return Err(CcaError::PortAlreadyExists(name.clone()));
+            }
+            t.uses.insert(
+                key,
+                UsesSlot::new(PortRecord {
+                    name: name.clone(),
+                    port_type: port_type.clone(),
+                    properties: properties.clone(),
+                }),
+            );
+            Ok(())
+        })
     }
 
     /// Unregisters a uses port, dropping its connections.
     pub fn unregister_uses_port(&self, name: &str) -> Result<UsesSlot, CcaError> {
-        self.inner
-            .lock()
-            .uses
-            .remove(name)
-            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+        self.mutate(|t| {
+            t.uses
+                .remove(name)
+                .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+        })
     }
 
     /// `getPort` — step (4) of Figure 3: retrieves the connection for a
@@ -161,29 +214,32 @@ impl CcaServices {
     /// is connected. With fan-out > 1 the *first* connection is returned;
     /// use [`get_ports`](Self::get_ports) for the whole listener list.
     pub fn get_port(&self, name: &str) -> Result<PortHandle, CcaError> {
-        let inner = self.inner.lock();
-        let slot = inner
+        let tables = self.snapshot();
+        let slot = tables
             .uses
             .get(name)
             .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
-        slot.connections
+        slot.connections()
             .first()
             .cloned()
             .ok_or_else(|| CcaError::PortNotConnected(name.to_string()))
     }
 
     /// All connections of a uses port (the fan-out list; may be empty —
-    /// "one call may correspond to zero or more invocations").
-    pub fn get_ports(&self, name: &str) -> Result<Vec<PortHandle>, CcaError> {
-        let inner = self.inner.lock();
-        let slot = inner
+    /// "one call may correspond to zero or more invocations"). Returns the
+    /// **shared** snapshot: one refcount bump, no per-call `Vec` clone.
+    /// The list is immutable; later connects/disconnects publish a new one.
+    pub fn get_ports(&self, name: &str) -> Result<Arc<[PortHandle]>, CcaError> {
+        let tables = self.snapshot();
+        let slot = tables
             .uses
             .get(name)
             .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
-        Ok(slot.connections.clone())
+        Ok(Arc::clone(slot.connections()))
     }
 
-    /// Typed convenience: `getPort` plus downcast to the port trait.
+    /// Typed convenience: `getPort` plus downcast to the port trait. For
+    /// repeated access prefer [`CachedPort`], which memoizes the downcast.
     pub fn get_port_as<P: ?Sized + Send + Sync + 'static>(
         &self,
         name: &str,
@@ -191,10 +247,21 @@ impl CcaServices {
         self.get_port(name)?.typed::<P>()
     }
 
+    /// Creates a [`CachedPort`] for a uses slot: the memoizing handle that
+    /// makes repeated `get()` cost one atomic load (§6.2 steady state).
+    /// Resolution is lazy — the slot need not be connected yet.
+    pub fn cached_port<P: ?Sized + Send + Sync + 'static>(
+        self: &Arc<Self>,
+        name: impl Into<Arc<str>>,
+    ) -> CachedPort<P> {
+        CachedPort::new(Arc::clone(self), name)
+    }
+
     /// Multicast helper for the §6.1 fan-out semantics: invokes `f` on
     /// every connected provider of the uses port (zero or more), returning
     /// how many were called. Providers that fail the typed downcast are
-    /// skipped (mixed typed/proxied fan-out).
+    /// skipped (mixed typed/proxied fan-out). The shared snapshot makes
+    /// this allocation-free per call.
     pub fn multicast<P, F>(&self, name: &str, mut f: F) -> Result<usize, CcaError>
     where
         P: ?Sized + Send + Sync + 'static,
@@ -202,7 +269,7 @@ impl CcaServices {
     {
         let handles = self.get_ports(name)?;
         let mut called = 0;
-        for h in &handles {
+        for h in handles.iter() {
             if let Ok(p) = h.typed::<P>() {
                 f(&p);
                 called += 1;
@@ -214,19 +281,19 @@ impl CcaServices {
     /// `releasePort`: declares the component is done with the current
     /// connection of `name` (the slot stays registered; connections drop).
     pub fn release_port(&self, name: &str) -> Result<(), CcaError> {
-        let mut inner = self.inner.lock();
-        let slot = inner
-            .uses
-            .get_mut(name)
-            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
-        slot.connections.clear();
-        Ok(())
+        self.mutate(|t| {
+            let slot = t
+                .uses
+                .get_mut(name)
+                .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+            slot.clear_connections();
+            Ok(())
+        })
     }
 
     /// All uses-port declarations.
     pub fn used_ports(&self) -> Vec<PortRecord> {
-        self.inner
-            .lock()
+        self.snapshot()
             .uses
             .values()
             .map(|s| s.record.clone())
@@ -239,34 +306,33 @@ impl CcaServices {
     /// of Figure 3). Type compatibility is the *framework's* job (it has
     /// the reflection data); this method only enforces slot existence.
     pub fn connect_uses(&self, uses_name: &str, provider: PortHandle) -> Result<(), CcaError> {
-        let mut inner = self.inner.lock();
-        let slot = inner
-            .uses
-            .get_mut(uses_name)
-            .ok_or_else(|| CcaError::PortNotFound(uses_name.to_string()))?;
-        slot.connections.push(provider.renamed(uses_name));
-        Ok(())
+        self.mutate(|t| {
+            let slot = t
+                .uses
+                .get_mut(uses_name)
+                .ok_or_else(|| CcaError::PortNotFound(uses_name.to_string()))?;
+            slot.push_connection(provider.renamed(uses_name));
+            Ok(())
+        })
     }
 
     /// Framework-side: detaches the provider registered under
     /// `provider_port_type` object identity is not tracked; disconnects by
     /// position. Returns the removed handle.
     pub fn disconnect_uses(&self, uses_name: &str, index: usize) -> Result<PortHandle, CcaError> {
-        let mut inner = self.inner.lock();
-        let slot = inner
-            .uses
-            .get_mut(uses_name)
-            .ok_or_else(|| CcaError::PortNotFound(uses_name.to_string()))?;
-        if index >= slot.connections.len() {
-            return Err(CcaError::PortNotConnected(uses_name.to_string()));
-        }
-        Ok(slot.connections.remove(index))
+        self.mutate(|t| {
+            let slot = t
+                .uses
+                .get_mut(uses_name)
+                .ok_or_else(|| CcaError::PortNotFound(uses_name.to_string()))?;
+            slot.remove_connection(index)
+                .ok_or_else(|| CcaError::PortNotConnected(uses_name.to_string()))
+        })
     }
 
     /// The declared SIDL type of a uses slot.
     pub fn uses_port_type(&self, name: &str) -> Result<String, CcaError> {
-        let inner = self.inner.lock();
-        inner
+        self.snapshot()
             .uses
             .get(name)
             .map(|s| s.record.port_type.clone())
@@ -276,11 +342,125 @@ impl CcaServices {
 
 impl std::fmt::Debug for CcaServices {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let tables = self.snapshot();
         f.debug_struct("CcaServices")
-            .field("component", &inner.component_name)
-            .field("provides", &inner.provides.keys().collect::<Vec<_>>())
-            .field("uses", &inner.uses.keys().collect::<Vec<_>>())
+            .field("component", &self.component_name)
+            .field("provides", &tables.provides.keys().collect::<Vec<_>>())
+            .field("uses", &tables.uses.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A memoizing typed handle to one uses slot — the §6.2 steady state.
+///
+/// The first `get()` resolves the slot and downcasts once; every later
+/// `get()` is **one relaxed atomic load** (the generation check) plus a
+/// pointer return. Any mutation of the owning [`CcaServices`] — `connect`,
+/// `disconnect`, `remove_provides_port`, `release_port`, … — bumps the
+/// generation and transparently invalidates the memo, so a cached port can
+/// never outlive its connection unobserved: after a disconnect the next
+/// `get()` re-resolves and reports [`CcaError::PortNotConnected`].
+///
+/// `get` takes `&mut self` so the fast path needs no interior locking; a
+/// component typically owns one `CachedPort` per uses slot (one per thread
+/// for shared slots — they all share the same `CcaServices`).
+///
+/// ```
+/// use cca_core::{CcaServices, PortHandle};
+/// use cca_data::TypeMap;
+/// use std::sync::Arc;
+///
+/// trait Echo: Send + Sync { fn echo(&self) -> i32; }
+/// struct E;
+/// impl Echo for E { fn echo(&self) -> i32 { 7 } }
+///
+/// let provider = CcaServices::new("p");
+/// let obj: Arc<dyn Echo> = Arc::new(E);
+/// provider.add_provides_port(PortHandle::new("out", "demo.Echo", obj))?;
+/// let user = CcaServices::new("u");
+/// user.register_uses_port("in", "demo.Echo", TypeMap::new())?;
+/// user.connect_uses("in", provider.get_provides_port("out")?)?;
+///
+/// let mut port = user.cached_port::<dyn Echo>("in");
+/// assert_eq!(port.get()?.echo(), 7); // resolves + memoizes
+/// assert_eq!(port.get()?.echo(), 7); // one atomic load + virtual call
+/// # Ok::<(), cca_core::CcaError>(())
+/// ```
+pub struct CachedPort<P: ?Sized + Send + Sync + 'static> {
+    services: Arc<CcaServices>,
+    name: Arc<str>,
+    seen_generation: u64,
+    port: Option<Arc<P>>,
+}
+
+impl<P: ?Sized + Send + Sync + 'static> CachedPort<P> {
+    /// Creates a lazy cached handle (no resolution until first `get`).
+    pub fn new(services: Arc<CcaServices>, name: impl Into<Arc<str>>) -> Self {
+        CachedPort {
+            services,
+            name: name.into(),
+            seen_generation: 0,
+            port: None,
+        }
+    }
+
+    /// The uses-slot name this handle resolves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The typed port. Fast path: one relaxed generation load, a compare,
+    /// and a borrow of the memoized `Arc<P>` — no lock, no allocation, no
+    /// refcount traffic.
+    #[inline]
+    pub fn get(&mut self) -> Result<&Arc<P>, CcaError> {
+        let generation = self.services.generation.load(Ordering::Relaxed);
+        if self.port.is_none() || generation != self.seen_generation {
+            self.revalidate(generation)?;
+        }
+        // The branch above guarantees `port` is Some.
+        Ok(self.port.as_ref().unwrap())
+    }
+
+    /// Cloning convenience for callers that need an owned `Arc<P>`.
+    #[inline]
+    pub fn get_cloned(&mut self) -> Result<Arc<P>, CcaError> {
+        self.get().map(Arc::clone)
+    }
+
+    /// True if the memo is currently populated (diagnostic; says nothing
+    /// about staleness until the next `get`).
+    pub fn is_resolved(&self) -> bool {
+        self.port.is_some()
+    }
+
+    /// Drops the memo, forcing the next `get` to re-resolve.
+    pub fn invalidate(&mut self) {
+        self.port = None;
+    }
+
+    #[cold]
+    fn revalidate(&mut self, generation: u64) -> Result<(), CcaError> {
+        // Drop the stale memo first: if resolution fails (slot was
+        // disconnected or unregistered) the error must be sticky rather
+        // than silently serving the dead provider.
+        self.port = None;
+        // `generation` was loaded *before* the snapshot read below, so a
+        // concurrent mutation can only make us conservatively re-resolve
+        // next time — never serve a stale memo as fresh.
+        let resolved = self.services.get_port_as::<P>(&self.name)?;
+        self.port = Some(resolved);
+        self.seen_generation = generation;
+        Ok(())
+    }
+}
+
+impl<P: ?Sized + Send + Sync + 'static> std::fmt::Debug for CachedPort<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedPort")
+            .field("name", &self.name)
+            .field("resolved", &self.port.is_some())
+            .field("seen_generation", &self.seen_generation)
             .finish()
     }
 }
@@ -356,6 +536,19 @@ mod tests {
     }
 
     #[test]
+    fn failed_mutations_do_not_bump_generation() {
+        let s = CcaServices::new("c");
+        s.add_provides_port(adder_handle("x")).unwrap();
+        let g = s.generation();
+        assert!(s.add_provides_port(adder_handle("x")).is_err());
+        assert!(s.remove_provides_port("ghost").is_err());
+        assert!(s.release_port("ghost").is_err());
+        assert_eq!(s.generation(), g);
+        s.remove_provides_port("x").unwrap();
+        assert_eq!(s.generation(), g + 1);
+    }
+
+    #[test]
     fn fan_out_listener_list() {
         let s = CcaServices::new("caller");
         s.register_uses_port("out", "demo.Adder", TypeMap::new())
@@ -365,12 +558,20 @@ mod tests {
         let all = s.get_ports("out").unwrap();
         assert_eq!(all.len(), 2);
         // Every listener is invocable.
-        for h in all {
+        for h in all.iter() {
             let p: Arc<dyn Adder> = h.typed().unwrap();
             assert_eq!(p.add(1, 1), 2);
         }
         // get_port returns the first.
         assert_eq!(s.get_port("out").unwrap().port_name(), "out");
+        // The snapshot is shared, not copied: fetching twice without an
+        // intervening mutation yields the same allocation.
+        let again = s.get_ports("out").unwrap();
+        assert!(Arc::ptr_eq(&all, &again));
+        // A mutation publishes a fresh list; the old snapshot is unchanged.
+        s.connect_uses("out", adder_handle("c")).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(s.get_ports("out").unwrap().len(), 3);
     }
 
     #[test]
@@ -437,9 +638,113 @@ mod tests {
 }
 
 #[cfg(test)]
+mod cached_port_tests {
+    use super::*;
+
+    trait Adder: Send + Sync {
+        fn add(&self, a: i64, b: i64) -> i64;
+    }
+    struct Plus(i64);
+    impl Adder for Plus {
+        fn add(&self, a: i64, b: i64) -> i64 {
+            a + b + self.0
+        }
+    }
+
+    fn plus_handle(name: &str, bias: i64) -> PortHandle {
+        let obj: Arc<dyn Adder> = Arc::new(Plus(bias));
+        PortHandle::new(name, "demo.Adder", obj)
+    }
+
+    fn wired(bias: i64) -> (Arc<CcaServices>, Arc<CcaServices>) {
+        let provider = CcaServices::new("p");
+        provider.add_provides_port(plus_handle("out", bias)).unwrap();
+        let user = CcaServices::new("u");
+        user.register_uses_port("in", "demo.Adder", TypeMap::new())
+            .unwrap();
+        user.connect_uses("in", provider.get_provides_port("out").unwrap())
+            .unwrap();
+        (user, provider)
+    }
+
+    #[test]
+    fn memoizes_until_generation_changes() {
+        let (user, _p) = wired(0);
+        let mut port = user.cached_port::<dyn Adder>("in");
+        assert!(!port.is_resolved());
+        let first = Arc::as_ptr(port.get().unwrap());
+        assert!(port.is_resolved());
+        // No mutation — the memo survives and is the identical object.
+        assert_eq!(Arc::as_ptr(port.get().unwrap()), first);
+        assert_eq!(port.get().unwrap().add(1, 2), 3);
+        assert!(format!("{port:?}").contains("\"in\""));
+    }
+
+    #[test]
+    fn observes_disconnection() {
+        let (user, _p) = wired(0);
+        let mut port = user.cached_port::<dyn Adder>("in");
+        assert_eq!(port.get().unwrap().add(2, 2), 4);
+        user.disconnect_uses("in", 0).unwrap();
+        // The stale memo must not be served after the disconnect.
+        assert!(matches!(
+            port.get(),
+            Err(CcaError::PortNotConnected(_))
+        ));
+        assert!(!port.is_resolved());
+        // Errors stay sticky until a reconnect...
+        assert!(port.get().is_err());
+        let provider2 = CcaServices::new("p2");
+        provider2.add_provides_port(plus_handle("out", 100)).unwrap();
+        user.connect_uses("in", provider2.get_provides_port("out").unwrap())
+            .unwrap();
+        // ...after which the new provider is resolved transparently.
+        assert_eq!(port.get().unwrap().add(0, 0), 100);
+    }
+
+    #[test]
+    fn observes_redirection_to_new_provider() {
+        let (user, _p) = wired(0);
+        let mut port = user.cached_port::<dyn Adder>("in");
+        assert_eq!(port.get().unwrap().add(0, 0), 0);
+        // Swap providers: disconnect old, connect biased one.
+        user.disconnect_uses("in", 0).unwrap();
+        let p2 = CcaServices::new("p2");
+        p2.add_provides_port(plus_handle("out", 7)).unwrap();
+        user.connect_uses("in", p2.get_provides_port("out").unwrap())
+            .unwrap();
+        assert_eq!(port.get().unwrap().add(0, 0), 7);
+    }
+
+    #[test]
+    fn manual_invalidate_forces_reresolve() {
+        let (user, _p) = wired(0);
+        let mut port = user.cached_port::<dyn Adder>("in");
+        port.get().unwrap();
+        port.invalidate();
+        assert!(!port.is_resolved());
+        assert_eq!(port.get().unwrap().add(5, 5), 10);
+        assert_eq!(port.name(), "in");
+    }
+
+    #[test]
+    fn wrong_type_error_propagates() {
+        trait Other: Send + Sync {}
+        let (user, _p) = wired(0);
+        let mut port = user.cached_port::<dyn Other>("in");
+        assert!(matches!(
+            port.get(),
+            Err(CcaError::WrongPortRust { .. })
+        ));
+        let mut missing = user.cached_port::<dyn Adder>("ghost");
+        assert!(matches!(missing.get(), Err(CcaError::PortNotFound(_))));
+    }
+}
+
+#[cfg(test)]
 mod multicast_tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     trait Listener: Send + Sync {
         fn poke(&self);

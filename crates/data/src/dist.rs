@@ -17,7 +17,7 @@ use crate::error::DataError;
 
 /// A cartesian grid of SPMD processes. Ranks are numbered in column-major
 /// order over the grid coordinates (first grid dimension varies fastest).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcessGrid {
     extents: Vec<usize>,
 }
@@ -25,7 +25,7 @@ pub struct ProcessGrid {
 impl ProcessGrid {
     /// Creates a grid with the given per-dimension process counts.
     pub fn new(extents: &[usize]) -> Result<Self, DataError> {
-        if extents.is_empty() || extents.iter().any(|&e| e == 0) {
+        if extents.is_empty() || extents.contains(&0) {
             return Err(DataError::InvalidDistribution(format!(
                 "process grid extents must be non-empty and positive, got {extents:?}"
             )));
@@ -96,7 +96,7 @@ impl ProcessGrid {
 }
 
 /// How one array dimension is split over one process-grid dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DimDist {
     /// Contiguous blocks of `ceil(n/p)` elements per process (HPF `BLOCK`).
     Block,
@@ -181,7 +181,7 @@ impl Region {
 /// A complete distribution: a process grid plus one [`DimDist`] per array
 /// dimension. Array dimension `d` is distributed over grid dimension `d`;
 /// the grid must therefore have the same rank as the array.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Distribution {
     grid: ProcessGrid,
     dims: Vec<DimDist>,
@@ -233,7 +233,7 @@ impl Distribution {
 /// A global array shape bound to a [`Distribution`]: the descriptor a
 /// collective port exchanges so each side can compute the M×N transfer
 /// pattern without any central coordinator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DistArrayDesc {
     global_extents: Vec<usize>,
     dist: Distribution,
@@ -249,7 +249,7 @@ impl DistArrayDesc {
                 dist.grid().rank()
             )));
         }
-        if global_extents.iter().any(|&e| e == 0) {
+        if global_extents.contains(&0) {
             return Err(DataError::InvalidDistribution(format!(
                 "global extents must be positive, got {global_extents:?}"
             )));

@@ -623,7 +623,7 @@ mod tests {
     #[test]
     fn indexed_iter_visits_all_elements_once() {
         let a = NdArray::<i32>::from_vec(&[2, 3], (0..6).collect()).unwrap();
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for (idx, &v) in a.indexed_iter() {
             assert_eq!(*a.get(&idx).unwrap(), v);
             assert!(!seen[v as usize]);

@@ -9,12 +9,11 @@
 
 use crate::complex::Complex64;
 use crate::error::DataError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A value stored in a [`TypeMap`]. Covers the SIDL primitive types plus
 /// homogeneous arrays of the three workhorse element types.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TypeMapValue {
     /// 32-bit integer (`int` in SIDL).
     Int(i32),
@@ -34,21 +33,6 @@ pub enum TypeMapValue {
     DoubleArray(Vec<f64>),
     /// Array of strings.
     StrArray(Vec<String>),
-}
-
-// Complex64 needs serde support; implemented here to keep `complex` free of
-// the dependency decision.
-impl Serialize for Complex64 {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        (self.re, self.im).serialize(s)
-    }
-}
-
-impl<'de> Deserialize<'de> for Complex64 {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let (re, im) = <(f64, f64)>::deserialize(d)?;
-        Ok(Complex64::new(re, im))
-    }
 }
 
 impl TypeMapValue {
@@ -113,7 +97,7 @@ macro_rules! typed_accessors {
 /// // The strict accessor distinguishes the two:
 /// assert!(m.get_int_strict("tolerance").is_err());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TypeMap {
     entries: BTreeMap<String, TypeMapValue>,
 }
@@ -307,7 +291,7 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
         assert_eq!(m.type_of("anything"), None);
-        assert_eq!(m.get(&"anything".to_string()), None);
+        assert_eq!(m.get("anything"), None);
     }
 }
 

@@ -37,13 +37,15 @@ where
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriptionId(u64);
 
+type SubscriberList = Vec<(SubscriptionId, Arc<dyn EventListener>)>;
+
 /// The event service: topics → subscriber lists.
 ///
 /// Topic matching supports a trailing `*` wildcard segment
 /// (`"solver.*"` receives `"solver.converged"` and `"solver.failed"`).
 #[derive(Default)]
 pub struct EventService {
-    subscribers: RwLock<BTreeMap<String, Vec<(SubscriptionId, Arc<dyn EventListener>)>>>,
+    subscribers: RwLock<BTreeMap<String, SubscriberList>>,
     next_id: AtomicU64,
 }
 

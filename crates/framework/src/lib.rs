@@ -31,7 +31,7 @@ pub mod event;
 pub mod framework;
 pub mod script;
 
-pub use collective::MxNPort;
+pub use collective::{MxNPort, PlanCache};
 pub use event::{EventListener, EventService, SubscriptionId};
 pub use connect::{ConnectionInfo, ConnectionPolicy};
 pub use framework::Framework;

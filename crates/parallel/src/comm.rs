@@ -581,12 +581,11 @@ mod tests {
     #[test]
     fn bcast_delivers_to_all() {
         let results = spmd(4, |c| {
-            let v = if c.rank() == 2 {
+            if c.rank() == 2 {
                 c.bcast(2, Some(vec![1.0f64, 2.0, 3.0])).unwrap()
             } else {
                 c.bcast(2, None).unwrap()
-            };
-            v
+            }
         });
         for r in results {
             assert_eq!(r, vec![1.0, 2.0, 3.0]);

@@ -48,7 +48,7 @@ impl<'a> CartComm<'a> {
         let mut factors = Vec::new();
         let mut f = 2usize;
         while f * f <= remaining {
-            while remaining % f == 0 {
+            while remaining.is_multiple_of(f) {
                 factors.push(f);
                 remaining /= f;
             }

@@ -225,7 +225,6 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::ast::*;
     use crate::error::Span;
     use crate::parser::parse;
     use proptest::prelude::*;

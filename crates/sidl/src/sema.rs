@@ -433,6 +433,7 @@ impl<'a> Resolver<'a> {
         })
     }
 
+    #[allow(clippy::only_used_in_recursion)] // `model` threads through the base-class recursion
     fn resolve_class(
         &self,
         qname: &QName,

@@ -92,6 +92,12 @@ fn reduce_for<'a>(comm: Option<&'a Comm>) -> EitherReduce<'a> {
     }
 }
 
+/// The pluggable implicit-solve hook: given the operator and right-hand
+/// side, fill `x` with the solution (see
+/// [`HydroSim::step_with_solver`]).
+pub type SolveFn<'a> =
+    dyn Fn(&DiffusionOp<'_>, &[f64], &mut [f64]) -> Result<SolveStats, CcaError> + 'a;
+
 /// The implicit-diffusion operator `(I + c·L)` applied matrix-free with a
 /// halo exchange per application — the parallel mat-vec of §2.1's
 /// gather/scatter pattern.
@@ -257,7 +263,7 @@ impl HydroSim {
     pub fn step_with_solver(
         &mut self,
         comm: Option<&Comm>,
-        solve_fn: &dyn Fn(&DiffusionOp<'_>, &[f64], &mut [f64]) -> Result<SolveStats, CcaError>,
+        solve_fn: &SolveFn<'_>,
     ) -> Result<SolveStats, CcaError> {
         let rhs = self.advect(comm);
         let op = DiffusionOp {

@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn serial_halo_is_dirichlet() {
         let m = Mesh2d::decompose(3, 2, 1, 0);
-        let mut g = m.add_ghosts(&vec![5.0; 6]);
+        let mut g = m.add_ghosts(&[5.0; 6]);
         // Pollute ghosts; the exchange must zero them.
         g[0] = 99.0;
         let last = g.len() - 1;

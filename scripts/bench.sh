@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
+# port-resolution) and leaves the machine-readable results in
+# BENCH_ports.json at the repo root.
+#
+# Set CCA_BENCH_FAST=1 for a quick smoke run (fewer samples, shorter
+# calibration) — used by CI, where absolute numbers are noise anyway and
+# only the E9 acceptance assertions (cached ≤3x bare, one plan build per
+# shape) matter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+echo "==> E1 direct-connect ladder"
+cargo bench --offline -p cca-bench --bench e1_direct_connect
+
+echo "==> E8 fan-out"
+cargo bench --offline -p cca-bench --bench e8_fanout
+
+echo "==> E9 port resolution (writes BENCH_ports.json)"
+BENCH_PORTS_OUT="$ROOT/BENCH_ports.json" \
+    cargo bench --offline -p cca-bench --bench e9_port_resolution
+
+echo "==> results"
+cat "$ROOT/BENCH_ports.json"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Run from anywhere; operates on the repo root.
+# The workspace vendors all external deps under vendor/, so this works fully
+# offline (--offline keeps cargo from touching the network at all).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,361 @@
+//! In-tree shim for the `bytes` API subset the workspace uses.
+//!
+//! The build environment is fully offline, so the real crate cannot be
+//! fetched. `Bytes` is a cheaply-cloneable view (`Arc<[u8]>` + range) and
+//! `BytesMut` is a growable buffer that freezes into one. The `Buf` /
+//! `BufMut` traits carry the fixed-width little-endian accessors the RPC
+//! wire format relies on.
+
+use std::fmt;
+use std::sync::Arc;
+
+macro_rules! buf_le_getters {
+    ($($get:ident: $ty:ty),+ $(,)?) => {
+        $(
+            /// Reads a little-endian value, advancing the cursor.
+            fn $get(&mut self) -> $ty {
+                let mut raw = [0u8; std::mem::size_of::<$ty>()];
+                self.copy_to_slice(&mut raw);
+                <$ty>::from_le_bytes(raw)
+            }
+        )+
+    };
+}
+
+macro_rules! buf_le_putters {
+    ($($put:ident: $ty:ty),+ $(,)?) => {
+        $(
+            /// Appends a value in little-endian byte order.
+            fn $put(&mut self, v: $ty) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )+
+    };
+}
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    buf_le_getters! {
+        get_u16_le: u16,
+        get_u32_le: u32,
+        get_u64_le: u64,
+        get_i16_le: i16,
+        get_i32_le: i32,
+        get_i64_le: i64,
+        get_f32_le: f32,
+        get_f64_le: f64,
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    buf_le_putters! {
+        put_u16_le: u16,
+        put_u32_le: u32,
+        put_u64_le: u64,
+        put_i16_le: i16,
+        put_i32_le: i32,
+        put_i64_le: i64,
+        put_f32_le: f32,
+        put_f64_le: f64,
+    }
+}
+
+/// A cheaply-cloneable immutable byte buffer: shared storage + a range.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice (copied into shared storage; semantics,
+    /// not the zero-copy optimization, are what callers rely on).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The bytes of the view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    /// Both views share the same storage. Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Returns a sub-view sharing the same storage.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer that freezes into an immutable [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Converts into an immutable shared [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::from(self.data.clone()), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_round_trip() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(2.5);
+        buf.put_slice(b"tail");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32_le(), 0xdead_beef);
+        assert_eq!(bytes.get_i64_le(), -42);
+        assert_eq!(bytes.get_f64_le(), 2.5);
+        assert_eq!(bytes.as_slice(), b"tail");
+        assert!(bytes.has_remaining());
+        bytes.advance(4);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut b = Bytes::from(b"hello world".to_vec());
+        let head = b.split_to(5);
+        assert_eq!(head.as_slice(), b"hello");
+        assert_eq!(b.as_slice(), b" world");
+        assert_eq!(head.to_vec(), b"hello");
+    }
+
+    #[test]
+    fn equality_and_from_static() {
+        let a = Bytes::from_static(b"ping");
+        let b = Bytes::from(b"ping".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a, *b"ping");
+    }
+}
