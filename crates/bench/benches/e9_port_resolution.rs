@@ -183,6 +183,8 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
+            "  \"schema\": \"cca-bench/1\",\n",
+            "  \"experiment\": \"e9_port_resolution\",\n",
             "  \"bare_virtual_call_ns\": {:.3},\n",
             "  \"cached_port_ns\": {:.3},\n",
             "  \"uncached_get_port_ns\": {:.3},\n",
@@ -207,7 +209,11 @@ fn main() {
         cache.hits()
     );
     let out = std::env::var("BENCH_PORTS_OUT").unwrap_or_else(|_| "BENCH_ports.json".to_string());
-    std::fs::write(&out, &json).expect("write BENCH_ports.json");
+    // Atomic publication (write-then-rename): a crashed run never leaves a
+    // truncated JSON for the CI parse check to trip over.
+    let tmp = format!("{out}.tmp");
+    std::fs::write(&tmp, &json).expect("write BENCH_ports.json.tmp");
+    std::fs::rename(&tmp, &out).expect("rename into BENCH_ports.json");
     println!("wrote {out}");
 
     assert!(

@@ -9,7 +9,12 @@
 //!   `Arc`, so both are refcount bumps only;
 //! * a steady-state `CachedPort::get` (one relaxed generation load);
 //! * an uncached `get_port_as` success path (snapshot read + BTreeMap
-//!   lookup + downcast — slower, but still allocation-free).
+//!   lookup + downcast — slower, but still allocation-free);
+//! * the same `CachedPort::get` with per-port counters ON — the metrics
+//!   record path (single-writer shard bump) must also be allocation-free,
+//!   or "metrics-on" would silently change the steady state it observes;
+//! * span creation with tracing OFF — the inert guard every instrumented
+//!   framework operation constructs unconditionally.
 //!
 //! The tests share `SERIAL` so their measured regions never overlap — the
 //! harness runs tests on multiple threads, and a sibling's setup
@@ -124,6 +129,49 @@ fn cached_port_get_allocates_nothing_in_steady_state() {
     assert_eq!(
         delta, 0,
         "steady-state CachedPort::get must be allocation-free ({delta} allocations over 1000 calls)"
+    );
+}
+
+#[test]
+fn counters_on_cached_record_path_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let user = wire_fanout(1);
+    let mut cached = user.cached_port::<dyn EventPort>("events");
+    cca_obs::set_counters(true);
+    // Prime under the counters-on state: first resolution registers the
+    // call shard (one allocation, once per slot identity — allowed here).
+    cached.get().unwrap().notify(1);
+    let calls_before = user.port_metrics("events").unwrap().calls();
+
+    let before = alloc_count();
+    for _ in 0..1000 {
+        cached.get().unwrap().notify(1);
+    }
+    let delta = alloc_count() - before;
+    let counted = user.port_metrics("events").unwrap().calls() - calls_before;
+    cca_obs::set_counters(false);
+    assert_eq!(
+        delta, 0,
+        "counters-on CachedPort::get must be allocation-free ({delta} allocations over 1000 calls)"
+    );
+    // Prove the measured loop actually exercised the record path.
+    assert_eq!(counted, 1000, "every call must be counted");
+}
+
+#[test]
+fn tracing_off_span_guard_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    cca_obs::set_tracing(false);
+    drop(cca_obs::span("alloc.warmup"));
+
+    let before = alloc_count();
+    for _ in 0..1000 {
+        let _span = cca_obs::span("alloc.probe");
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "tracing-off span guards must be allocation-free ({delta} allocations over 1000 spans)"
     );
 }
 

@@ -7,6 +7,7 @@
 //! failure." The reference framework (`cca-framework`) emits these events;
 //! builders and monitoring tools subscribe with a [`ConfigListener`].
 
+use cca_data::TypeMap;
 use std::sync::Arc;
 
 /// One configuration event.
@@ -65,6 +66,77 @@ pub enum ConfigEvent {
         /// Failure description.
         reason: String,
     },
+}
+
+impl ConfigEvent {
+    /// The topic this event publishes under on a topic-based event service
+    /// (`cca.config.<kind>` — subscribe to `cca.config.*` for all of them).
+    pub fn topic(&self) -> &'static str {
+        match self {
+            ConfigEvent::ComponentAdded { .. } => "cca.config.component_added",
+            ConfigEvent::ComponentRemoved { .. } => "cca.config.component_removed",
+            ConfigEvent::Connected { .. } => "cca.config.connected",
+            ConfigEvent::Disconnected { .. } => "cca.config.disconnected",
+            ConfigEvent::Redirected { .. } => "cca.config.redirected",
+            ConfigEvent::ComponentFailed { .. } => "cca.config.component_failed",
+        }
+    }
+
+    /// The event's fields as a [`TypeMap`] payload — the schemaless form a
+    /// generic event subscriber (or remote monitor) consumes.
+    pub fn to_typemap(&self) -> TypeMap {
+        let mut m = TypeMap::new();
+        match self {
+            ConfigEvent::ComponentAdded {
+                instance,
+                component_type,
+            } => {
+                m.put_string("instance", instance.clone());
+                m.put_string("component_type", component_type.clone());
+            }
+            ConfigEvent::ComponentRemoved { instance } => {
+                m.put_string("instance", instance.clone());
+            }
+            ConfigEvent::Connected {
+                user,
+                uses_port,
+                provider,
+                provides_port,
+                port_type,
+            } => {
+                m.put_string("user", user.clone());
+                m.put_string("uses_port", uses_port.clone());
+                m.put_string("provider", provider.clone());
+                m.put_string("provides_port", provides_port.clone());
+                m.put_string("port_type", port_type.clone());
+            }
+            ConfigEvent::Disconnected {
+                user,
+                uses_port,
+                provider,
+            } => {
+                m.put_string("user", user.clone());
+                m.put_string("uses_port", uses_port.clone());
+                m.put_string("provider", provider.clone());
+            }
+            ConfigEvent::Redirected {
+                user,
+                uses_port,
+                old_provider,
+                new_provider,
+            } => {
+                m.put_string("user", user.clone());
+                m.put_string("uses_port", uses_port.clone());
+                m.put_string("old_provider", old_provider.clone());
+                m.put_string("new_provider", new_provider.clone());
+            }
+            ConfigEvent::ComponentFailed { instance, reason } => {
+                m.put_string("instance", instance.clone());
+                m.put_string("reason", reason.clone());
+            }
+        }
+        m
+    }
 }
 
 /// A subscriber to configuration events.
@@ -132,6 +204,47 @@ mod tests {
         let events = rec.events();
         assert!(matches!(events[0], ConfigEvent::ComponentAdded { .. }));
         assert!(matches!(events[1], ConfigEvent::ComponentFailed { .. }));
+    }
+
+    #[test]
+    fn topics_and_payloads_cover_every_variant() {
+        let events = [
+            ConfigEvent::ComponentAdded {
+                instance: "m0".into(),
+                component_type: "chad.Mesh".into(),
+            },
+            ConfigEvent::ComponentRemoved { instance: "m0".into() },
+            ConfigEvent::Connected {
+                user: "u".into(),
+                uses_port: "in".into(),
+                provider: "p".into(),
+                provides_port: "out".into(),
+                port_type: "t".into(),
+            },
+            ConfigEvent::Disconnected {
+                user: "u".into(),
+                uses_port: "in".into(),
+                provider: "p".into(),
+            },
+            ConfigEvent::Redirected {
+                user: "u".into(),
+                uses_port: "in".into(),
+                old_provider: "p0".into(),
+                new_provider: "p1".into(),
+            },
+            ConfigEvent::ComponentFailed {
+                instance: "m0".into(),
+                reason: "oom".into(),
+            },
+        ];
+        for e in &events {
+            assert!(e.topic().starts_with("cca.config."), "{}", e.topic());
+            assert!(!e.to_typemap().is_empty());
+        }
+        // A wildcard subscriber can reconstruct the connection graph edge.
+        let m = events[2].to_typemap();
+        assert_eq!(m.get_string("user", String::new()), "u");
+        assert_eq!(m.get_string("provides_port", String::new()), "out");
     }
 
     #[test]

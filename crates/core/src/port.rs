@@ -20,6 +20,7 @@
 
 use crate::error::CcaError;
 use cca_data::TypeMap;
+use cca_obs::PortMetrics;
 use cca_sidl::DynObject;
 use std::any::Any;
 use std::sync::Arc;
@@ -40,6 +41,9 @@ pub struct PortHandle {
     object: Arc<dyn Any + Send + Sync>,
     dynamic: Option<Arc<dyn DynObject>>,
     properties: Arc<TypeMap>,
+    /// Shared across every clone of this handle (and thus every table
+    /// snapshot it appears in), so counters survive COW republication.
+    metrics: Arc<PortMetrics>,
 }
 
 impl PortHandle {
@@ -55,6 +59,7 @@ impl PortHandle {
             object: Arc::new(object),
             dynamic: None,
             properties: Arc::new(TypeMap::new()),
+            metrics: PortMetrics::new(),
         }
     }
 
@@ -115,6 +120,13 @@ impl PortHandle {
         self.dynamic.as_ref()
     }
 
+    /// This port's metrics block. Shared by every clone of the handle —
+    /// whichever uses slot the handle lands in, calls observed through it
+    /// accumulate here (the provider-side view of §6.1's listener lists).
+    pub fn metrics(&self) -> &Arc<PortMetrics> {
+        &self.metrics
+    }
+
     /// Renames the handle (used by the framework when the provider's port
     /// name differs from the consumer's uses-slot name). When the name is
     /// unchanged this is a plain clone — no allocation.
@@ -171,6 +183,10 @@ pub struct UsesSlot {
     /// The declaration.
     pub record: PortRecord,
     connections: Arc<[PortHandle]>,
+    /// Shared across snapshot clones of the slot (the `Arc` travels with
+    /// every COW republication), so connection churn and call counts
+    /// accumulate over the slot's whole lifetime, not one generation.
+    metrics: Arc<PortMetrics>,
 }
 
 impl UsesSlot {
@@ -179,6 +195,7 @@ impl UsesSlot {
         UsesSlot {
             record,
             connections: empty_connections(),
+            metrics: PortMetrics::new(),
         }
     }
 
@@ -187,11 +204,21 @@ impl UsesSlot {
         &self.connections
     }
 
+    /// This slot's metrics block (call counts, churn, fan-out width).
+    pub fn metrics(&self) -> &Arc<PortMetrics> {
+        &self.metrics
+    }
+
     /// Appends a connection (copy-on-write: builds a new shared slice).
+    ///
+    /// Connection-shape metrics are recorded unconditionally: mutations
+    /// are rare (they already rebuild the table snapshot) so they are not
+    /// behind the per-call counter gate.
     pub fn push_connection(&mut self, handle: PortHandle) {
         let mut v: Vec<PortHandle> = self.connections.to_vec();
         v.push(handle);
         self.connections = Arc::from(v);
+        self.metrics.record_connect(self.connections.len() as u64);
     }
 
     /// Removes the connection at `index` (copy-on-write), returning it.
@@ -203,12 +230,18 @@ impl UsesSlot {
         let mut v: Vec<PortHandle> = self.connections.to_vec();
         let removed = v.remove(index);
         self.connections = Arc::from(v);
+        self.metrics
+            .record_disconnect(1, self.connections.len() as u64);
         Some(removed)
     }
 
     /// Drops every connection.
     pub fn clear_connections(&mut self) {
+        let dropped = self.connections.len();
         self.connections = empty_connections();
+        if dropped > 0 {
+            self.metrics.record_disconnect(dropped as u64, 0);
+        }
     }
 
     /// Number of connected providers.

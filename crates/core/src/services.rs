@@ -29,10 +29,12 @@
 use crate::error::CcaError;
 use crate::port::{PortHandle, PortRecord, UsesSlot};
 use cca_data::TypeMap;
+use cca_obs::{CallShard, PortMetrics, PortMetricsSnapshot};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The immutable snapshot of one component's port tables. Readers share it
 /// by cloning the outer `Arc`; writers copy, modify, and republish.
@@ -151,11 +153,16 @@ impl CcaServices {
     /// what a builder connects *from*). The returned handle shares the
     /// stored one — cloning it does not allocate.
     pub fn get_provides_port(&self, name: &str) -> Result<PortHandle, CcaError> {
-        self.snapshot()
+        let handle = self
+            .snapshot()
             .provides
             .get(name)
             .cloned()
-            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+        if cca_obs::counters_enabled() {
+            handle.metrics().record_resolution();
+        }
+        Ok(handle)
     }
 
     /// All provides-port registrations.
@@ -219,10 +226,16 @@ impl CcaServices {
             .uses
             .get(name)
             .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
-        slot.connections()
+        let handle = slot
+            .connections()
             .first()
             .cloned()
-            .ok_or_else(|| CcaError::PortNotConnected(name.to_string()))
+            .ok_or_else(|| CcaError::PortNotConnected(name.to_string()))?;
+        if cca_obs::counters_enabled() {
+            slot.metrics().record_resolution();
+            slot.metrics().record_direct_call();
+        }
+        Ok(handle)
     }
 
     /// All connections of a uses port (the fan-out list; may be empty —
@@ -267,12 +280,33 @@ impl CcaServices {
         P: ?Sized + Send + Sync + 'static,
         F: FnMut(&Arc<P>),
     {
-        let handles = self.get_ports(name)?;
+        let tables = self.snapshot();
+        let slot = tables
+            .uses
+            .get(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+        let handles = slot.connections();
         let mut called = 0;
-        for h in handles.iter() {
-            if let Ok(p) = h.typed::<P>() {
-                f(&p);
-                called += 1;
+        if cca_obs::counters_enabled() {
+            // Instrumented fan-out: per-listener latency into the slot's
+            // log2 histogram. Still allocation-free — `Instant::now` and
+            // relaxed atomics only.
+            let metrics = slot.metrics();
+            for h in handles.iter() {
+                if let Ok(p) = h.typed::<P>() {
+                    let started = Instant::now();
+                    f(&p);
+                    metrics.record_latency_ns(started.elapsed().as_nanos() as u64);
+                    metrics.record_direct_call();
+                    called += 1;
+                }
+            }
+        } else {
+            for h in handles.iter() {
+                if let Ok(p) = h.typed::<P>() {
+                    f(&p);
+                    called += 1;
+                }
             }
         }
         Ok(called)
@@ -338,6 +372,59 @@ impl CcaServices {
             .map(|s| s.record.port_type.clone())
             .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
     }
+
+    // ---- observability -------------------------------------------------
+
+    /// The live metrics block of the named port (uses slots shadow
+    /// provides ports, but names are unique across both tables). The
+    /// returned `Arc` stays valid across reconnects — metrics follow the
+    /// slot, not one table generation.
+    pub fn port_metrics(&self, name: &str) -> Result<Arc<PortMetrics>, CcaError> {
+        let tables = self.snapshot();
+        if let Some(slot) = tables.uses.get(name) {
+            return Ok(Arc::clone(slot.metrics()));
+        }
+        tables
+            .provides
+            .get(name)
+            .map(|h| Arc::clone(h.metrics()))
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))
+    }
+
+    /// A point-in-time metrics snapshot of every port this component owns:
+    /// `(port_name, "uses" | "provides", snapshot)`, sorted by name within
+    /// each table. This is what the framework's `MonitorPort` aggregates.
+    pub fn metrics_snapshot(&self) -> Vec<(String, &'static str, PortMetricsSnapshot)> {
+        let tables = self.snapshot();
+        let mut out = Vec::with_capacity(tables.provides.len() + tables.uses.len());
+        for (name, handle) in &tables.provides {
+            out.push((name.to_string(), "provides", handle.metrics().snapshot()));
+        }
+        for (name, slot) in &tables.uses {
+            out.push((name.to_string(), "uses", slot.metrics().snapshot()));
+        }
+        out
+    }
+
+    /// Uncounted resolution for [`CachedPort::revalidate`]: the memoizing
+    /// handle counts calls through its [`CallShard`], so routing it through
+    /// the public (counting) `get_port_as` would double-count the call that
+    /// triggered revalidation.
+    fn resolve_for_cache<P: ?Sized + Send + Sync + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<(Arc<P>, Arc<PortMetrics>), CcaError> {
+        let tables = self.snapshot();
+        let slot = tables
+            .uses
+            .get(name)
+            .ok_or_else(|| CcaError::PortNotFound(name.to_string()))?;
+        let handle = slot
+            .connections()
+            .first()
+            .ok_or_else(|| CcaError::PortNotConnected(name.to_string()))?;
+        Ok((handle.typed::<P>()?, Arc::clone(slot.metrics())))
+    }
 }
 
 impl std::fmt::Debug for CcaServices {
@@ -391,6 +478,11 @@ pub struct CachedPort<P: ?Sized + Send + Sync + 'static> {
     name: Arc<str>,
     seen_generation: u64,
     port: Option<Arc<P>>,
+    /// The slot's metrics block, captured at resolution time.
+    metrics: Option<Arc<PortMetrics>>,
+    /// Single-writer call counter: this handle is the only bumper (`get`
+    /// takes `&mut self`), so counting costs one relaxed store — no RMW.
+    shard: Option<Arc<CallShard>>,
 }
 
 impl<P: ?Sized + Send + Sync + 'static> CachedPort<P> {
@@ -401,6 +493,8 @@ impl<P: ?Sized + Send + Sync + 'static> CachedPort<P> {
             name: name.into(),
             seen_generation: 0,
             port: None,
+            metrics: None,
+            shard: None,
         }
     }
 
@@ -418,7 +512,15 @@ impl<P: ?Sized + Send + Sync + 'static> CachedPort<P> {
         if self.port.is_none() || generation != self.seen_generation {
             self.revalidate(generation)?;
         }
-        // The branch above guarantees `port` is Some.
+        // Counting adds one relaxed flag load + predicted branch when off,
+        // and one single-writer shard bump (relaxed load + store) when on —
+        // gated at ≤1.1× / ≤1.5× of the bare call by e10_obs_overhead.
+        if cca_obs::counters_enabled() {
+            if let Some(shard) = &self.shard {
+                shard.bump();
+            }
+        }
+        // The revalidate branch above guarantees `port` is Some.
         Ok(self.port.as_ref().unwrap())
     }
 
@@ -448,7 +550,21 @@ impl<P: ?Sized + Send + Sync + 'static> CachedPort<P> {
         // `generation` was loaded *before* the snapshot read below, so a
         // concurrent mutation can only make us conservatively re-resolve
         // next time — never serve a stale memo as fresh.
-        let resolved = self.services.get_port_as::<P>(&self.name)?;
+        let (resolved, metrics) = self.services.resolve_for_cache::<P>(&self.name)?;
+        if cca_obs::counters_enabled() {
+            metrics.record_resolution();
+        }
+        // Keep the existing shard when the slot's metrics block is
+        // unchanged (the common reconnect case) so counts accumulate;
+        // register a fresh one if the slot was re-registered.
+        let stale = match &self.metrics {
+            Some(old) => !Arc::ptr_eq(old, &metrics),
+            None => true,
+        };
+        if stale || self.shard.is_none() {
+            self.shard = Some(metrics.call_shard());
+            self.metrics = Some(metrics);
+        }
         self.port = Some(resolved);
         self.seen_generation = generation;
         Ok(())
@@ -738,6 +854,79 @@ mod cached_port_tests {
         ));
         let mut missing = user.cached_port::<dyn Adder>("ghost");
         assert!(matches!(missing.get(), Err(CcaError::PortNotFound(_))));
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+
+    trait Adder: Send + Sync {
+        fn add(&self, a: i64, b: i64) -> i64;
+    }
+    struct AdderImpl;
+    impl Adder for AdderImpl {
+        fn add(&self, a: i64, b: i64) -> i64 {
+            a + b
+        }
+    }
+
+    fn adder_handle(name: &str) -> PortHandle {
+        let obj: Arc<dyn Adder> = Arc::new(AdderImpl);
+        PortHandle::new(name, "demo.Adder", obj)
+    }
+
+    #[test]
+    fn connection_shape_metrics_are_always_on() {
+        // No counter gate involved: connects/disconnects/fan-out record
+        // unconditionally because they ride the rare mutation path.
+        let s = CcaServices::new("c");
+        s.register_uses_port("out", "demo.Adder", TypeMap::new())
+            .unwrap();
+        s.connect_uses("out", adder_handle("a")).unwrap();
+        let a: Arc<dyn Adder> = s.get_port_as("out").unwrap();
+        assert_eq!(a.add(2, 3), 5);
+        s.connect_uses("out", adder_handle("b")).unwrap();
+        s.disconnect_uses("out", 0).unwrap();
+        let snap = s.port_metrics("out").unwrap().snapshot();
+        assert_eq!(snap.connects, 2);
+        assert_eq!(snap.disconnects, 1);
+        assert_eq!(snap.fan_out, 1);
+        assert_eq!(snap.max_fan_out, 2);
+        assert_eq!(snap.churn, 3);
+        // release_port drops the remaining connection in one churn step.
+        s.release_port("out").unwrap();
+        let snap = s.port_metrics("out").unwrap().snapshot();
+        assert_eq!(snap.disconnects, 2);
+        assert_eq!(snap.fan_out, 0);
+        assert!(s.port_metrics("ghost").is_err());
+    }
+
+    #[test]
+    fn metrics_survive_copy_on_write_republication() {
+        let s = CcaServices::new("c");
+        s.register_uses_port("out", "demo.Adder", TypeMap::new())
+            .unwrap();
+        let before = s.port_metrics("out").unwrap();
+        // Unrelated mutations rebuild the whole table snapshot…
+        s.add_provides_port(adder_handle("p")).unwrap();
+        s.connect_uses("out", adder_handle("a")).unwrap();
+        // …but the slot keeps the identical metrics block.
+        let after = s.port_metrics("out").unwrap();
+        assert!(Arc::ptr_eq(&before, &after));
+    }
+
+    #[test]
+    fn snapshot_covers_both_tables() {
+        let s = CcaServices::new("c");
+        s.add_provides_port(adder_handle("give")).unwrap();
+        s.register_uses_port("take", "demo.Adder", TypeMap::new())
+            .unwrap();
+        let all = s.metrics_snapshot();
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].0.as_str(), all[0].1), ("give", "provides"));
+        assert_eq!((all[1].0.as_str(), all[1].1), ("take", "uses"));
+        assert!(s.port_metrics("give").is_ok());
     }
 }
 

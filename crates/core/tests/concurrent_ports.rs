@@ -130,6 +130,102 @@ fn readers_race_writer_without_torn_reads() {
 }
 
 #[test]
+fn metric_reads_race_connection_churn() {
+    // Counter recording is process-global; sibling tests in this binary
+    // never assert on counter *values*, so flipping the gate here is safe
+    // even though tests run concurrently.
+    cca_obs::set_counters(true);
+
+    let user = CcaServices::new("user");
+    user.register_uses_port("in", "test.CounterPort", TypeMap::new())
+        .unwrap();
+    user.connect_uses("in", provider(0)).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A cached caller bumps its single-writer shard while snapshot readers
+    // concurrently sum shards — the race the metrics layer must survive.
+    let caller = {
+        let user = Arc::clone(&user);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut cached = user.cached_port::<dyn CounterPort>("in");
+            let mut calls = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(p) = cached.get() {
+                    assert!(p.value() < u64::MAX);
+                    calls += 1;
+                }
+            }
+            calls
+        })
+    };
+
+    let mut metric_readers = Vec::new();
+    for _ in 0..2 {
+        let user = Arc::clone(&user);
+        let stop = Arc::clone(&stop);
+        metric_readers.push(thread::spawn(move || {
+            let metrics = user.port_metrics("in").unwrap();
+            let mut last_calls = 0u64;
+            let mut last_churn = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = metrics.snapshot();
+                // Counters are monotonic: a later read never goes backward,
+                // even while the writer republishes table snapshots.
+                assert!(snap.calls >= last_calls, "calls went backward");
+                assert!(snap.churn >= last_churn, "churn went backward");
+                last_calls = snap.calls;
+                last_churn = snap.churn;
+                assert!(snap.disconnects <= snap.connects);
+                assert!(snap.fan_out <= snap.max_fan_out);
+                // The whole-component aggregation stays coherent too.
+                let all = user.metrics_snapshot();
+                assert_eq!(all.len(), 1);
+                assert_eq!(all[0].0, "in");
+                assert_eq!(all[0].1, "uses");
+            }
+            (last_calls, last_churn)
+        }));
+    }
+
+    // Writer: churn the contested slot; metrics follow the slot across
+    // every copy-on-write republication.
+    for id in 1..=300u64 {
+        user.disconnect_uses("in", 0).unwrap();
+        user.connect_uses("in", provider(id)).unwrap();
+        if id % 16 == 0 {
+            thread::yield_now();
+        }
+    }
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while user.port_metrics("in").unwrap().snapshot().calls == 0
+        && std::time::Instant::now() < deadline
+    {
+        thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let calls_made = caller.join().unwrap();
+    for r in metric_readers {
+        r.join().unwrap();
+    }
+    cca_obs::set_counters(false);
+
+    let snap = user.port_metrics("in").unwrap().snapshot();
+    // 1 initial + 300 churn connects; 300 churn disconnects; ends connected.
+    assert_eq!(snap.connects, 301);
+    assert_eq!(snap.disconnects, 300);
+    assert_eq!(snap.churn, 601);
+    assert_eq!(snap.fan_out, 1);
+    assert_eq!(snap.max_fan_out, 1);
+    // Every successful cached call was counted (shards survive churn
+    // because the metrics block travels with the slot, not the snapshot).
+    assert!(calls_made > 0);
+    assert!(snap.calls >= calls_made);
+}
+
+#[test]
 fn cached_port_observes_disconnection() {
     let user = CcaServices::new("user");
     user.register_uses_port("in", "test.CounterPort", TypeMap::new())

@@ -66,6 +66,7 @@ impl Framework {
         provides_port: &str,
         policy: ConnectionPolicy,
     ) -> Result<(), CcaError> {
+        let _span = cca_obs::span("framework.connect");
         let user_services = self.services(user)?;
         let provider_services = self.services(provider)?;
         let uses_type = user_services.uses_port_type(uses_port)?;
@@ -85,19 +86,30 @@ impl Framework {
             });
         }
 
+        let provider_metrics = Arc::clone(handle.metrics());
         let delivered = match policy {
             ConnectionPolicy::Direct => handle,
             ConnectionPolicy::Proxied => self.proxy_handle(provider, provides_port, &handle)?,
         };
         user_services.connect_uses(uses_port, delivered)?;
-        self.connections.write().push(ConnectionInfo {
-            user: user.to_string(),
-            uses_port: uses_port.to_string(),
-            provider: provider.to_string(),
-            provides_port: provides_port.to_string(),
-            port_type: provides_type.clone(),
-            policy,
-        });
+        let provider_fan_out = {
+            let mut connections = self.connections.write();
+            connections.push(ConnectionInfo {
+                user: user.to_string(),
+                uses_port: uses_port.to_string(),
+                provider: provider.to_string(),
+                provides_port: provides_port.to_string(),
+                port_type: provides_type.clone(),
+                policy,
+            });
+            connections
+                .iter()
+                .filter(|c| c.provider == provider && c.provides_port == provides_port)
+                .count() as u64
+        };
+        // Provider-side view: how many uses slots this provides port now
+        // feeds (the uses slot records its own side in `connect_uses`).
+        provider_metrics.record_connect(provider_fan_out);
         self.emit(ConfigEvent::Connected {
             user: user.to_string(),
             uses_port: uses_port.to_string(),
@@ -143,6 +155,7 @@ impl Framework {
         uses_port: &str,
         provider: &str,
     ) -> Result<(), CcaError> {
+        let _span = cca_obs::span("framework.disconnect");
         let mut connections = self.connections.write();
         // Position among this uses-port's connections = index in the slot.
         let mut slot_index = 0usize;
@@ -160,8 +173,19 @@ impl Framework {
             CcaError::PortNotConnected(format!("{user}.{uses_port} -> {provider}"))
         })?;
         self.services(user)?.disconnect_uses(uses_port, slot_index)?;
-        connections.remove(vec_index);
+        let removed = connections.remove(vec_index);
+        let provider_fan_out = connections
+            .iter()
+            .filter(|c| c.provider == provider && c.provides_port == removed.provides_port)
+            .count() as u64;
         drop(connections);
+        // Best-effort provider-side bookkeeping: the provides port may have
+        // been removed (or the whole instance destroyed) already.
+        if let Ok(services) = self.services(provider) {
+            if let Ok(handle) = services.get_provides_port(&removed.provides_port) {
+                handle.metrics().record_disconnect(1, provider_fan_out);
+            }
+        }
         self.emit(ConfigEvent::Disconnected {
             user: user.to_string(),
             uses_port: uses_port.to_string(),

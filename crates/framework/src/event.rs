@@ -11,10 +11,23 @@
 //! §6.1), events for *notifications* with zero or more interested parties
 //! — the same fan-out semantics as multi-listener uses ports, measured in
 //! experiment E8.
+//!
+//! # Delivery order
+//!
+//! Delivery is **deterministic in global registration order**: for any
+//! published topic, the matching subscribers are invoked in the order
+//! their [`EventService::subscribe`] calls completed, regardless of which
+//! pattern each used. A wildcard subscriber registered *before* an exact
+//! one therefore hears the event *first*. This is a contract, not an
+//! implementation accident — scientific builders replay event logs and
+//! diff runs, so "same subscriptions ⇒ same delivery sequence" must hold
+//! (pinned by the `delivery_order_is_global_registration_order` test).
+//! The framework's own configuration events (connect/disconnect/…, topics
+//! `cca.config.*`) are routed through this service, so monitors observe
+//! them under the same ordering guarantee.
 
 use cca_data::TypeMap;
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -37,15 +50,21 @@ where
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SubscriptionId(u64);
 
-type SubscriberList = Vec<(SubscriptionId, Arc<dyn EventListener>)>;
+struct Subscription {
+    id: SubscriptionId,
+    pattern: String,
+    listener: Arc<dyn EventListener>,
+}
 
-/// The event service: topics → subscriber lists.
+/// The event service: a registration-ordered subscriber list.
 ///
 /// Topic matching supports a trailing `*` wildcard segment
 /// (`"solver.*"` receives `"solver.converged"` and `"solver.failed"`).
+/// See the module docs for the delivery-order contract.
 #[derive(Default)]
 pub struct EventService {
-    subscribers: RwLock<BTreeMap<String, SubscriberList>>,
+    /// Kept flat and in registration order — this *is* the delivery order.
+    subscribers: RwLock<Vec<Subscription>>,
     next_id: AtomicU64,
 }
 
@@ -63,38 +82,38 @@ impl EventService {
         listener: Arc<dyn EventListener>,
     ) -> SubscriptionId {
         let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.subscribers
-            .write()
-            .entry(pattern.into())
-            .or_default()
-            .push((id, listener));
+        self.subscribers.write().push(Subscription {
+            id,
+            pattern: pattern.into(),
+            listener,
+        });
         id
     }
 
-    /// Removes a subscription; returns true if it existed.
+    /// Removes a subscription; returns true if it existed. Later
+    /// subscribers keep their relative delivery positions.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
         let mut subs = self.subscribers.write();
-        for list in subs.values_mut() {
-            if let Some(pos) = list.iter().position(|(sid, _)| *sid == id) {
-                list.remove(pos);
-                return true;
-            }
+        if let Some(pos) = subs.iter().position(|s| s.id == id) {
+            subs.remove(pos);
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Publishes an event: synchronous delivery to every matching
-    /// subscriber, in (pattern, registration) order. Returns the number of
-    /// listeners reached — "zero or more invocations", as §6.1 has it.
+    /// subscriber, in **global registration order** (see module docs).
+    /// Returns the number of listeners reached — "zero or more
+    /// invocations", as §6.1 has it.
     pub fn publish(&self, topic: &str, body: &TypeMap) -> usize {
+        let _span = cca_obs::span("event.publish");
         let subs = self.subscribers.read();
         let mut delivered = 0;
-        for (pattern, list) in subs.iter() {
-            if Self::matches(pattern, topic) {
-                for (_, l) in list {
-                    l.on_event(topic, body);
-                    delivered += 1;
-                }
+        for sub in subs.iter() {
+            if Self::matches(&sub.pattern, topic) {
+                sub.listener.on_event(topic, body);
+                delivered += 1;
             }
         }
         delivered
@@ -102,7 +121,7 @@ impl EventService {
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.subscribers.read().values().map(Vec::len).sum()
+        self.subscribers.read().len()
     }
 
     fn matches(pattern: &str, topic: &str) -> bool {
@@ -172,6 +191,38 @@ mod tests {
         }
         assert_eq!(svc.publish("tick", &TypeMap::new()), 3);
         assert_eq!(log.lock().as_slice(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn delivery_order_is_global_registration_order() {
+        // The contract from the module docs: matching subscribers fire in
+        // the order they subscribed, NOT grouped/sorted by pattern. The
+        // wildcard subscriber registered first hears the event first even
+        // though "solver.*" sorts after "solver.converged".
+        let svc = EventService::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (tag, pattern) in [
+            ("wild", "solver.*"),
+            ("exact", "solver.converged"),
+            ("wild2", "solver.conv*"),
+        ] {
+            let log2 = Arc::clone(&log);
+            svc.subscribe(
+                pattern,
+                Arc::new(move |_: &str, _: &TypeMap| log2.lock().push(tag)),
+            );
+        }
+        assert_eq!(svc.publish("solver.converged", &TypeMap::new()), 3);
+        assert_eq!(log.lock().as_slice(), ["wild", "exact", "wild2"]);
+        // A later subscriber lands strictly after the existing ones.
+        let log2 = Arc::clone(&log);
+        svc.subscribe(
+            "solver.converged",
+            Arc::new(move |_: &str, _: &TypeMap| log2.lock().push("late")),
+        );
+        log.lock().clear();
+        assert_eq!(svc.publish("solver.converged", &TypeMap::new()), 4);
+        assert_eq!(log.lock().as_slice(), ["wild", "exact", "wild2", "late"]);
     }
 
     #[test]

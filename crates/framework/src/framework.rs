@@ -2,6 +2,7 @@
 
 use crate::collective::PlanCache;
 use crate::connect::{ConnectionInfo, ConnectionPolicy};
+use crate::event::EventService;
 use cca_core::component::GO_PORT_TYPE;
 use cca_core::event::SharedListener;
 use cca_core::{CcaError, CcaServices, Component, ConfigEvent, GoPort};
@@ -38,6 +39,11 @@ pub struct Framework {
     /// Shared M×N redistribution-plan cache: every collective port built
     /// through this framework reuses plans keyed by descriptor pair.
     plan_cache: Arc<PlanCache>,
+    /// The topic-based event service. Configuration events are published
+    /// here (topics `cca.config.*`) in addition to the typed
+    /// [`ConfigListener`](cca_core::event::ConfigListener) path, so
+    /// monitors get the registration-order delivery guarantee.
+    events: Arc<EventService>,
 }
 
 impl Framework {
@@ -49,6 +55,9 @@ impl Framework {
 
     /// Creates a framework with an explicit default connection policy.
     pub fn with_policy(repository: Arc<Repository>, policy: ConnectionPolicy) -> Arc<Self> {
+        // Honor CCA_TRACE / CCA_METRICS so observability can be switched on
+        // for any framework-hosted run without code changes.
+        cca_obs::init_from_env();
         Arc::new(Framework {
             repository,
             orb: Orb::new(),
@@ -59,6 +68,7 @@ impl Framework {
             // The reference framework supports both interaction styles.
             flavors: vec!["in-process".to_string(), "distributed".to_string()],
             plan_cache: Arc::new(PlanCache::new()),
+            events: EventService::new(),
         })
     }
 
@@ -89,10 +99,21 @@ impl Framework {
         self.listeners.write().push(listener);
     }
 
+    /// The framework's topic-based event service. Configuration events are
+    /// republished here under `cca.config.*` topics (payload =
+    /// [`ConfigEvent::to_typemap`]) with the service's deterministic
+    /// registration-order delivery; components may publish their own
+    /// topics alongside.
+    pub fn event_service(&self) -> &Arc<EventService> {
+        &self.events
+    }
+
     pub(crate) fn emit(&self, event: ConfigEvent) {
+        cca_obs::trace_instant(event.topic());
         for l in self.listeners.read().iter() {
             l.on_event(&event);
         }
+        self.events.publish(event.topic(), &event.to_typemap());
     }
 
     /// Instantiates a component from the repository under an instance name
@@ -304,6 +325,31 @@ mod tests {
         let events = rec.events();
         assert!(matches!(events[0], ConfigEvent::ComponentAdded { .. }));
         assert!(matches!(events[1], ConfigEvent::ComponentRemoved { .. }));
+    }
+
+    #[test]
+    fn config_events_route_through_event_service() {
+        let fw = Framework::new(repo_with_echo());
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        fw.event_service().subscribe(
+            "cca.config.*",
+            Arc::new(move |topic: &str, body: &TypeMap| {
+                log2.lock().push(format!(
+                    "{topic}:{}",
+                    body.get_string("instance", "?".into())
+                ));
+            }),
+        );
+        fw.create_instance("echo0", "demo.Echo").unwrap();
+        fw.destroy_instance("echo0").unwrap();
+        assert_eq!(
+            log.lock().as_slice(),
+            [
+                "cca.config.component_added:echo0",
+                "cca.config.component_removed:echo0"
+            ]
+        );
     }
 
     #[test]

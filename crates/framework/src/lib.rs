@@ -29,10 +29,12 @@ pub mod collective;
 pub mod connect;
 pub mod event;
 pub mod framework;
+pub mod monitor;
 pub mod script;
 
 pub use collective::{MxNPort, PlanCache};
 pub use event::{EventListener, EventService, SubscriptionId};
 pub use connect::{ConnectionInfo, ConnectionPolicy};
 pub use framework::Framework;
+pub use monitor::{MonitorComponent, MonitorPort, MONITOR_INSTANCE, MONITOR_PORT_TYPE, MONITOR_SIDL};
 pub use script::{parse_script, Command};

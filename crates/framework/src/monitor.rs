@@ -1,0 +1,413 @@
+//! The reflective `MonitorPort` — Fig. 2's builder-style introspection as
+//! an ordinary CCA port.
+//!
+//! §5 motivates SIDL reflection with exactly this use: "components and the
+//! associated composition tools and frameworks must discover, query, and
+//! execute methods at run time." The monitor is that story closed end to
+//! end: the framework installs a component whose provides port is reachable
+//! **only** through the dynamic-invocation machinery (`cca_sidl::DynObject`
+//! plus [`MONITOR_SIDL`] reflection metadata), and through it any tool —
+//! a GUI builder, a remote proxy via the ORB, a script — can ask the live
+//! assembly for its instance list, connection graph, per-port metrics, and
+//! trace buffers without compile-time knowledge of this crate.
+//!
+//! `examples/monitoring.rs` drives the whole surface via
+//! `cca_sidl::invoke_checked` only, as a composition tool would.
+
+use crate::framework::Framework;
+use cca_core::{CcaError, CcaServices, Component};
+use cca_sidl::{DynObject, DynValue, SidlError};
+use std::sync::{Arc, Weak};
+
+/// The SIDL type of the monitor's provides port.
+pub const MONITOR_PORT_TYPE: &str = "cca.ports.MonitorPort";
+
+/// Default instance name [`Framework::install_monitor`] registers under.
+pub const MONITOR_INSTANCE: &str = "cca-monitor";
+
+/// SIDL declaration of the monitor interface. Deposited into the
+/// repository by [`Framework::install_monitor`] so reflective callers can
+/// `invoke_checked` against real metadata.
+pub const MONITOR_SIDL: &str = "
+package cca.ports {
+    // Live-assembly introspection: every method returns JSON so callers
+    // need nothing beyond the dynamic-invocation machinery.
+    interface MonitorPort {
+        // [{\"name\":…,\"class\":…}] for every live instance.
+        string instances();
+        // {\"instances\":[…],\"connections\":[…]} — the live wiring graph.
+        string connectionGraph();
+        // {instance: [{\"port\":…,\"kind\":…,\"metrics\":{…}}]} for all ports.
+        string metricsJson();
+        // Total observed invocations of one port of one instance.
+        long callCount(in string instance, in string port);
+        // Live subscription count of the framework event service.
+        long eventSubscriptions();
+        // Flip the per-port counter gate at runtime.
+        void setCounters(in bool on);
+        // Flip the span/event tracer at runtime.
+        void setTracing(in bool on);
+        // Drain buffered trace events: format is \"jsonl\" or \"chrome\".
+        string drainTrace(in string format);
+    }
+}
+";
+
+fn js(s: &str) -> String {
+    cca_obs::trace::escape_json(s)
+}
+
+/// The monitor's port object: a [`DynObject`] over a weak framework
+/// reference (weak, so the monitor never keeps its own framework alive —
+/// the framework owns the monitor, not vice versa).
+pub struct MonitorPort {
+    framework: Weak<Framework>,
+}
+
+impl MonitorPort {
+    /// Creates a monitor port watching `framework`.
+    pub fn new(framework: &Arc<Framework>) -> Arc<Self> {
+        Arc::new(MonitorPort {
+            framework: Arc::downgrade(framework),
+        })
+    }
+
+    fn framework(&self) -> Result<Arc<Framework>, SidlError> {
+        self.framework
+            .upgrade()
+            .ok_or_else(|| SidlError::invoke("monitored framework no longer exists"))
+    }
+
+    /// JSON array of `{"name", "class"}` for every live instance.
+    pub fn instances_json(&self) -> Result<String, SidlError> {
+        let fw = self.framework()?;
+        let items: Vec<String> = fw
+            .instance_names()
+            .into_iter()
+            .map(|name| {
+                let class = fw.class_of(&name).unwrap_or_default();
+                format!("{{\"name\":\"{}\",\"class\":\"{}\"}}", js(&name), js(&class))
+            })
+            .collect();
+        Ok(format!("[{}]", items.join(",")))
+    }
+
+    /// The live connection graph: instances as nodes, connections as edges.
+    pub fn connection_graph_json(&self) -> Result<String, SidlError> {
+        let fw = self.framework()?;
+        let edges: Vec<String> = fw
+            .connections()
+            .into_iter()
+            .map(|c| {
+                format!(
+                    "{{\"user\":\"{}\",\"usesPort\":\"{}\",\"provider\":\"{}\",\
+                     \"providesPort\":\"{}\",\"portType\":\"{}\",\"policy\":\"{:?}\"}}",
+                    js(&c.user),
+                    js(&c.uses_port),
+                    js(&c.provider),
+                    js(&c.provides_port),
+                    js(&c.port_type),
+                    c.policy
+                )
+            })
+            .collect();
+        Ok(format!(
+            "{{\"instances\":{},\"connections\":[{}]}}",
+            self.instances_json()?,
+            edges.join(",")
+        ))
+    }
+
+    /// Per-port metrics of every instance, keyed by instance name.
+    pub fn metrics_json(&self) -> Result<String, SidlError> {
+        let fw = self.framework()?;
+        let mut per_instance = Vec::new();
+        for name in fw.instance_names() {
+            let services = fw
+                .services(&name)
+                .map_err(|e| SidlError::invoke(e.to_string()))?;
+            let ports: Vec<String> = services
+                .metrics_snapshot()
+                .into_iter()
+                .map(|(port, kind, snap)| {
+                    format!(
+                        "{{\"port\":\"{}\",\"kind\":\"{kind}\",\"metrics\":{}}}",
+                        js(&port),
+                        snap.to_json()
+                    )
+                })
+                .collect();
+            per_instance.push(format!("\"{}\":[{}]", js(&name), ports.join(",")));
+        }
+        Ok(format!("{{{}}}", per_instance.join(",")))
+    }
+
+    /// Total observed invocations of `port` on `instance`.
+    pub fn call_count(&self, instance: &str, port: &str) -> Result<i64, SidlError> {
+        let fw = self.framework()?;
+        let services = fw
+            .services(instance)
+            .map_err(|e| SidlError::invoke(e.to_string()))?;
+        let metrics = services
+            .port_metrics(port)
+            .map_err(|e| SidlError::invoke(e.to_string()))?;
+        Ok(metrics.calls() as i64)
+    }
+
+    /// Drains the tracer: `"chrome"` renders a Chrome `trace_event`
+    /// document, anything else JSON Lines.
+    pub fn drain_trace(&self, format: &str) -> String {
+        let events = cca_obs::drain();
+        if format == "chrome" {
+            cca_obs::to_chrome_trace(&events)
+        } else {
+            cca_obs::to_jsonl(&events)
+        }
+    }
+}
+
+impl DynObject for MonitorPort {
+    fn sidl_type(&self) -> &str {
+        MONITOR_PORT_TYPE
+    }
+
+    fn invoke(&self, method: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+        match method {
+            "instances" => Ok(DynValue::Str(self.instances_json()?)),
+            "connectionGraph" => Ok(DynValue::Str(self.connection_graph_json()?)),
+            "metricsJson" => Ok(DynValue::Str(self.metrics_json()?)),
+            "callCount" => {
+                let instance = args
+                    .first()
+                    .ok_or_else(|| SidlError::invoke("callCount needs (instance, port)"))?
+                    .as_str()?;
+                let port = args
+                    .get(1)
+                    .ok_or_else(|| SidlError::invoke("callCount needs (instance, port)"))?
+                    .as_str()?;
+                Ok(DynValue::Long(self.call_count(instance, port)?))
+            }
+            "eventSubscriptions" => {
+                let fw = self.framework()?;
+                Ok(DynValue::Long(
+                    fw.event_service().subscription_count() as i64
+                ))
+            }
+            "setCounters" => {
+                let on = args
+                    .first()
+                    .ok_or_else(|| SidlError::invoke("setCounters needs (on)"))?
+                    .as_bool()?;
+                cca_obs::set_counters(on);
+                Ok(DynValue::Void)
+            }
+            "setTracing" => {
+                let on = args
+                    .first()
+                    .ok_or_else(|| SidlError::invoke("setTracing needs (on)"))?
+                    .as_bool()?;
+                cca_obs::set_tracing(on);
+                Ok(DynValue::Void)
+            }
+            "drainTrace" => {
+                let format = args
+                    .first()
+                    .ok_or_else(|| SidlError::invoke("drainTrace needs (format)"))?
+                    .as_str()?;
+                Ok(DynValue::Str(self.drain_trace(format)))
+            }
+            other => Err(SidlError::invoke(format!(
+                "{MONITOR_PORT_TYPE} has no method '{other}'"
+            ))),
+        }
+    }
+}
+
+/// The component wrapper that provides the monitor port (instance name
+/// [`MONITOR_INSTANCE`], port name `"monitor"`).
+pub struct MonitorComponent {
+    port: Arc<MonitorPort>,
+}
+
+impl Component for MonitorComponent {
+    fn component_type(&self) -> &str {
+        "cca.MonitorComponent"
+    }
+
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        let dynamic: Arc<dyn DynObject> = Arc::clone(&self.port) as Arc<dyn DynObject>;
+        services.add_provides_port(
+            cca_core::PortHandle::new("monitor", MONITOR_PORT_TYPE, Arc::clone(&dynamic))
+                .with_dynamic(dynamic),
+        )
+    }
+}
+
+impl Framework {
+    /// Installs the monitoring component: deposits [`MONITOR_SIDL`] into
+    /// the repository (idempotently) and adds a [`MonitorComponent`]
+    /// instance named [`MONITOR_INSTANCE`] whose `"monitor"` provides port
+    /// answers the [`MONITOR_PORT_TYPE`] interface via dynamic invocation.
+    ///
+    /// Returns the port object for in-process callers; reflective tools
+    /// reach the same object with
+    /// `framework.services(MONITOR_INSTANCE)?.get_provides_port("monitor")`.
+    pub fn install_monitor(self: &Arc<Self>) -> Result<Arc<MonitorPort>, CcaError> {
+        let known = self
+            .repository()
+            .with_catalog(|c| c.reflection().type_info(MONITOR_PORT_TYPE).is_some());
+        if !known {
+            self.repository()
+                .deposit_sidl(MONITOR_SIDL)
+                .map_err(|e| CcaError::Framework(format!("monitor SIDL rejected: {e}")))?;
+        }
+        let port = MonitorPort::new(self);
+        self.add_instance(
+            MONITOR_INSTANCE,
+            Arc::new(MonitorComponent {
+                port: Arc::clone(&port),
+            }),
+        )?;
+        Ok(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_core::PortHandle;
+    use cca_data::TypeMap;
+    use cca_repository::Repository;
+    use cca_sidl::{compile, invoke_checked, Reflection};
+
+    trait Echo: Send + Sync {
+        fn ping(&self) -> i64;
+    }
+    struct E;
+    impl Echo for E {
+        fn ping(&self) -> i64 {
+            1
+        }
+    }
+
+    struct Provider;
+    impl Component for Provider {
+        fn component_type(&self) -> &str {
+            "t.Provider"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            let port: Arc<dyn Echo> = Arc::new(E);
+            s.add_provides_port(PortHandle::new("out", "t.Echo", port))
+        }
+    }
+    struct User;
+    impl Component for User {
+        fn component_type(&self) -> &str {
+            "t.User"
+        }
+        fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
+            s.register_uses_port("in", "t.Echo", TypeMap::new())
+        }
+    }
+
+    fn wired_framework() -> Arc<Framework> {
+        let fw = Framework::new(Repository::new());
+        fw.add_instance("p0", Arc::new(Provider)).unwrap();
+        fw.add_instance("u0", Arc::new(User)).unwrap();
+        fw.connect("u0", "in", "p0", "out").unwrap();
+        fw
+    }
+
+    #[test]
+    fn install_is_idempotent_in_sidl_but_not_instances() {
+        let fw = wired_framework();
+        let monitor = fw.install_monitor().unwrap();
+        // Second install fails on the duplicate instance name, not on a
+        // duplicate SIDL deposit.
+        assert!(matches!(
+            fw.install_monitor(),
+            Err(CcaError::ComponentAlreadyExists(_))
+        ));
+        assert!(monitor.instances_json().unwrap().contains("cca-monitor"));
+    }
+
+    #[test]
+    fn monitor_reports_graph_and_metrics() {
+        let fw = wired_framework();
+        let monitor = fw.install_monitor().unwrap();
+        let graph = monitor.connection_graph_json().unwrap();
+        assert!(graph.contains("\"user\":\"u0\""));
+        assert!(graph.contains("\"provider\":\"p0\""));
+        assert!(graph.contains("\"policy\":\"Direct\""));
+        let metrics = monitor.metrics_json().unwrap();
+        assert!(metrics.contains("\"u0\""));
+        assert!(metrics.contains("\"kind\":\"uses\""));
+        // Counter-gated call counting observed through the monitor.
+        cca_obs::set_counters(true);
+        let services = fw.services("u0").unwrap();
+        let port: Arc<dyn Echo> = services.get_port_as("in").unwrap();
+        assert_eq!(port.ping(), 1);
+        cca_obs::set_counters(false);
+        assert!(monitor.call_count("u0", "in").unwrap() >= 1);
+        assert!(monitor.call_count("ghost", "in").is_err());
+        assert!(monitor.call_count("u0", "ghost").is_err());
+    }
+
+    #[test]
+    fn dynamic_invocation_against_deposited_reflection() {
+        let fw = wired_framework();
+        fw.install_monitor().unwrap();
+        // Reach the port the way a composition tool does: reflection from
+        // the SIDL text + checked dynamic invocation, no Rust types.
+        let handle = fw
+            .services(MONITOR_INSTANCE)
+            .unwrap()
+            .get_provides_port("monitor")
+            .unwrap();
+        let target = handle.dynamic().unwrap();
+        let reflection = Reflection::from_model(&compile(MONITOR_SIDL).unwrap());
+        let info = reflection.type_info(MONITOR_PORT_TYPE).unwrap();
+
+        let r = invoke_checked(&**target, info.method("instances").unwrap(), vec![]).unwrap();
+        assert!(r.as_str().unwrap().contains("\"u0\""));
+
+        let r = invoke_checked(
+            &**target,
+            info.method("callCount").unwrap(),
+            vec![DynValue::Str("u0".into()), DynValue::Str("in".into())],
+        )
+        .unwrap();
+        assert!(r.as_long().unwrap() >= 0);
+
+        // Arity/type checking comes from the deposited metadata.
+        assert!(invoke_checked(&**target, info.method("callCount").unwrap(), vec![]).is_err());
+        let r = invoke_checked(&**target, info.method("eventSubscriptions").unwrap(), vec![]);
+        assert!(r.unwrap().as_long().unwrap() >= 0);
+    }
+
+    #[test]
+    fn monitor_does_not_keep_framework_alive() {
+        let fw = wired_framework();
+        let monitor = fw.install_monitor().unwrap();
+        drop(fw);
+        assert!(monitor.instances_json().is_err());
+        assert!(monitor
+            .framework()
+            .err()
+            .unwrap()
+            .to_string()
+            .contains("no longer exists"));
+    }
+
+    #[test]
+    fn unknown_method_and_bad_args_error() {
+        let fw = wired_framework();
+        let monitor = fw.install_monitor().unwrap();
+        assert!(monitor.invoke("selfDestruct", vec![]).is_err());
+        assert!(monitor.invoke("setTracing", vec![]).is_err());
+        assert!(monitor
+            .invoke("setTracing", vec![DynValue::Long(1)])
+            .is_err());
+        assert!(monitor.invoke("drainTrace", vec![]).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # cca-obs — zero-cost-when-off observability for `cca-rs`
+//!
+//! The paper gives every component a `CCAServices` handle and touts
+//! reflection/dynamic invocation (§5) precisely so tools can inspect live
+//! component assemblies. This crate is the instrumentation layer those
+//! tools read from:
+//!
+//! * [`flags`] — one global `AtomicU32` of feature bits. Every hot-path
+//!   hook in `cca-core`/`cca-rpc` is guarded by a single **relaxed load**
+//!   of this word, so the steady-state direct-connect call path (PR 1's
+//!   `CachedPort`) pays one predictable branch when observability is off.
+//!   Both facilities are additionally compile-time gated by the `trace`
+//!   and `counters` cargo features and env-gated via `CCA_TRACE` /
+//!   `CCA_METRICS` (see [`init_from_env`]).
+//! * [`metrics`] — per-port invocation counters, connect/disconnect
+//!   churn, fan-out width, and fixed-bucket log2 latency histograms. The
+//!   record path is allocation-free: relaxed atomics only. Call counting
+//!   from `CachedPort` uses single-writer [`metrics::CallShard`]s so the
+//!   per-call cost is one relaxed store, not an atomic RMW.
+//! * [`trace`] — a lightweight span/event tracer: fixed-capacity ring
+//!   buffer per thread, drained to JSONL or Chrome `trace_event` JSON
+//!   (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! The framework aggregates these through `CCAServices` and exposes them
+//! to builders via the reflective `MonitorPort` (`cca-framework`), so a
+//! remote tool can ask "who is connected to whom, how hot is each port"
+//! exactly as Fig. 2's builder would.
+
+pub mod flags;
+pub mod metrics;
+pub mod trace;
+
+pub use flags::{
+    counters_enabled, init_from_env, set_counters, set_tracing, tracing_enabled,
+};
+pub use metrics::{
+    CallShard, LatencyHistogram, LatencySnapshot, PortMetrics, PortMetricsSnapshot,
+    TransportMetrics, TransportSnapshot,
+};
+pub use trace::{
+    drain, span, to_chrome_trace, to_jsonl, trace_instant, Span, TraceEvent, TraceKind,
+};

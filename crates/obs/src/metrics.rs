@@ -1,0 +1,525 @@
+//! Per-port metrics: invocation counters, connection churn, fan-out width,
+//! and log2 latency histograms.
+//!
+//! Everything on a record path is a relaxed atomic — **zero allocations
+//! per call** (pinned by `crates/bench/tests/alloc_free.rs`). Structural
+//! bookkeeping (creating a shard, snapshotting) may allocate; it happens
+//! off the steady-state call path.
+//!
+//! Call counting comes in two flavors:
+//!
+//! * [`PortMetrics::record_direct_call`] — a relaxed `fetch_add`, used by
+//!   the uncached `getPort` paths and fan-out multicast, which are already
+//!   map-lookup-heavy;
+//! * [`CallShard`] — a single-writer cell a `CachedPort` owns. The §6.2
+//!   steady state then records with one relaxed **store** (no RMW bus
+//!   lock), which is what keeps the counters-on call within 1.5× of the
+//!   uninstrumented call (gated by `e10_obs_overhead`). Readers sum the
+//!   shards; no increments are ever lost because each shard has exactly
+//!   one writer (`CachedPort::get` takes `&mut self`).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket log2 latency histogram. Bucket `i` counts samples with
+/// `floor(log2(ns)) == i`, saturating at the last bucket (≥ ~2.1 s).
+/// Recording is one relaxed `fetch_add` per sample — allocation-free.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a sample (0 for 0–1 ns, then `floor(log2)`).
+    #[inline]
+    pub fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one latency sample. Relaxed atomics, no allocation.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting (buckets are read relaxed;
+    /// concurrent recording may skew totals by in-flight samples).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-bucket sample counts (`buckets[i]` ⇔ `floor(log2(ns)) == i`).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean latency in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive, ns) of bucket `i`: `2^(i+1)`.
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
+    }
+
+    /// An approximate quantile (0.0–1.0) from the bucket upper bounds.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank.max(1) {
+                return Self::bucket_upper_ns(i);
+            }
+        }
+        Self::bucket_upper_ns(BUCKETS - 1)
+    }
+
+    /// Compact JSON: only non-empty buckets, as `[bucket_index, count]`.
+    pub fn to_json(&self) -> String {
+        let mut pairs = String::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                if !pairs.is_empty() {
+                    pairs.push(',');
+                }
+                pairs.push_str(&format!("[{i},{b}]"));
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{:.1},\"log2_buckets\":[{pairs}]}}",
+            self.count,
+            self.sum_ns,
+            self.mean_ns()
+        )
+    }
+}
+
+/// A single-writer call counter cell.
+///
+/// Exactly one `CachedPort` owns a shard and bumps it with a relaxed
+/// load+store (no RMW); any reader may sum shards at any time. Shards
+/// outlive their writer so counts survive reconnection churn.
+pub struct CallShard {
+    count: AtomicU64,
+}
+
+impl CallShard {
+    /// Single-writer increment: one relaxed load + one relaxed store.
+    /// Calling this from more than one thread loses increments — it is
+    /// only handed out via [`PortMetrics::call_shard`] to `&mut self`
+    /// owners.
+    #[inline]
+    pub fn bump(&self) {
+        let n = self.count.load(Ordering::Relaxed);
+        self.count.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// The shard's current count.
+    pub fn value(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Metrics of one port-table slot (a uses slot or a provides handle).
+///
+/// Lives behind an `Arc` inside the slot so copy-on-write snapshot
+/// republication (PR 1's `Arc`-snapshot tables) shares one instance across
+/// generations: counters survive reconnects, and readers never block
+/// writers.
+///
+/// Connection-shape metrics (connects, disconnects, churn, fan-out) are
+/// recorded **unconditionally** — they change only on rare table mutations.
+/// Per-call metrics (calls, latency) are gated behind
+/// [`crate::counters_enabled`] by the callers in `cca-core`.
+pub struct PortMetrics {
+    direct_calls: AtomicU64,
+    connects: AtomicU64,
+    disconnects: AtomicU64,
+    churn: AtomicU64,
+    fan_out: AtomicU64,
+    max_fan_out: AtomicU64,
+    resolutions: AtomicU64,
+    latency: LatencyHistogram,
+    shards: Mutex<Vec<Arc<CallShard>>>,
+}
+
+impl PortMetrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PortMetrics {
+            direct_calls: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            churn: AtomicU64::new(0),
+            fan_out: AtomicU64::new(0),
+            max_fan_out: AtomicU64::new(0),
+            resolutions: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            shards: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers a new single-writer call shard (used by `CachedPort` at
+    /// resolution time — off the per-call path).
+    pub fn call_shard(&self) -> Arc<CallShard> {
+        let shard = Arc::new(CallShard {
+            count: AtomicU64::new(0),
+        });
+        self.shards.lock().push(Arc::clone(&shard));
+        shard
+    }
+
+    /// Counts one invocation on the slow (uncached) path.
+    #[inline]
+    pub fn record_direct_call(&self) {
+        self.direct_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful port resolution (`getPort`/downcast).
+    #[inline]
+    pub fn record_resolution(&self) {
+        self.resolutions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one call latency sample into the log2 histogram.
+    #[inline]
+    pub fn record_latency_ns(&self, ns: u64) {
+        self.latency.record_ns(ns);
+    }
+
+    /// Records a connection being attached; `fan_out` is the slot's new
+    /// listener-list width.
+    pub fn record_connect(&self, fan_out: u64) {
+        self.connects.fetch_add(1, Ordering::Relaxed);
+        self.churn.fetch_add(1, Ordering::Relaxed);
+        self.fan_out.store(fan_out, Ordering::Relaxed);
+        self.max_fan_out.fetch_max(fan_out, Ordering::Relaxed);
+    }
+
+    /// Records `dropped` connections being detached; `fan_out` is the new
+    /// width.
+    pub fn record_disconnect(&self, dropped: u64, fan_out: u64) {
+        self.disconnects.fetch_add(dropped, Ordering::Relaxed);
+        self.churn.fetch_add(1, Ordering::Relaxed);
+        self.fan_out.store(fan_out, Ordering::Relaxed);
+    }
+
+    /// Total calls: the slow-path counter plus every shard.
+    pub fn calls(&self) -> u64 {
+        let sharded: u64 = self.shards.lock().iter().map(|s| s.value()).sum();
+        self.direct_calls.load(Ordering::Relaxed) + sharded
+    }
+
+    /// The latency histogram (for direct recording by instrumented
+    /// callers, e.g. the RPC transport or timed multicast).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> PortMetricsSnapshot {
+        PortMetricsSnapshot {
+            calls: self.calls(),
+            connects: self.connects.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            churn: self.churn.load(Ordering::Relaxed),
+            fan_out: self.fan_out.load(Ordering::Relaxed),
+            max_fan_out: self.max_fan_out.load(Ordering::Relaxed),
+            resolutions: self.resolutions.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PortMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortMetrics")
+            .field("calls", &self.calls())
+            .field("fan_out", &self.fan_out.load(Ordering::Relaxed))
+            .field("churn", &self.churn.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A point-in-time copy of one port's [`PortMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMetricsSnapshot {
+    /// Total invocations observed (cached shards + slow path).
+    pub calls: u64,
+    /// Connections attached over the slot's lifetime.
+    pub connects: u64,
+    /// Connections detached over the slot's lifetime.
+    pub disconnects: u64,
+    /// Table mutations that touched this slot (generation churn).
+    pub churn: u64,
+    /// Current listener-list width.
+    pub fan_out: u64,
+    /// High-water listener-list width.
+    pub max_fan_out: u64,
+    /// Successful resolutions (`getPort` + downcast, or provides hand-outs).
+    pub resolutions: u64,
+    /// Call latency histogram (populated only by timed paths).
+    pub latency: LatencySnapshot,
+}
+
+impl PortMetricsSnapshot {
+    /// JSON rendering (object; stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"calls\":{},\"connects\":{},\"disconnects\":{},\"churn\":{},\
+             \"fan_out\":{},\"max_fan_out\":{},\"resolutions\":{},\"latency\":{}}}",
+            self.calls,
+            self.connects,
+            self.disconnects,
+            self.churn,
+            self.fan_out,
+            self.max_fan_out,
+            self.resolutions,
+            self.latency.to_json()
+        )
+    }
+}
+
+/// RPC transport metrics: payload bytes each way, round trips, per-method
+/// round-trip counts, and a round-trip latency histogram. Lives on the ORB
+/// (server side counts at dispatch) and on each `ObjRef` (client side), so
+/// E3's ORB baseline and the direct-connect path report comparable numbers.
+#[derive(Default)]
+pub struct TransportMetrics {
+    round_trips: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+    latency: LatencyHistogram,
+    per_method: Mutex<BTreeMap<String, u64>>,
+}
+
+impl TransportMetrics {
+    /// Creates a zeroed block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one request/reply exchange. The per-method map may allocate
+    /// on first sight of a method name — acceptable on the RPC path, which
+    /// marshals into fresh buffers anyway.
+    pub fn record_round_trip(&self, method: &str, bytes_out: u64, bytes_in: u64, dur_ns: u64) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.latency.record_ns(dur_ns);
+        let mut map = self.per_method.lock();
+        match map.get_mut(method) {
+            Some(n) => *n += 1,
+            None => {
+                map.insert(method.to_string(), 1);
+            }
+        }
+    }
+
+    /// Total exchanges.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            per_method: self
+                .per_method
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TransportMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportMetrics")
+            .field("round_trips", &self.round_trips())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of [`TransportMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Request/reply exchanges.
+    pub round_trips: u64,
+    /// Marshaled request bytes sent.
+    pub bytes_out: u64,
+    /// Marshaled reply bytes received.
+    pub bytes_in: u64,
+    /// Round-trip latency histogram.
+    pub latency: LatencySnapshot,
+    /// `(method, round_trips)` sorted by method name.
+    pub per_method: Vec<(String, u64)>,
+}
+
+impl TransportSnapshot {
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        let methods = self
+            .per_method
+            .iter()
+            .map(|(m, n)| format!("\"{}\":{n}", crate::trace::escape_json(m)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"round_trips\":{},\"bytes_out\":{},\"bytes_in\":{},\
+             \"per_method\":{{{methods}}},\"latency\":{}}}",
+            self.round_trips,
+            self.bytes_out,
+            self.bytes_in,
+            self.latency.to_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+        let h = LatencyHistogram::new();
+        h.record_ns(3);
+        h.record_ns(1000);
+        h.record_ns(1024);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.sum_ns, 2027);
+        assert!((s.mean_ns() - 2027.0 / 3.0).abs() < 1e-9);
+        assert!(s.quantile_ns(0.5) >= 512);
+        assert!(s.to_json().contains("\"count\":3"));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.quantile_ns(0.99), 0);
+        assert!(s.to_json().contains("\"log2_buckets\":[]"));
+    }
+
+    #[test]
+    fn calls_sum_shards_and_direct() {
+        let m = PortMetrics::new();
+        m.record_direct_call();
+        m.record_direct_call();
+        let s1 = m.call_shard();
+        let s2 = m.call_shard();
+        for _ in 0..5 {
+            s1.bump();
+        }
+        for _ in 0..3 {
+            s2.bump();
+        }
+        assert_eq!(m.calls(), 10);
+        let snap = m.snapshot();
+        assert_eq!(snap.calls, 10);
+        assert!(snap.to_json().contains("\"calls\":10"));
+    }
+
+    #[test]
+    fn connection_churn_bookkeeping() {
+        let m = PortMetrics::new();
+        m.record_connect(1);
+        m.record_connect(2);
+        m.record_connect(3);
+        m.record_disconnect(1, 2);
+        m.record_disconnect(2, 0);
+        let s = m.snapshot();
+        assert_eq!(s.connects, 3);
+        assert_eq!(s.disconnects, 3);
+        assert_eq!(s.churn, 5);
+        assert_eq!(s.fan_out, 0);
+        assert_eq!(s.max_fan_out, 3);
+        assert!(format!("{m:?}").contains("churn"));
+    }
+
+    #[test]
+    fn transport_metrics_per_method() {
+        let t = TransportMetrics::new();
+        t.record_round_trip("solve", 100, 40, 1500);
+        t.record_round_trip("solve", 100, 40, 1600);
+        t.record_round_trip("bump", 10, 8, 900);
+        let s = t.snapshot();
+        assert_eq!(s.round_trips, 3);
+        assert_eq!(s.bytes_out, 210);
+        assert_eq!(s.bytes_in, 88);
+        assert_eq!(
+            s.per_method,
+            vec![("bump".to_string(), 1), ("solve".to_string(), 2)]
+        );
+        assert_eq!(s.latency.count, 3);
+        assert!(s.to_json().contains("\"solve\":2"));
+        assert!(format!("{t:?}").contains("round_trips"));
+    }
+}

@@ -1,0 +1,374 @@
+//! A lightweight span/event tracer.
+//!
+//! Each thread records into its own fixed-capacity ring buffer (no locks
+//! shared between recording threads, oldest events overwritten when the
+//! ring fills). Event names are stored inline (truncated to 32 bytes), so
+//! the record path performs **no allocation** once the thread's ring
+//! exists. [`drain`] collects every thread's events; [`to_jsonl`] and
+//! [`to_chrome_trace`] render them — the latter loads directly into
+//! `chrome://tracing` or <https://ui.perfetto.dev> (see EXPERIMENTS.md §E10).
+//!
+//! All recording is guarded by [`crate::tracing_enabled`]: one relaxed
+//! atomic load when tracing is off.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Inline name capacity in bytes; longer names are truncated at a char
+/// boundary.
+const NAME_CAP: usize = 32;
+/// Events retained per thread before the ring wraps.
+const RING_CAP: usize = 4096;
+
+/// What a [`TraceEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A duration: something began at `ts_ns` and took `dur_ns`.
+    Span,
+    /// A point event; `dur_ns` is zero.
+    Instant,
+}
+
+/// One recorded event. `Copy` and pointer-free so rings can store and
+/// drain it without touching the heap.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    name: [u8; NAME_CAP],
+    name_len: u8,
+    /// Span or instant.
+    pub kind: TraceKind,
+    /// Nanoseconds since the process trace epoch (first recording).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (zero for instants).
+    pub dur_ns: u64,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+}
+
+impl TraceEvent {
+    /// The event name (possibly truncated to 32 bytes).
+    pub fn name(&self) -> &str {
+        // Inline names are only ever written from `pack_name`, which cuts
+        // at a char boundary, so this cannot fail.
+        std::str::from_utf8(&self.name[..self.name_len as usize]).unwrap_or("")
+    }
+}
+
+fn pack_name(s: &str) -> ([u8; NAME_CAP], u8) {
+    let mut n = s.len().min(NAME_CAP);
+    while n > 0 && !s.is_char_boundary(n) {
+        n -= 1;
+    }
+    let mut buf = [0u8; NAME_CAP];
+    buf[..n].copy_from_slice(&s.as_bytes()[..n]);
+    (buf, n as u8)
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    next: usize,
+    thread: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < RING_CAP {
+            self.events.push(ev);
+        } else {
+            self.events[self.next] = ev;
+        }
+        self.next = (self.next + 1) % RING_CAP;
+    }
+}
+
+static REGISTRY: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring {
+            events: Vec::with_capacity(RING_CAP),
+            next: 0,
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        }));
+        REGISTRY.lock().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn since_epoch_ns(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+fn record(name: &str, kind: TraceKind, ts_ns: u64, dur_ns: u64) {
+    let (name, name_len) = pack_name(name);
+    LOCAL.with(|ring| {
+        let mut ring = ring.lock();
+        let thread = ring.thread;
+        ring.push(TraceEvent {
+            name,
+            name_len,
+            kind,
+            ts_ns,
+            dur_ns,
+            thread,
+        });
+    });
+}
+
+/// A RAII guard: records a [`TraceKind::Span`] from creation to drop.
+///
+/// Created by [`span`]. When tracing was off at creation the guard is
+/// inert (no clock read, no recording at drop).
+pub struct Span {
+    name: [u8; NAME_CAP],
+    name_len: u8,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// True if this guard will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            // Re-pack is avoided: splice the already-inlined name in.
+            let ts_ns = since_epoch_ns(start);
+            let (name, name_len) = (self.name, self.name_len);
+            LOCAL.with(|ring| {
+                let mut ring = ring.lock();
+                let thread = ring.thread;
+                ring.push(TraceEvent {
+                    name,
+                    name_len,
+                    kind: TraceKind::Span,
+                    ts_ns,
+                    dur_ns,
+                    thread,
+                });
+            });
+        }
+    }
+}
+
+/// Opens a span. If tracing is disabled this is one relaxed atomic load
+/// and returns an inert guard; otherwise the span is recorded when the
+/// guard drops.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if !crate::tracing_enabled() {
+        return Span {
+            name: [0; NAME_CAP],
+            name_len: 0,
+            start: None,
+        };
+    }
+    let _ = epoch();
+    let (name, name_len) = pack_name(name);
+    Span {
+        name,
+        name_len,
+        start: Some(Instant::now()),
+    }
+}
+
+/// Records a point event (Chrome trace `ph:"i"`). One relaxed load when
+/// tracing is off.
+#[inline]
+pub fn trace_instant(name: &str) {
+    if crate::tracing_enabled() {
+        let ts = since_epoch_ns(Instant::now());
+        record(name, TraceKind::Instant, ts, 0);
+    }
+}
+
+/// Removes and returns every buffered event from every thread's ring,
+/// ordered by timestamp. Rings that wrapped yield only their newest
+/// `4096` events.
+pub fn drain() -> Vec<TraceEvent> {
+    let rings: Vec<Arc<Mutex<Ring>>> = REGISTRY.lock().iter().map(Arc::clone).collect();
+    let mut out = Vec::new();
+    for ring in rings {
+        let mut ring = ring.lock();
+        if ring.events.len() == RING_CAP {
+            let split = ring.next;
+            out.extend_from_slice(&ring.events[split..]);
+            out.extend_from_slice(&ring.events[..split]);
+        } else {
+            out.extend_from_slice(&ring.events);
+        }
+        ring.events.clear();
+        ring.next = 0;
+    }
+    out.sort_by_key(|e| e.ts_ns);
+    out
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders events as JSON Lines: one object per event, nanosecond
+/// timestamps, suitable for `jq`/log shippers.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let kind = match ev.kind {
+            TraceKind::Span => "span",
+            TraceKind::Instant => "instant",
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"kind\":\"{kind}\",\"ts_ns\":{},\"dur_ns\":{},\"thread\":{}}}\n",
+            escape_json(ev.name()),
+            ev.ts_ns,
+            ev.dur_ns,
+            ev.thread
+        ));
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` JSON document (`ph:"X"`
+/// complete events, `ph:"i"` instants; timestamps in microseconds).
+/// Load the output at `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut body = String::new();
+    for ev in events {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        let name = escape_json(ev.name());
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        match ev.kind {
+            TraceKind::Span => body.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"cca\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+                 \"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                ev.dur_ns as f64 / 1000.0,
+                ev.thread
+            )),
+            TraceKind::Instant => body.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"cca\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}}}",
+                ev.thread
+            )),
+        }
+    }
+    format!("{{\"traceEvents\":[{body}],\"displayTimeUnit\":\"ns\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags;
+
+    // Flag toggles are process-global; serialize the tests that flip them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn span_and_instant_round_trip() {
+        let _guard = TEST_LOCK.lock();
+        flags::set_tracing(true);
+        drain();
+        {
+            let s = span("getPort");
+            assert!(s.is_recording());
+            trace_instant("connected");
+        }
+        flags::set_tracing(false);
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        // Ordered by timestamp: the instant fires before the span closes
+        // but the span's ts is its *start*, which is earlier still.
+        assert_eq!(events[0].name(), "getPort");
+        assert_eq!(events[0].kind, TraceKind::Span);
+        assert_eq!(events[1].name(), "connected");
+        assert_eq!(events[1].kind, TraceKind::Instant);
+        assert_eq!(events[1].dur_ns, 0);
+
+        let jsonl = to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"kind\":\"span\""));
+        assert!(jsonl.contains("\"name\":\"connected\""));
+
+        let chrome = to_chrome_trace(&events);
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let _guard = TEST_LOCK.lock();
+        flags::set_tracing(false);
+        drain();
+        let s = span("ignored");
+        assert!(!s.is_recording());
+        drop(s);
+        trace_instant("ignored");
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn long_names_truncate_at_char_boundary() {
+        let (_, len) = pack_name(&"é".repeat(20)); // 40 bytes of 2-byte chars
+        assert_eq!(len, 32);
+        let (buf, len) = pack_name(&format!("{}é", "a".repeat(31))); // é spans 31..33
+        assert_eq!(len, 31);
+        assert_eq!(std::str::from_utf8(&buf[..len as usize]).unwrap().len(), 31);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let mut ring = Ring {
+            events: Vec::with_capacity(RING_CAP),
+            next: 0,
+            thread: 0,
+        };
+        let (name, name_len) = pack_name("x");
+        for i in 0..(RING_CAP as u64 + 10) {
+            ring.push(TraceEvent {
+                name,
+                name_len,
+                kind: TraceKind::Instant,
+                ts_ns: i,
+                dur_ns: 0,
+                thread: 0,
+            });
+        }
+        assert_eq!(ring.events.len(), RING_CAP);
+        // Oldest surviving event is #10.
+        let min = ring.events.iter().map(|e| e.ts_ns).min().unwrap();
+        assert_eq!(min, 10);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -20,16 +20,19 @@
 use crate::transport::{Dispatcher, LoopbackTransport, Transport};
 use crate::wire::{decode_reply, decode_request, encode_reply, encode_request, Reply, Request};
 use bytes::Bytes;
+use cca_obs::TransportMetrics;
 use cca_sidl::{DynObject, DynValue, SidlError};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The broker: a table of servant objects keyed by string.
 #[derive(Default)]
 pub struct Orb {
     objects: Mutex<BTreeMap<String, Arc<dyn DynObject>>>,
+    metrics: TransportMetrics,
 }
 
 impl Orb {
@@ -62,10 +65,21 @@ impl Orb {
     pub fn keys(&self) -> Vec<String> {
         self.objects.lock().keys().cloned().collect()
     }
+
+    /// Server-side transport metrics: one round trip recorded per
+    /// dispatched request (when counters are enabled), with request/reply
+    /// payload sizes and dispatch latency.
+    pub fn metrics(&self) -> &TransportMetrics {
+        &self.metrics
+    }
 }
 
 impl Dispatcher for Orb {
     fn dispatch(&self, request: Bytes) -> Result<Bytes, SidlError> {
+        let _span = cca_obs::span("rpc.dispatch");
+        let counters = cca_obs::counters_enabled();
+        let started = if counters { Some(Instant::now()) } else { None };
+        let request_len = request.len() as u64;
         let req = decode_request(request)?;
         let servant = self.objects.lock().get(&req.object_key).cloned();
         let result = match servant {
@@ -82,10 +96,20 @@ impl Dispatcher for Orb {
                 format!("no servant registered under '{}'", req.object_key),
             )),
         };
-        encode_reply(&Reply {
+        let reply = encode_reply(&Reply {
             request_id: req.request_id,
             result,
-        })
+        })?;
+        if let Some(started) = started {
+            // bytes_in = what arrived at the servant, bytes_out = the reply.
+            self.metrics.record_round_trip(
+                &req.operation,
+                reply.len() as u64,
+                request_len,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
+        Ok(reply)
     }
 }
 
@@ -95,6 +119,7 @@ pub struct ObjRef {
     key: String,
     transport: Arc<dyn Transport>,
     next_id: AtomicU64,
+    metrics: TransportMetrics,
 }
 
 impl ObjRef {
@@ -105,6 +130,7 @@ impl ObjRef {
             key: key.into(),
             transport,
             next_id: AtomicU64::new(1),
+            metrics: TransportMetrics::default(),
         })
     }
 
@@ -119,8 +145,18 @@ impl ObjRef {
         &self.key
     }
 
+    /// Client-side transport metrics: marshaled bytes each way, round
+    /// trips per operation, and full round-trip latency (marshal →
+    /// transport → demarshal), recorded when counters are enabled.
+    pub fn metrics(&self) -> &TransportMetrics {
+        &self.metrics
+    }
+
     /// Invokes `operation` with `args`: marshal → transport → demarshal.
     pub fn invoke(&self, operation: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+        let _span = cca_obs::span("rpc.invoke");
+        let counters = cca_obs::counters_enabled();
+        let started = if counters { Some(Instant::now()) } else { None };
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let bytes = encode_request(&Request {
             request_id,
@@ -128,7 +164,17 @@ impl ObjRef {
             operation: operation.to_string(),
             args,
         })?;
+        let bytes_out = bytes.len() as u64;
         let reply_bytes = self.transport.call(bytes)?;
+        let bytes_in = reply_bytes.len() as u64;
+        if let Some(started) = started {
+            self.metrics.record_round_trip(
+                operation,
+                bytes_out,
+                bytes_in,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         let reply = decode_reply(reply_bytes)?;
         if reply.request_id != request_id {
             return Err(SidlError::invoke(format!(
@@ -243,6 +289,32 @@ mod tests {
         assert!(orb.is_empty());
         // Existing references now fail cleanly.
         assert!(acc.invoke("total", vec![]).is_err());
+    }
+
+    #[test]
+    fn transport_metrics_count_round_trips_and_bytes() {
+        let (orb, acc) = setup();
+        assert_eq!(acc.metrics().round_trips(), 0);
+        cca_obs::set_counters(true);
+        acc.invoke("add", vec![DynValue::Double(1.0)]).unwrap();
+        acc.invoke("add", vec![DynValue::Double(2.0)]).unwrap();
+        acc.invoke("total", vec![]).unwrap();
+        cca_obs::set_counters(false);
+        // Counters off: the exchange happens but is not recorded.
+        acc.invoke("total", vec![]).unwrap();
+        let client = acc.metrics().snapshot();
+        assert_eq!(client.round_trips, 3);
+        assert!(client.bytes_out > 0 && client.bytes_in > 0);
+        assert_eq!(
+            client.per_method,
+            vec![("add".to_string(), 2), ("total".to_string(), 1)]
+        );
+        // The loopback server saw the same payloads from the other side.
+        let server = orb.metrics().snapshot();
+        assert_eq!(server.round_trips, 3);
+        assert_eq!(server.bytes_in, client.bytes_out);
+        assert_eq!(server.bytes_out, client.bytes_in);
+        assert!(server.latency.count >= 3);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod reflect;
 pub mod sema;
 
 pub use ast::{Argument, Class, Definition, EnumDef, Interface, Method, Mode, Package, QName, Type};
-pub use dynamic::{DynObject, DynValue};
+pub use dynamic::{invoke_checked, DynObject, DynValue};
 pub use error::{SidlError, Span};
 pub use parser::parse;
 pub use reflect::{MethodInfo, Reflection, TypeInfo, TypeKind};

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
-# port-resolution) and leaves the machine-readable results in
-# BENCH_ports.json at the repo root.
+# port-resolution, E10 observability overhead) and leaves the
+# machine-readable results in BENCH_ports.json and BENCH_obs.json at the
+# repo root. Both files are published atomically (write temp + rename),
+# so a killed run never leaves a truncated artifact.
 #
 # Set CCA_BENCH_FAST=1 for a quick smoke run (fewer samples, shorter
 # calibration) — used by CI, where absolute numbers are noise anyway and
-# only the E9 acceptance assertions (cached ≤3x bare, one plan build per
-# shape) matter.
+# only the acceptance assertions (E9: cached ≤3x bare, one plan build per
+# shape; E10: off ≤1.1x PR-1, counters on ≤1.5x) matter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -21,5 +23,10 @@ echo "==> E9 port resolution (writes BENCH_ports.json)"
 BENCH_PORTS_OUT="$ROOT/BENCH_ports.json" \
     cargo bench --offline -p cca-bench --bench e9_port_resolution
 
+echo "==> E10 observability overhead (writes BENCH_obs.json)"
+BENCH_OBS_OUT="$ROOT/BENCH_obs.json" \
+    cargo bench --offline -p cca-bench --bench e10_obs_overhead
+
 echo "==> results"
 cat "$ROOT/BENCH_ports.json"
+cat "$ROOT/BENCH_obs.json"

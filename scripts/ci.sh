@@ -14,4 +14,13 @@ cargo test --offline --workspace -q
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Quick-mode observability gate: asserts instrumentation-off stays ≤1.1x
+# the pre-instrumentation call and counters-on ≤1.5x (see EXPERIMENTS.md
+# E10). The committed-artifact JSON check runs with the test suite above
+# (crates/bench/tests/bench_json.rs).
+echo "==> E10 observability overhead gate (quick mode)"
+CCA_BENCH_FAST=1 BENCH_OBS_OUT="$(pwd)/BENCH_obs.ci.json" \
+    cargo bench --offline -p cca-bench --bench e10_obs_overhead
+rm -f BENCH_obs.ci.json
+
 echo "CI OK"

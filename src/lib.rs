@@ -5,6 +5,7 @@ pub mod generated;
 pub use cca_core as core;
 pub use cca_data as data;
 pub use cca_framework as framework;
+pub use cca_obs as obs;
 pub use cca_parallel as parallel;
 pub use cca_repository as repository;
 pub use cca_rpc as rpc;
