@@ -170,21 +170,30 @@ fn main() {
     let mut replica = Pr1Replica::<dyn WorkPort>::new(Arc::clone(&user), "in");
     replica.get().unwrap();
     let pr1 = measure_min(samples, target, || {
-        black_box(&mut replica).get().unwrap().accumulate(black_box(1.0))
+        black_box(&mut replica)
+            .get()
+            .unwrap()
+            .accumulate(black_box(1.0))
     });
 
     // --- the real CachedPort, observability off ------------------------
     let mut cached = user.cached_port::<dyn WorkPort>("in");
     cached.get().unwrap();
     let cached_off = measure_min(samples, target, || {
-        black_box(&mut cached).get().unwrap().accumulate(black_box(1.0))
+        black_box(&mut cached)
+            .get()
+            .unwrap()
+            .accumulate(black_box(1.0))
     });
 
     // --- counters on ----------------------------------------------------
     cca_obs::set_counters(true);
     cached.get().unwrap(); // re-prime under the new flag state
     let cached_counters = measure_min(samples, target, || {
-        black_box(&mut cached).get().unwrap().accumulate(black_box(1.0))
+        black_box(&mut cached)
+            .get()
+            .unwrap()
+            .accumulate(black_box(1.0))
     });
     let counted = user.port_metrics("in").unwrap().calls();
     cca_obs::set_counters(false);
@@ -284,7 +293,10 @@ fn main() {
         traced_events > 0,
         "acceptance: tracing-on spans must reach the ring buffers"
     );
-    assert_eq!(rpc.round_trips, 64, "acceptance: every proxied call counted");
+    assert_eq!(
+        rpc.round_trips, 64,
+        "acceptance: every proxied call counted"
+    );
     assert_eq!(
         rpc.per_method,
         vec![("accumulate".to_string(), 64)],

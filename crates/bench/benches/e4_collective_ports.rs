@@ -53,7 +53,11 @@ fn bench(c: &mut Criterion) {
         ("matched_4to4", block(n, 4), block(n, 4)),
         ("scatter_1to4", block(n, 1), block(n, 4)),
         ("gather_4to1", block(n, 4), block(n, 1)),
-        ("mxn_4to3_block_to_blockcyclic", block(n, 4), block_cyclic(n, 3, 256)),
+        (
+            "mxn_4to3_block_to_blockcyclic",
+            block(n, 4),
+            block_cyclic(n, 3, 256),
+        ),
         ("shrink_8to2", block(n, 8), block(n, 2)),
     ];
     for (name, src, dst) in &cases {
@@ -90,8 +94,16 @@ fn bench(c: &mut Criterion) {
     let mut build = c.benchmark_group("e4_plan_build");
     for (name, src, dst) in [
         ("block_4to4", block(n, 4), block(n, 4)),
-        ("block_to_blockcyclic_4to3", block(n, 4), block_cyclic(n, 3, 256)),
-        ("cyclic_to_cyclic_4to3_small", cyclic(4_096, 4), cyclic(4_096, 3)),
+        (
+            "block_to_blockcyclic_4to3",
+            block(n, 4),
+            block_cyclic(n, 3, 256),
+        ),
+        (
+            "cyclic_to_cyclic_4to3_small",
+            cyclic(4_096, 4),
+            cyclic(4_096, 3),
+        ),
     ] {
         build.bench_function(format!("{name}/build"), |b| {
             b.iter(|| RedistPlan::build(&src, &dst).unwrap())

@@ -25,8 +25,8 @@
 use cca::framework::Framework;
 use cca::repository::Repository;
 use cca::solvers::esi::{
-    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent,
-    PrecondComponent, PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
+    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent, PrecondComponent,
+    PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
 };
 use cca::solvers::precond::Jacobi;
 use cca::solvers::{HydroConfig, HydroSim, KrylovKind};
@@ -107,15 +107,7 @@ fn bench(c: &mut Criterion) {
                 |sim| {
                     sim.step_with_solver(None, &|_op, rhs, x| {
                         x.fill(0.0);
-                        cca::solvers::cg(
-                            &a,
-                            &jac,
-                            rhs,
-                            x,
-                            1e-8,
-                            600,
-                            &cca::solvers::SerialReduce,
-                        )
+                        cca::solvers::cg(&a, &jac, rhs, x, 1e-8, 600, &cca::solvers::SerialReduce)
                     })
                     .unwrap()
                 },
@@ -125,19 +117,15 @@ fn bench(c: &mut Criterion) {
 
         // The fused, warm-started, matrix-free loop a hand-tuned code
         // would write — implementation fusion, orthogonal to CCA.
-        group.bench_with_input(
-            BenchmarkId::new("monolithic_matrixfree", n),
-            &n,
-            |b, &n| {
-                let pristine = HydroSim::new(cfg(n), 1, 0);
-                let jac = Jacobi::new(&pristine.local_matrix());
-                b.iter_batched_ref(
-                    || HydroSim::new(cfg(n), 1, 0),
-                    |sim| sim.step(None, &jac).unwrap(),
-                    BatchSize::SmallInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("monolithic_matrixfree", n), &n, |b, &n| {
+            let pristine = HydroSim::new(cfg(n), 1, 0);
+            let jac = Jacobi::new(&pristine.local_matrix());
+            b.iter_batched_ref(
+                || HydroSim::new(cfg(n), 1, 0),
+                |sim| sim.step(None, &jac).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
 
         // Componentized, direct-connect ports.
         group.bench_with_input(BenchmarkId::new("componentized", n), &n, |b, &n| {
@@ -160,39 +148,35 @@ fn bench(c: &mut Criterion) {
 
         // Componentized with the solve marshaled through the ORB — the
         // wrong tool for a tightly coupled loop, quantified.
-        group.bench_with_input(
-            BenchmarkId::new("componentized_proxied", n),
-            &n,
-            |b, &n| {
-                let pristine = HydroSim::new(cfg(n), 1, 0);
-                let assembly = assemble(&pristine);
-                let orb = cca::rpc::Orb::new();
-                orb.register("solver", Arc::clone(&assembly.dynamic));
-                let objref = cca::rpc::ObjRef::loopback("solver", orb);
-                b.iter_batched_ref(
-                    || HydroSim::new(cfg(n), 1, 0),
-                    |sim| {
-                        sim.step_with_solver(None, &|_op, rhs, x| {
-                            let arr = NdArray::from_vec(&[rhs.len()], rhs.to_vec()).unwrap();
-                            let reply = objref
-                                .invoke("solve", vec![DynValue::DoubleArray(arr)])
-                                .map_err(cca::core::CcaError::Sidl)?;
-                            let DynValue::DoubleArray(out) = reply else {
-                                return Err(cca::core::CcaError::Framework("bad reply".into()));
-                            };
-                            x.copy_from_slice(out.as_slice());
-                            Ok(cca::solvers::SolveStats {
-                                iterations: 0,
-                                residual: 0.0,
-                                converged: true,
-                            })
+        group.bench_with_input(BenchmarkId::new("componentized_proxied", n), &n, |b, &n| {
+            let pristine = HydroSim::new(cfg(n), 1, 0);
+            let assembly = assemble(&pristine);
+            let orb = cca::rpc::Orb::new();
+            orb.register("solver", Arc::clone(&assembly.dynamic));
+            let objref = cca::rpc::ObjRef::loopback("solver", orb);
+            b.iter_batched_ref(
+                || HydroSim::new(cfg(n), 1, 0),
+                |sim| {
+                    sim.step_with_solver(None, &|_op, rhs, x| {
+                        let arr = NdArray::from_vec(&[rhs.len()], rhs.to_vec()).unwrap();
+                        let reply = objref
+                            .invoke("solve", vec![DynValue::DoubleArray(arr)])
+                            .map_err(cca::core::CcaError::Sidl)?;
+                        let DynValue::DoubleArray(out) = reply else {
+                            return Err(cca::core::CcaError::Framework("bad reply".into()));
+                        };
+                        x.copy_from_slice(out.as_slice());
+                        Ok(cca::solvers::SolveStats {
+                            iterations: 0,
+                            residual: 0.0,
+                            converged: true,
                         })
-                        .unwrap()
-                    },
-                    BatchSize::SmallInput,
-                );
-            },
-        );
+                    })
+                    .unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
     }
     group.finish();
 

@@ -42,11 +42,9 @@ fn bench(c: &mut Criterion) {
             |b, &viz_count| {
                 let mut sim = HydroSim::new(cfg(), 1, 0);
                 let source = InMemoryFieldSource::new();
-                let desc = DistArrayDesc::new(
-                    &[cfg().nx, cfg().ny],
-                    Distribution::serial(2).unwrap(),
-                )
-                .unwrap();
+                let desc =
+                    DistArrayDesc::new(&[cfg().nx, cfg().ny], Distribution::serial(2).unwrap())
+                        .unwrap();
                 let fw = Framework::new(Repository::new());
                 fw.add_instance("sim0", FieldProviderComponent::new(source.clone()))
                     .unwrap();

@@ -146,7 +146,9 @@ fn main() {
     )
     .unwrap();
 
-    let build_ns = measure(samples.min(7), target, || RedistPlan::build(&src, &dst).unwrap());
+    let build_ns = measure(samples.min(7), target, || {
+        RedistPlan::build(&src, &dst).unwrap()
+    });
 
     let cache = PlanCache::new();
     cache.get_or_build(&src, &dst).unwrap(); // prime: the "first timestep"
@@ -155,9 +157,15 @@ fn main() {
     let cache = PlanCache::new();
     let builds_before = RedistPlan::build_count();
     for step in 0..5u32 {
-        let port =
-            MxNPort::with_cache(&src, &dst, vec![0, 1, 2, 3], vec![0, 1, 2], 90 + step, &cache)
-                .unwrap();
+        let port = MxNPort::with_cache(
+            &src,
+            &dst,
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2],
+            90 + step,
+            &cache,
+        )
+        .unwrap();
         black_box(port.plan().total_elements());
     }
     let timestep_builds = RedistPlan::build_count() - builds_before;

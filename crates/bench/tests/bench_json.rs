@@ -243,8 +243,7 @@ fn committed_bench_artifacts_parse_and_declare_schema() {
 
 #[test]
 fn json_reader_handles_the_shapes_benches_emit() {
-    let v = parse(r#"{"schema":"cca-bench/1","xs":[1,2.5,-3e2],"ok":true,"s":"a\"bA"}"#)
-        .unwrap();
+    let v = parse(r#"{"schema":"cca-bench/1","xs":[1,2.5,-3e2],"ok":true,"s":"a\"bA"}"#).unwrap();
     let Json::Obj(map) = v else { panic!() };
     assert_eq!(map["schema"], Json::Str("cca-bench/1".into()));
     assert_eq!(

@@ -37,6 +37,10 @@ pub enum CcaError {
         /// Failure description.
         reason: String,
     },
+    /// A call (or its retry sequence) exceeded its policy deadline.
+    DeadlineExceeded(String),
+    /// A call was refused because the provider's circuit breaker is open.
+    ProviderQuarantined(String),
     /// A problem inside the framework or its transport.
     Framework(String),
     /// An error crossing the SIDL binding.
@@ -59,16 +63,19 @@ impl fmt::Display for CcaError {
                 "cannot connect: uses port expects '{uses_type}', provider offers \
                  '{provides_type}' (not a subtype)"
             ),
-            CcaError::WrongPortRust { port, requested } => write!(
-                f,
-                "port '{port}' cannot be viewed as Rust type {requested}"
-            ),
+            CcaError::WrongPortRust { port, requested } => {
+                write!(f, "port '{port}' cannot be viewed as Rust type {requested}")
+            }
             CcaError::ComponentNotFound(name) => write!(f, "component '{name}' not found"),
             CcaError::ComponentAlreadyExists(name) => {
                 write!(f, "component '{name}' already exists")
             }
             CcaError::ComponentFailed { component, reason } => {
                 write!(f, "component '{component}' failed: {reason}")
+            }
+            CcaError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            CcaError::ProviderQuarantined(msg) => {
+                write!(f, "provider quarantined (circuit breaker open): {msg}")
             }
             CcaError::Framework(msg) => write!(f, "framework error: {msg}"),
             CcaError::Sidl(e) => write!(f, "sidl error: {e}"),
@@ -80,6 +87,18 @@ impl std::error::Error for CcaError {}
 
 impl From<SidlError> for CcaError {
     fn from(e: SidlError) -> Self {
+        // A deadline raised inside the RPC layer (DeadlineTransport wraps
+        // it as a SIDL user exception to cross the wire format) keeps its
+        // meaning on the port side of the boundary.
+        if let SidlError::UserException {
+            exception_type,
+            message,
+        } = &e
+        {
+            if exception_type == crate::resilience::DEADLINE_EXCEPTION_TYPE {
+                return CcaError::DeadlineExceeded(message.clone());
+            }
+        }
         CcaError::Sidl(e)
     }
 }
@@ -101,5 +120,18 @@ mod tests {
         .contains("subtype"));
         let sidl: CcaError = SidlError::invoke("boom").into();
         assert!(sidl.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn deadline_user_exception_converts_to_deadline_exceeded() {
+        let e: CcaError = SidlError::user(
+            crate::resilience::DEADLINE_EXCEPTION_TYPE,
+            "call budget spent",
+        )
+        .into();
+        assert!(matches!(e, CcaError::DeadlineExceeded(ref m) if m == "call budget spent"));
+        // Other user exceptions stay SIDL errors.
+        let e: CcaError = SidlError::user("demo.Boom", "boom").into();
+        assert!(matches!(e, CcaError::Sidl(_)));
     }
 }

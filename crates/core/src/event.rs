@@ -66,6 +66,28 @@ pub enum ConfigEvent {
         /// Failure description.
         reason: String,
     },
+    /// A provider's circuit breaker opened: the connection is quarantined
+    /// and fan-out via `get_ports` skips it until recovery.
+    ProviderQuarantined {
+        /// Using component instance.
+        user: String,
+        /// Uses port name.
+        uses_port: String,
+        /// Providing component instance.
+        provider: String,
+        /// Consecutive-failure streak that tripped the breaker.
+        consecutive_failures: u64,
+    },
+    /// A quarantined provider's half-open probe succeeded: the breaker
+    /// closed and the connection rejoins fan-out.
+    ProviderRecovered {
+        /// Using component instance.
+        user: String,
+        /// Uses port name.
+        uses_port: String,
+        /// Providing component instance.
+        provider: String,
+    },
 }
 
 impl ConfigEvent {
@@ -79,6 +101,8 @@ impl ConfigEvent {
             ConfigEvent::Disconnected { .. } => "cca.config.disconnected",
             ConfigEvent::Redirected { .. } => "cca.config.redirected",
             ConfigEvent::ComponentFailed { .. } => "cca.config.component_failed",
+            ConfigEvent::ProviderQuarantined { .. } => "cca.config.provider_quarantined",
+            ConfigEvent::ProviderRecovered { .. } => "cca.config.provider_recovered",
         }
     }
 
@@ -133,6 +157,26 @@ impl ConfigEvent {
             ConfigEvent::ComponentFailed { instance, reason } => {
                 m.put_string("instance", instance.clone());
                 m.put_string("reason", reason.clone());
+            }
+            ConfigEvent::ProviderQuarantined {
+                user,
+                uses_port,
+                provider,
+                consecutive_failures,
+            } => {
+                m.put_string("user", user.clone());
+                m.put_string("uses_port", uses_port.clone());
+                m.put_string("provider", provider.clone());
+                m.put_string("consecutive_failures", consecutive_failures.to_string());
+            }
+            ConfigEvent::ProviderRecovered {
+                user,
+                uses_port,
+                provider,
+            } => {
+                m.put_string("user", user.clone());
+                m.put_string("uses_port", uses_port.clone());
+                m.put_string("provider", provider.clone());
             }
         }
         m
@@ -213,7 +257,9 @@ mod tests {
                 instance: "m0".into(),
                 component_type: "chad.Mesh".into(),
             },
-            ConfigEvent::ComponentRemoved { instance: "m0".into() },
+            ConfigEvent::ComponentRemoved {
+                instance: "m0".into(),
+            },
             ConfigEvent::Connected {
                 user: "u".into(),
                 uses_port: "in".into(),
@@ -235,6 +281,17 @@ mod tests {
             ConfigEvent::ComponentFailed {
                 instance: "m0".into(),
                 reason: "oom".into(),
+            },
+            ConfigEvent::ProviderQuarantined {
+                user: "u".into(),
+                uses_port: "in".into(),
+                provider: "p".into(),
+                consecutive_failures: 3,
+            },
+            ConfigEvent::ProviderRecovered {
+                user: "u".into(),
+                uses_port: "in".into(),
+                provider: "p".into(),
             },
         ];
         for e in &events {

@@ -26,16 +26,25 @@
 //!   CCA Configuration API ("notifying components that they have been
 //!   added to a scenario ..., redirecting interactions between components,
 //!   or notifying a builder of a component failure").
+//! * [`resilience`] — fault-tolerant invocation: per-uses-port
+//!   [`CallPolicy`] (bounded retry with decorrelated-jitter backoff, call
+//!   deadlines) and per-provider [`CircuitBreaker`] quarantine, all
+//!   mock-clock drivable so fault scenarios are deterministic.
 //! * [`error`] — the error vocabulary shared by all CCA layers.
 
 pub mod component;
 pub mod error;
 pub mod event;
 pub mod port;
+pub mod resilience;
 pub mod services;
 
 pub use component::{Component, GoPort};
 pub use error::CcaError;
 pub use event::{ConfigEvent, ConfigListener};
 pub use port::{PortHandle, PortRecord, UsesSlot};
+pub use resilience::{
+    BackoffSchedule, BreakerObserver, BreakerPolicy, BreakerState, CallPolicy, CircuitBreaker,
+    Clock, MockClock, RetryPolicy, SplitMix64, SystemClock, DEADLINE_EXCEPTION_TYPE,
+};
 pub use services::{CachedPort, CcaServices};

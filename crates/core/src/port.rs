@@ -19,6 +19,7 @@
 //! `services`) without paying per-read allocation costs.
 
 use crate::error::CcaError;
+use crate::resilience::{CallPolicy, CircuitBreaker};
 use cca_data::TypeMap;
 use cca_obs::PortMetrics;
 use cca_sidl::DynObject;
@@ -44,6 +45,10 @@ pub struct PortHandle {
     /// Shared across every clone of this handle (and thus every table
     /// snapshot it appears in), so counters survive COW republication.
     metrics: Arc<PortMetrics>,
+    /// Per-connection circuit breaker, attached at connect time when the
+    /// uses slot carries a breaker-bearing [`CallPolicy`]. Shared by every
+    /// clone, so breaker state survives COW table republication.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl PortHandle {
@@ -60,6 +65,7 @@ impl PortHandle {
             dynamic: None,
             properties: Arc::new(TypeMap::new()),
             metrics: PortMetrics::new(),
+            breaker: None,
         }
     }
 
@@ -73,6 +79,15 @@ impl PortHandle {
     /// Attaches port properties.
     pub fn with_properties(mut self, properties: TypeMap) -> Self {
         self.properties = Arc::new(properties);
+        self
+    }
+
+    /// Attaches a circuit breaker. The framework does this to the
+    /// *delivered* handle at connect time, so the breaker guards this one
+    /// connection — the provider's original handle (and its appearances in
+    /// other slots) keeps its own state.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
         self
     }
 
@@ -125,6 +140,24 @@ impl PortHandle {
     /// accumulate here (the provider-side view of §6.1's listener lists).
     pub fn metrics(&self) -> &Arc<PortMetrics> {
         &self.metrics
+    }
+
+    /// This connection's circuit breaker, if policy attached one.
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
+    }
+
+    /// Whether a call through this handle may proceed right now: `true`
+    /// when no breaker is attached or the breaker admits the call. One
+    /// relaxed load when the breaker is closed. **At most one admission
+    /// check per call attempt** — a half-open breaker hands out a single
+    /// probe, and asking twice would claim it and then discard it.
+    #[inline]
+    pub fn admissible(&self) -> bool {
+        match &self.breaker {
+            None => true,
+            Some(b) => b.admit(),
+        }
     }
 
     /// Renames the handle (used by the framework when the provider's port
@@ -187,6 +220,10 @@ pub struct UsesSlot {
     /// every COW republication), so connection churn and call counts
     /// accumulate over the slot's whole lifetime, not one generation.
     metrics: Arc<PortMetrics>,
+    /// The invocation policy for this uses port, if one was attached
+    /// (retry/backoff, deadline, breaker configuration for new
+    /// connections).
+    policy: Option<Arc<CallPolicy>>,
 }
 
 impl UsesSlot {
@@ -196,7 +233,20 @@ impl UsesSlot {
             record,
             connections: empty_connections(),
             metrics: PortMetrics::new(),
+            policy: None,
         }
+    }
+
+    /// Attaches (or replaces) the slot's invocation policy. Affects
+    /// connections made *afterwards*: each gets a fresh breaker when the
+    /// policy configures one. Existing connections keep their breakers.
+    pub fn set_policy(&mut self, policy: Arc<CallPolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// The slot's invocation policy, if any.
+    pub fn policy(&self) -> Option<&Arc<CallPolicy>> {
+        self.policy.as_ref()
     }
 
     /// The shared fan-out list snapshot.
@@ -215,6 +265,17 @@ impl UsesSlot {
     /// are rare (they already rebuild the table snapshot) so they are not
     /// behind the per-call counter gate.
     pub fn push_connection(&mut self, handle: PortHandle) {
+        // If the slot's policy wants per-provider breakers and the caller
+        // (framework) didn't pre-attach an observer-wired one, give the
+        // connection a plain breaker so quarantine works even for bare
+        // `CcaServices` users with no framework in the loop.
+        let handle = match (&self.policy, handle.breaker()) {
+            (Some(policy), None) => match policy.new_breaker() {
+                Some(b) => handle.with_breaker(Arc::new(b)),
+                None => handle,
+            },
+            _ => handle,
+        };
         let mut v: Vec<PortHandle> = self.connections.to_vec();
         v.push(handle);
         self.connections = Arc::from(v);
@@ -241,6 +302,41 @@ impl UsesSlot {
         self.connections = empty_connections();
         if dropped > 0 {
             self.metrics.record_disconnect(dropped as u64, 0);
+        }
+    }
+
+    /// The fan-out list with quarantined providers skipped.
+    ///
+    /// §6.1 makes "zero or more invocations" per uses-port call legal, so
+    /// skipping an open-breaker connection is just a temporarily shorter
+    /// listener list — callers cannot tell quarantine from disconnect.
+    ///
+    /// Fast path: when every connection is admissible (the common case —
+    /// no breakers, or all closed, verified with one relaxed load each)
+    /// the shared snapshot is returned as-is, zero allocation. Only a
+    /// degraded slot pays for a filtered copy. Admission is checked
+    /// exactly once per handle: a half-open breaker's single probe is
+    /// *claimed* by the check, so the caller receiving the filtered list
+    /// must actually attempt those providers.
+    pub fn healthy_connections(&self) -> Arc<[PortHandle]> {
+        let all_admissible = self.connections.iter().all(|h| h.breaker().is_none());
+        if all_admissible {
+            return Arc::clone(&self.connections);
+        }
+        // At least one breaker exists: single admission pass.
+        let mut healthy: Vec<PortHandle> = Vec::with_capacity(self.connections.len());
+        let mut skipped = false;
+        for h in self.connections.iter() {
+            if h.admissible() {
+                healthy.push(h.clone());
+            } else {
+                skipped = true;
+            }
+        }
+        if skipped {
+            Arc::from(healthy)
+        } else {
+            Arc::clone(&self.connections)
         }
     }
 
@@ -353,5 +449,64 @@ mod tests {
         assert_eq!(snapshot.len(), 2);
         slot.clear_connections();
         assert!(!slot.is_connected());
+    }
+
+    #[test]
+    fn healthy_connections_shares_the_snapshot_when_no_breakers() {
+        let mut slot = UsesSlot::new(PortRecord {
+            name: "solvers".into(),
+            port_type: "esi.Solver".into(),
+            properties: TypeMap::new(),
+        });
+        slot.push_connection(PortHandle::new("s1", "esi.Solver", Arc::new(1u8)));
+        let healthy = slot.healthy_connections();
+        assert!(
+            Arc::ptr_eq(&healthy, slot.connections()),
+            "no breakers: the shared snapshot is returned unfiltered"
+        );
+    }
+
+    #[test]
+    fn policy_attaches_breakers_and_quarantine_filters_fan_out() {
+        use crate::resilience::{BreakerPolicy, BreakerState, CallPolicy, MockClock};
+
+        let clock = MockClock::new();
+        let policy =
+            CallPolicy::with_clock(clock.clone()).with_breaker(BreakerPolicy::new(2, 1_000));
+        let mut slot = UsesSlot::new(PortRecord {
+            name: "solvers".into(),
+            port_type: "esi.Solver".into(),
+            properties: TypeMap::new(),
+        });
+        slot.set_policy(Arc::new(policy));
+        slot.push_connection(PortHandle::new("s1", "esi.Solver", Arc::new(1u8)));
+        slot.push_connection(PortHandle::new("s2", "esi.Solver", Arc::new(2u8)));
+        let conns = Arc::clone(slot.connections());
+        let b0 = conns[0].breaker().expect("policy attached a breaker");
+        assert!(conns[1].breaker().is_some());
+
+        // All closed: the full list, and the shared snapshot (breakers
+        // attached but nothing skipped still avoids publishing a copy
+        // when every provider admits).
+        assert_eq!(slot.healthy_connections().len(), 2);
+
+        // Trip s1's breaker: fan-out skips it.
+        b0.record_failure();
+        b0.record_failure();
+        assert_eq!(b0.state(), BreakerState::Open);
+        let healthy = slot.healthy_connections();
+        assert_eq!(healthy.len(), 1);
+        assert_eq!(healthy[0].port_name(), "s2");
+
+        // After the cooldown the half-open probe rejoins the list once.
+        clock.advance_ns(1_000);
+        assert_eq!(slot.healthy_connections().len(), 2);
+        assert_eq!(b0.state(), BreakerState::HalfOpen);
+        // Probe outstanding: s1 is filtered again.
+        assert_eq!(slot.healthy_connections().len(), 1);
+        // Probe succeeds: fully recovered.
+        b0.record_success();
+        assert_eq!(slot.healthy_connections().len(), 2);
+        assert_eq!(b0.state(), BreakerState::Closed);
     }
 }

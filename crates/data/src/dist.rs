@@ -471,11 +471,7 @@ mod tests {
     fn block_distribution_ownership() {
         // 10 elements over 4 procs, block => blocks of 3: [0..3)->0, [3..6)->1,
         // [6..9)->2, [9..10)->3.
-        let d = DistArrayDesc::new(
-            &[10],
-            Distribution::block_1d(4, 1).unwrap(),
-        )
-        .unwrap();
+        let d = DistArrayDesc::new(&[10], Distribution::block_1d(4, 1).unwrap()).unwrap();
         let owners: Vec<usize> = (0..10).map(|i| d.owner_of(&[i]).unwrap()).collect();
         assert_eq!(owners, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
         assert_eq!(d.local_count(0).unwrap(), 3);
@@ -484,11 +480,7 @@ mod tests {
 
     #[test]
     fn cyclic_distribution_ownership() {
-        let dist = Distribution::new(
-            ProcessGrid::linear(3).unwrap(),
-            &[DimDist::Cyclic],
-        )
-        .unwrap();
+        let dist = Distribution::new(ProcessGrid::linear(3).unwrap(), &[DimDist::Cyclic]).unwrap();
         let d = DistArrayDesc::new(&[7], dist).unwrap();
         let owners: Vec<usize> = (0..7).map(|i| d.owner_of(&[i]).unwrap()).collect();
         assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0]);
@@ -541,11 +533,7 @@ mod tests {
 
     #[test]
     fn owned_regions_cover_local_elements() {
-        let dist = Distribution::new(
-            ProcessGrid::linear(3).unwrap(),
-            &[DimDist::Cyclic],
-        )
-        .unwrap();
+        let dist = Distribution::new(ProcessGrid::linear(3).unwrap(), &[DimDist::Cyclic]).unwrap();
         let d = DistArrayDesc::new(&[8], dist).unwrap();
         for r in 0..3 {
             let regions = d.owned_regions(r).unwrap();

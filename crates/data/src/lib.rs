@@ -33,7 +33,7 @@ pub mod redist;
 pub mod typemap;
 
 pub use complex::{Complex, Complex32, Complex64};
-pub use dist::{DimDist, Distribution, DistArrayDesc, ProcessGrid};
+pub use dist::{DimDist, DistArrayDesc, Distribution, ProcessGrid};
 pub use error::DataError;
 pub use ndarray::{NdArray, NdView, Order, Slice, ViewStorage};
 pub use redist::{CompiledPlan, CompiledTransfer, RedistPlan, Transfer};

@@ -429,8 +429,7 @@ impl<T: Clone> NdArray<T> {
         other: &NdArray<U>,
         f: impl Fn(&T, &U) -> V,
     ) -> Result<NdArray<V>, DataError> {
-        if self.extents != other.extents || self.lower != other.lower || self.order != other.order
-        {
+        if self.extents != other.extents || self.lower != other.lower || self.order != other.order {
             return Err(DataError::ShapeMismatch {
                 expected: self.extents.clone(),
                 found: other.extents.clone(),
@@ -490,8 +489,8 @@ mod tests {
     #[test]
     fn fortran_lower_bounds() {
         // REAL A(-2:2) — five elements indexed -2..=2.
-        let a = NdArray::with_lower(&[-2], &[5], vec![10, 11, 12, 13, 14], Order::ColumnMajor)
-            .unwrap();
+        let a =
+            NdArray::with_lower(&[-2], &[5], vec![10, 11, 12, 13, 14], Order::ColumnMajor).unwrap();
         assert_eq!(*a.get(&[-2]).unwrap(), 10);
         assert_eq!(*a.get(&[0]).unwrap(), 12);
         assert_eq!(*a.get(&[2]).unwrap(), 14);
@@ -502,13 +501,8 @@ mod tests {
 
     #[test]
     fn offset_index_round_trip() {
-        let a = NdArray::<u8>::with_lower(
-            &[-1, 2, 0],
-            &[3, 4, 2],
-            vec![0; 24],
-            Order::ColumnMajor,
-        )
-        .unwrap();
+        let a = NdArray::<u8>::with_lower(&[-1, 2, 0], &[3, 4, 2], vec![0; 24], Order::ColumnMajor)
+            .unwrap();
         for off in 0..a.len() {
             let idx = a.multi_index_of(off).unwrap();
             assert_eq!(a.offset_of(&idx).unwrap(), off, "index {idx:?}");
@@ -541,9 +535,7 @@ mod tests {
     #[test]
     fn slicing_contiguous() {
         let a = NdArray::<i32>::from_vec(&[4, 3], (0..12).collect()).unwrap();
-        let s = a
-            .slice(&[Slice::range(1, 2), Slice::range(0, 2)])
-            .unwrap();
+        let s = a.slice(&[Slice::range(1, 2), Slice::range(0, 2)]).unwrap();
         assert_eq!(s.extents(), &[2, 3]);
         // s(i,j) = a(i+1, j)
         for j in 0..3isize {
@@ -882,8 +874,7 @@ mod view_tests {
     #[test]
     fn section_respects_lower_bounds() {
         let a =
-            NdArray::with_lower(&[-2], &[5], vec![10, 11, 12, 13, 14], Order::ColumnMajor)
-                .unwrap();
+            NdArray::with_lower(&[-2], &[5], vec![10, 11, 12, 13, 14], Order::ColumnMajor).unwrap();
         let mut storage = ViewStorage::default();
         let v = a.section(&[Slice::range(-1, 1)], &mut storage).unwrap();
         assert_eq!(v.extents(), &[3]);
@@ -898,7 +889,9 @@ mod view_tests {
         assert!(v.get(&[2, 0]).is_err());
         assert!(v.get(&[0]).is_err());
         let mut storage = ViewStorage::default();
-        assert!(a.section(&[Slice::range(0, 2), Slice::range(0, 1)], &mut storage).is_err());
+        assert!(a
+            .section(&[Slice::range(0, 2), Slice::range(0, 1)], &mut storage)
+            .is_err());
         assert!(a.section(&[Slice::range(0, 1)], &mut storage).is_err());
     }
 

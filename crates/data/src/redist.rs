@@ -153,12 +153,16 @@ impl RedistPlan {
 
     /// Transfers originating at `src_rank` (what that rank must send).
     pub fn sends_from(&self, src_rank: usize) -> impl Iterator<Item = &Transfer> + '_ {
-        self.transfers.iter().filter(move |t| t.src_rank == src_rank)
+        self.transfers
+            .iter()
+            .filter(move |t| t.src_rank == src_rank)
     }
 
     /// Transfers terminating at `dst_rank` (what that rank must receive).
     pub fn receives_at(&self, dst_rank: usize) -> impl Iterator<Item = &Transfer> + '_ {
-        self.transfers.iter().filter(move |t| t.dst_rank == dst_rank)
+        self.transfers
+            .iter()
+            .filter(move |t| t.dst_rank == dst_rank)
     }
 
     /// Flat column-major offset of a *global* index within `rank`'s local
@@ -259,8 +263,7 @@ mod tests {
     }
 
     fn cyclic_desc(n: usize, p: usize) -> DistArrayDesc {
-        let dist =
-            Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
+        let dist = Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
         DistArrayDesc::new(&[n], dist).unwrap()
     }
 
@@ -435,7 +438,9 @@ mod tests {
         let plan = RedistPlan::build(&src, &dst).unwrap();
         let t = &plan.transfers()[0];
         let mut out = vec![0u64; dst.local_count(t.dst_rank).unwrap()];
-        assert!(plan.unpack(t, &vec![0u64; t.count() + 1], &mut out).is_err());
+        assert!(plan
+            .unpack(t, &vec![0u64; t.count() + 1], &mut out)
+            .is_err());
     }
 }
 
@@ -648,12 +653,16 @@ impl CompiledPlan {
 
     /// Transfers originating at `src_rank`.
     pub fn sends_from(&self, src_rank: usize) -> impl Iterator<Item = &CompiledTransfer> + '_ {
-        self.transfers.iter().filter(move |t| t.src_rank == src_rank)
+        self.transfers
+            .iter()
+            .filter(move |t| t.src_rank == src_rank)
     }
 
     /// Transfers terminating at `dst_rank`.
     pub fn receives_at(&self, dst_rank: usize) -> impl Iterator<Item = &CompiledTransfer> + '_ {
-        self.transfers.iter().filter(move |t| t.dst_rank == dst_rank)
+        self.transfers
+            .iter()
+            .filter(move |t| t.dst_rank == dst_rank)
     }
 
     /// In-memory execution (the fast counterpart of [`RedistPlan::apply`]).
@@ -701,8 +710,7 @@ mod compiled_tests {
     }
 
     fn cyclic_desc(n: usize, p: usize) -> DistArrayDesc {
-        let dist =
-            Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
+        let dist = Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
         DistArrayDesc::new(&[n], dist).unwrap()
     }
 

@@ -110,7 +110,14 @@ impl TypeMap {
 
     typed_accessors!(get_int, get_int_strict, put_int, Int, i32, "int");
     typed_accessors!(get_long, get_long_strict, put_long, Long, i64, "long");
-    typed_accessors!(get_double, get_double_strict, put_double, Double, f64, "double");
+    typed_accessors!(
+        get_double,
+        get_double_strict,
+        put_double,
+        Double,
+        f64,
+        "double"
+    );
     typed_accessors!(
         get_dcomplex,
         get_dcomplex_strict,
@@ -120,7 +127,14 @@ impl TypeMap {
         "dcomplex"
     );
     typed_accessors!(get_bool, get_bool_strict, put_bool, Bool, bool, "bool");
-    typed_accessors!(get_string, get_string_strict, put_string, Str, String, "string");
+    typed_accessors!(
+        get_string,
+        get_string_strict,
+        put_string,
+        Str,
+        String,
+        "string"
+    );
     typed_accessors!(
         get_long_array,
         get_long_array_strict,
@@ -214,7 +228,10 @@ mod tests {
         assert_eq!(m.get_int("i", 0), 42);
         assert_eq!(m.get_long("l", 0), 1 << 40);
         assert_eq!(m.get_double("d", 0.0), 2.5);
-        assert_eq!(m.get_dcomplex("z", Complex64::ZERO), Complex64::new(1.0, -1.0));
+        assert_eq!(
+            m.get_dcomplex("z", Complex64::ZERO),
+            Complex64::new(1.0, -1.0)
+        );
         assert!(m.get_bool("b", false));
         assert_eq!(m.get_string("s", String::new()), "hello");
         assert_eq!(m.get_long_array("la", vec![]), vec![1, 2, 3]);
@@ -304,7 +321,9 @@ mod proptests {
         prop_oneof![
             any::<i32>().prop_map(TypeMapValue::Int),
             any::<i64>().prop_map(TypeMapValue::Long),
-            any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(TypeMapValue::Double),
+            any::<f64>()
+                .prop_filter("finite", |x| x.is_finite())
+                .prop_map(TypeMapValue::Double),
             any::<bool>().prop_map(TypeMapValue::Bool),
             "[a-z]{0,8}".prop_map(TypeMapValue::Str),
             proptest::collection::vec(any::<i64>(), 0..4).prop_map(TypeMapValue::LongArray),

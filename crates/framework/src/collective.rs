@@ -219,11 +219,7 @@ impl MxNPort {
     ///
     /// Fully-local transfers (same world rank on both sides) are delivered
     /// through the same channel mechanism — a move, not a copy.
-    pub fn send<T: Clone + Send + 'static>(
-        &self,
-        comm: &Comm,
-        data: &[T],
-    ) -> Result<(), CcaError> {
+    pub fn send<T: Clone + Send + 'static>(&self, comm: &Comm, data: &[T]) -> Result<(), CcaError> {
         let Some(src_rank) = self.my_src_rank(comm) else {
             return Ok(());
         };
@@ -335,8 +331,7 @@ mod tests {
     }
 
     fn cyclic_desc(n: usize, p: usize) -> DistArrayDesc {
-        let dist =
-            Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
+        let dist = Distribution::new(ProcessGrid::linear(p).unwrap(), &[DimDist::Cyclic]).unwrap();
         DistArrayDesc::new(&[n], dist).unwrap()
     }
 
@@ -446,10 +441,7 @@ mod tests {
         spmd(2, |c| {
             for step in 0..5 {
                 let shift = step as f64 * 100.0;
-                let data: Vec<f64> = tagged(&src, c.rank())
-                    .iter()
-                    .map(|v| v + shift)
-                    .collect();
+                let data: Vec<f64> = tagged(&src, c.rank()).iter().map(|v| v + shift).collect();
                 let out = port.exchange(c, &data).unwrap();
                 let dst_rank = port.my_dst_rank(c).unwrap();
                 for region in dst.owned_regions(dst_rank).unwrap() {

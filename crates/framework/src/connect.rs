@@ -7,10 +7,12 @@
 //! both ends are oblivious to the choice.
 
 use crate::framework::Framework;
+use cca_core::resilience::{BreakerObserver, BreakerState, CallPolicy, Clock};
 use cca_core::{CcaError, ConfigEvent, PortHandle};
-use cca_rpc::{ObjRef, RemotePortProxy};
+use cca_rpc::{DeadlineTransport, LoopbackTransport, ObjRef, RemotePortProxy, Transport};
 use cca_sidl::DynObject;
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Weak};
 
 /// How the framework realizes a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +46,40 @@ pub struct ConnectionInfo {
     pub policy: ConnectionPolicy,
 }
 
+/// Watches one connection's circuit breaker and republishes its state
+/// transitions as configuration events, so builders and monitors see
+/// quarantine/recovery exactly like connect/disconnect.
+struct QuarantineObserver {
+    framework: Weak<Framework>,
+    user: String,
+    uses_port: String,
+    provider: String,
+}
+
+impl BreakerObserver for QuarantineObserver {
+    fn on_transition(&self, _from: BreakerState, to: BreakerState, consecutive_failures: u64) {
+        let Some(fw) = self.framework.upgrade() else {
+            return;
+        };
+        match to {
+            BreakerState::Open => fw.emit(ConfigEvent::ProviderQuarantined {
+                user: self.user.clone(),
+                uses_port: self.uses_port.clone(),
+                provider: self.provider.clone(),
+                consecutive_failures,
+            }),
+            BreakerState::Closed => fw.emit(ConfigEvent::ProviderRecovered {
+                user: self.user.clone(),
+                uses_port: self.uses_port.clone(),
+                provider: self.provider.clone(),
+            }),
+            // Half-open is an internal probing state, not a configuration
+            // change; monitors read it live via `breaker_states`.
+            BreakerState::HalfOpen => {}
+        }
+    }
+}
+
 impl Framework {
     /// Connects `user.uses_port` to `provider.provides_port` with the
     /// framework's default policy.
@@ -54,7 +90,13 @@ impl Framework {
         provider: &str,
         provides_port: &str,
     ) -> Result<(), CcaError> {
-        self.connect_with(user, uses_port, provider, provides_port, self.default_policy)
+        self.connect_with(
+            user,
+            uses_port,
+            provider,
+            provides_port,
+            self.default_policy,
+        )
     }
 
     /// Connects with an explicit policy.
@@ -87,10 +129,29 @@ impl Framework {
         }
 
         let provider_metrics = Arc::clone(handle.metrics());
-        let delivered = match policy {
+        // A call policy on the uses slot shapes how the connection is
+        // delivered: deadlines wrap the proxy transport, and a breaker
+        // policy attaches a per-connection circuit breaker whose state
+        // transitions are published as configuration events.
+        let slot_policy = user_services.call_policy(uses_port)?;
+        let deadline = slot_policy
+            .as_ref()
+            .and_then(|p| p.deadline_ns().map(|d| (d, Arc::clone(p.clock()))));
+        let mut delivered = match policy {
             ConnectionPolicy::Direct => handle,
-            ConnectionPolicy::Proxied => self.proxy_handle(provider, provides_port, &handle)?,
+            ConnectionPolicy::Proxied => {
+                self.proxy_handle(provider, provides_port, &handle, deadline)?
+            }
         };
+        if let Some(breaker) = slot_policy.as_ref().and_then(|p| p.new_breaker()) {
+            breaker.set_observer(Arc::new(QuarantineObserver {
+                framework: Weak::clone(&self.myself),
+                user: user.to_string(),
+                uses_port: uses_port.to_string(),
+                provider: provider.to_string(),
+            }));
+            delivered = delivered.with_breaker(Arc::new(breaker));
+        }
         user_services.connect_uses(uses_port, delivered)?;
         let provider_fan_out = {
             let mut connections = self.connections.write();
@@ -122,12 +183,15 @@ impl Framework {
 
     /// Builds the proxied version of a provides port: the provider's
     /// dynamic facade is registered with the framework ORB and the user
-    /// receives a handle whose object *is* the proxy.
+    /// receives a handle whose object *is* the proxy. When the uses slot's
+    /// call policy carries a deadline, every ORB round trip is bounded by
+    /// it — a wedged transport surfaces as `DeadlineExceeded`, not a hang.
     fn proxy_handle(
         &self,
         provider: &str,
         provides_port: &str,
         handle: &PortHandle,
+        deadline: Option<(u64, Arc<dyn Clock>)>,
     ) -> Result<PortHandle, CcaError> {
         let servant = handle.dynamic().cloned().ok_or_else(|| {
             CcaError::Framework(format!(
@@ -138,23 +202,23 @@ impl Framework {
         })?;
         let key = format!("{provider}/{provides_port}");
         self.orb.register(key.clone(), servant);
-        let proxy =
-            RemotePortProxy::new(handle.port_type(), ObjRef::loopback(key, Arc::clone(&self.orb)));
+        let mut transport: Arc<dyn Transport> = LoopbackTransport::new(Arc::clone(&self.orb) as _);
+        if let Some((deadline_ns, clock)) = deadline {
+            transport = DeadlineTransport::new(transport, deadline_ns, clock);
+        }
+        let proxy = RemotePortProxy::new(handle.port_type(), ObjRef::new(key, transport));
         let dyn_proxy: Arc<dyn DynObject> = proxy;
-        Ok(
-            PortHandle::new(handle.port_name(), handle.port_type(), Arc::clone(&dyn_proxy))
-                .with_dynamic(dyn_proxy)
-                .with_properties(handle.properties().clone()),
+        Ok(PortHandle::new(
+            handle.port_name(),
+            handle.port_type(),
+            Arc::clone(&dyn_proxy),
         )
+        .with_dynamic(dyn_proxy)
+        .with_properties(handle.properties().clone()))
     }
 
     /// Breaks the connection between `user.uses_port` and `provider`.
-    pub fn disconnect(
-        &self,
-        user: &str,
-        uses_port: &str,
-        provider: &str,
-    ) -> Result<(), CcaError> {
+    pub fn disconnect(&self, user: &str, uses_port: &str, provider: &str) -> Result<(), CcaError> {
         let _span = cca_obs::span("framework.disconnect");
         let mut connections = self.connections.write();
         // Position among this uses-port's connections = index in the slot.
@@ -172,7 +236,8 @@ impl Framework {
         let (vec_index, slot_index) = found.ok_or_else(|| {
             CcaError::PortNotConnected(format!("{user}.{uses_port} -> {provider}"))
         })?;
-        self.services(user)?.disconnect_uses(uses_port, slot_index)?;
+        self.services(user)?
+            .disconnect_uses(uses_port, slot_index)?;
         let removed = connections.remove(vec_index);
         let provider_fan_out = connections
             .iter()
@@ -219,6 +284,48 @@ impl Framework {
     /// A snapshot of all live connections.
     pub fn connections(&self) -> Vec<ConnectionInfo> {
         self.connections.read().clone()
+    }
+
+    /// Installs `policy` on `user.uses_port` and then connects it to
+    /// `provider.provides_port` — the one-call way to make a resilient
+    /// connection. The policy governs this and every later connection of
+    /// the slot (each gets its own breaker; retry/deadline are per-call).
+    pub fn connect_with_call_policy(
+        &self,
+        user: &str,
+        uses_port: &str,
+        provider: &str,
+        provides_port: &str,
+        call_policy: CallPolicy,
+    ) -> Result<(), CcaError> {
+        self.services(user)?
+            .set_call_policy(uses_port, Arc::new(call_policy))?;
+        self.connect(user, uses_port, provider, provides_port)
+    }
+
+    /// Live breaker state per connection: `None` for connections without a
+    /// call policy, otherwise `(state, consecutive_failures)`. The slot
+    /// index of each connection is its position among that uses port's
+    /// connections (the same ordering `disconnect` uses).
+    pub fn breaker_states(&self) -> Vec<(ConnectionInfo, Option<(BreakerState, u64)>)> {
+        let connections = self.connections.read().clone();
+        let mut slot_counters: BTreeMap<(String, String), usize> = BTreeMap::new();
+        connections
+            .into_iter()
+            .map(|c| {
+                let slot_key = (c.user.clone(), c.uses_port.clone());
+                let index = *slot_counters
+                    .entry(slot_key)
+                    .and_modify(|i| *i += 1)
+                    .or_insert(0);
+                let state = self
+                    .services(&c.user)
+                    .ok()
+                    .and_then(|s| s.connection_breaker(&c.uses_port, index).ok().flatten())
+                    .map(|b| (b.state(), b.consecutive_failures()));
+                (c, state)
+            })
+            .collect()
     }
 }
 
@@ -308,12 +415,10 @@ mod tests {
     #[test]
     fn direct_connection_hands_over_the_object() {
         let (fw, counter) = setup(ConnectionPolicy::Direct);
-        fw.connect("user0", "input", "provider0", "counter").unwrap();
-        let port: Arc<dyn CounterPort> = fw
-            .services("user0")
-            .unwrap()
-            .get_port_as("input")
+        fw.connect("user0", "input", "provider0", "counter")
             .unwrap();
+        let port: Arc<dyn CounterPort> =
+            fw.services("user0").unwrap().get_port_as("input").unwrap();
         assert_eq!(port.bump(), 1);
         assert_eq!(counter.count.load(Ordering::SeqCst), 1);
         let info = &fw.connections()[0];
@@ -324,7 +429,8 @@ mod tests {
     #[test]
     fn proxied_connection_is_transparent_to_dynamic_callers() {
         let (fw, counter) = setup(ConnectionPolicy::Proxied);
-        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        fw.connect("user0", "input", "provider0", "counter")
+            .unwrap();
         let handle = fw.services("user0").unwrap().get_port("input").unwrap();
         // The typed fast path is unavailable through a proxy...
         assert!(handle.typed::<dyn CounterPort>().is_err());
@@ -353,7 +459,8 @@ mod tests {
             count: AtomicUsize::new(0),
             label: "c".into(),
         });
-        fw.add_instance("p", Arc::new(Provider { counter })).unwrap();
+        fw.add_instance("p", Arc::new(Provider { counter }))
+            .unwrap();
         fw.add_instance("u", Arc::new(WrongUser)).unwrap();
         assert!(matches!(
             fw.connect("u", "input", "p", "counter"),
@@ -385,7 +492,8 @@ mod tests {
             count: AtomicUsize::new(0),
             label: "c".into(),
         });
-        fw.add_instance("p", Arc::new(Provider { counter })).unwrap();
+        fw.add_instance("p", Arc::new(Provider { counter }))
+            .unwrap();
         fw.add_instance("u", Arc::new(BaseUser)).unwrap();
         // demo.CounterPort is-a demo.BasePort per the deposited SIDL.
         fw.connect("u", "input", "p", "counter").unwrap();
@@ -399,19 +507,22 @@ mod tests {
             count: AtomicUsize::new(100),
             label: "c1".into(),
         });
-        fw.add_instance("provider1", Arc::new(Provider { counter: c1.clone() }))
-            .unwrap();
+        fw.add_instance(
+            "provider1",
+            Arc::new(Provider {
+                counter: c1.clone(),
+            }),
+        )
+        .unwrap();
         let rec = RecordingListener::new();
         fw.add_listener(rec.clone());
 
-        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        fw.connect("user0", "input", "provider0", "counter")
+            .unwrap();
         fw.redirect("user0", "input", "provider0", "provider1", "counter")
             .unwrap();
-        let port: Arc<dyn CounterPort> = fw
-            .services("user0")
-            .unwrap()
-            .get_port_as("input")
-            .unwrap();
+        let port: Arc<dyn CounterPort> =
+            fw.services("user0").unwrap().get_port_as("input").unwrap();
         assert_eq!(port.bump(), 101); // c1's counter
         assert_eq!(fw.connections().len(), 1);
         assert_eq!(fw.connections()[0].provider, "provider1");
@@ -436,10 +547,16 @@ mod tests {
         });
         fw.add_instance("provider1", Arc::new(Provider { counter: c1 }))
             .unwrap();
-        fw.connect("user0", "input", "provider0", "counter").unwrap();
-        fw.connect("user0", "input", "provider1", "counter").unwrap();
+        fw.connect("user0", "input", "provider0", "counter")
+            .unwrap();
+        fw.connect("user0", "input", "provider1", "counter")
+            .unwrap();
         assert_eq!(
-            fw.services("user0").unwrap().get_ports("input").unwrap().len(),
+            fw.services("user0")
+                .unwrap()
+                .get_ports("input")
+                .unwrap()
+                .len(),
             2
         );
         fw.disconnect("user0", "input", "provider0").unwrap();
@@ -451,10 +568,143 @@ mod tests {
     #[test]
     fn destroying_instance_breaks_its_connections() {
         let (fw, _c) = setup(ConnectionPolicy::Direct);
-        fw.connect("user0", "input", "provider0", "counter").unwrap();
+        fw.connect("user0", "input", "provider0", "counter")
+            .unwrap();
         fw.destroy_instance("provider0").unwrap();
         assert!(fw.connections().is_empty());
         assert!(fw.services("user0").unwrap().get_port("input").is_err());
+    }
+
+    #[test]
+    fn quarantine_and_recovery_publish_config_events() {
+        use cca_core::resilience::{BreakerPolicy, CallPolicy, MockClock};
+
+        let (fw, _c0) = setup(ConnectionPolicy::Direct);
+        let c1 = Arc::new(Counter {
+            count: AtomicUsize::new(0),
+            label: "c1".into(),
+        });
+        fw.add_instance("provider1", Arc::new(Provider { counter: c1 }))
+            .unwrap();
+        let rec = RecordingListener::new();
+        fw.add_listener(rec.clone());
+
+        let clock = MockClock::new();
+        let policy = CallPolicy::with_clock(clock.clone()).with_breaker(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown_ns: 1_000,
+        });
+        fw.connect_with_call_policy("user0", "input", "provider0", "counter", policy)
+            .unwrap();
+        fw.connect("user0", "input", "provider1", "counter")
+            .unwrap();
+
+        let services = fw.services("user0").unwrap();
+        assert_eq!(services.get_ports("input").unwrap().len(), 2);
+
+        // Trip provider0's breaker: two consecutive failures.
+        let breaker = services.connection_breaker("input", 0).unwrap().unwrap();
+        breaker.record_failure();
+        breaker.record_failure();
+
+        let quarantined = rec.events().iter().any(|e| {
+            matches!(
+                e,
+                ConfigEvent::ProviderQuarantined { provider, consecutive_failures: 2, .. }
+                    if provider == "provider0"
+            )
+        });
+        assert!(quarantined, "breaker opening published a quarantine event");
+
+        // Fan-out now transparently skips the quarantined provider (§6.1:
+        // zero-or-more providers, so a thinner fan-out stays legal).
+        assert_eq!(services.get_ports("input").unwrap().len(), 1);
+        let states = fw.breaker_states();
+        assert_eq!(states.len(), 2);
+        assert_eq!(
+            states[0].1.map(|(s, _)| s),
+            Some(cca_core::resilience::BreakerState::Open)
+        );
+
+        // After the cooldown, the half-open probe succeeds and the
+        // recovery is published.
+        clock.advance_ns(2_000);
+        assert!(breaker.admit(), "half-open grants one probe");
+        breaker.record_success();
+        assert!(rec.events().iter().any(|e| {
+            matches!(e, ConfigEvent::ProviderRecovered { provider, .. } if provider == "provider0")
+        }));
+        assert_eq!(services.get_ports("input").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn proxied_deadline_turns_a_wedge_into_deadline_exceeded() {
+        use cca_core::resilience::{CallPolicy, Clock, MockClock, DEADLINE_EXCEPTION_TYPE};
+
+        // A servant that models a wedge by charging the simulated clock.
+        struct WedgedServant {
+            clock: Arc<MockClock>,
+        }
+        impl DynObject for WedgedServant {
+            fn sidl_type(&self) -> &str {
+                "demo.CounterPort"
+            }
+            fn invoke(&self, _m: &str, _a: Vec<DynValue>) -> Result<DynValue, SidlError> {
+                self.clock.advance_ns(50_000);
+                Ok(DynValue::Long(1))
+            }
+        }
+        struct WedgedProvider {
+            clock: Arc<MockClock>,
+        }
+        impl Component for WedgedProvider {
+            fn component_type(&self) -> &str {
+                "demo.WedgedProvider"
+            }
+            fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+                let servant = Arc::new(WedgedServant {
+                    clock: self.clock.clone(),
+                });
+                let dynamic: Arc<dyn DynObject> = servant;
+                services.add_provides_port(
+                    PortHandle::new("counter", "demo.CounterPort", Arc::clone(&dynamic))
+                        .with_dynamic(dynamic),
+                )
+            }
+        }
+
+        let fw = Framework::with_policy(Repository::new(), ConnectionPolicy::Proxied);
+        let clock = MockClock::new();
+        fw.add_instance(
+            "wedged",
+            Arc::new(WedgedProvider {
+                clock: clock.clone(),
+            }),
+        )
+        .unwrap();
+        fw.add_instance("user0", Arc::new(User)).unwrap();
+
+        let policy = CallPolicy::with_clock(clock.clone()).with_deadline_ns(1_000);
+        fw.connect_with_call_policy("user0", "input", "wedged", "counter", policy)
+            .unwrap();
+
+        let handle = fw.services("user0").unwrap().get_port("input").unwrap();
+        let err = handle
+            .dynamic()
+            .unwrap()
+            .invoke("bump", vec![])
+            .unwrap_err();
+        match &err {
+            SidlError::UserException { exception_type, .. } => {
+                assert_eq!(exception_type, DEADLINE_EXCEPTION_TYPE);
+            }
+            other => panic!("expected a deadline exception, got {other:?}"),
+        }
+        // The wedge charged simulated time; the caller got an error, not a
+        // hang, and crossing into the port layer keeps the meaning.
+        assert!(clock.now_ns() >= 50_000);
+        let cca: CcaError = err.into();
+        assert!(matches!(cca, CcaError::DeadlineExceeded(_)));
     }
 
     #[test]

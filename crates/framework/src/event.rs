@@ -247,9 +247,7 @@ mod tests {
             let seen2 = Arc::clone(&seen);
             svc.subscribe(
                 "data",
-                Arc::new(move |_: &str, b: &TypeMap| {
-                    seen2.lock().push(b.get_double("value", 0.0))
-                }),
+                Arc::new(move |_: &str, b: &TypeMap| seen2.lock().push(b.get_double("value", 0.0))),
             );
         }
         let mut body = TypeMap::new();

@@ -10,7 +10,7 @@ use cca_repository::Repository;
 use cca_rpc::Orb;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// One live component instance.
 #[derive(Clone)]
@@ -44,6 +44,10 @@ pub struct Framework {
     /// [`ConfigListener`](cca_core::event::ConfigListener) path, so
     /// monitors get the registration-order delivery guarantee.
     events: Arc<EventService>,
+    /// Self-reference so `&self` methods can hand long-lived callbacks
+    /// (breaker observers) a way back to `emit` without keeping the
+    /// framework alive.
+    pub(crate) myself: Weak<Framework>,
 }
 
 impl Framework {
@@ -58,7 +62,7 @@ impl Framework {
         // Honor CCA_TRACE / CCA_METRICS so observability can be switched on
         // for any framework-hosted run without code changes.
         cca_obs::init_from_env();
-        Arc::new(Framework {
+        Arc::new_cyclic(|myself| Framework {
             repository,
             orb: Orb::new(),
             instances: RwLock::new(BTreeMap::new()),
@@ -69,6 +73,7 @@ impl Framework {
             flavors: vec!["in-process".to_string(), "distributed".to_string()],
             plan_cache: Arc::new(PlanCache::new()),
             events: EventService::new(),
+            myself: Weak::clone(myself),
         })
     }
 
@@ -280,7 +285,9 @@ mod tests {
 
     #[test]
     fn echo_port_counts() {
-        let e = Echo { calls: AtomicUsize::new(0) };
+        let e = Echo {
+            calls: AtomicUsize::new(0),
+        };
         assert_eq!(e.ping(), 1);
         assert_eq!(e.ping(), 2);
     }

@@ -33,8 +33,10 @@ pub mod monitor;
 pub mod script;
 
 pub use collective::{MxNPort, PlanCache};
-pub use event::{EventListener, EventService, SubscriptionId};
 pub use connect::{ConnectionInfo, ConnectionPolicy};
+pub use event::{EventListener, EventService, SubscriptionId};
 pub use framework::Framework;
-pub use monitor::{MonitorComponent, MonitorPort, MONITOR_INSTANCE, MONITOR_PORT_TYPE, MONITOR_SIDL};
+pub use monitor::{
+    MonitorComponent, MonitorPort, MONITOR_INSTANCE, MONITOR_PORT_TYPE, MONITOR_SIDL,
+};
 pub use script::{parse_script, Command};

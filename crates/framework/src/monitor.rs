@@ -49,6 +49,9 @@ package cca.ports {
         void setTracing(in bool on);
         // Drain buffered trace events: format is \"jsonl\" or \"chrome\".
         string drainTrace(in string format);
+        // {\"counters\":{…},\"breakers\":[…]} — global resilience counters
+        // plus the live circuit-breaker state of every connection.
+        string resilienceJson();
     }
 }
 ";
@@ -86,7 +89,11 @@ impl MonitorPort {
             .into_iter()
             .map(|name| {
                 let class = fw.class_of(&name).unwrap_or_default();
-                format!("{{\"name\":\"{}\",\"class\":\"{}\"}}", js(&name), js(&class))
+                format!(
+                    "{{\"name\":\"{}\",\"class\":\"{}\"}}",
+                    js(&name),
+                    js(&class)
+                )
             })
             .collect();
         Ok(format!("[{}]", items.join(",")))
@@ -154,6 +161,34 @@ impl MonitorPort {
         Ok(metrics.calls() as i64)
     }
 
+    /// Global resilience counters plus the live breaker state of every
+    /// connection (state `"none"` for connections without a call policy).
+    pub fn resilience_json(&self) -> Result<String, SidlError> {
+        let fw = self.framework()?;
+        let breakers: Vec<String> = fw
+            .breaker_states()
+            .into_iter()
+            .map(|(c, state)| {
+                let (state_str, failures) = match state {
+                    Some((s, f)) => (s.as_str(), f),
+                    None => ("none", 0),
+                };
+                format!(
+                    "{{\"user\":\"{}\",\"usesPort\":\"{}\",\"provider\":\"{}\",\
+                     \"state\":\"{state_str}\",\"consecutiveFailures\":{failures}}}",
+                    js(&c.user),
+                    js(&c.uses_port),
+                    js(&c.provider),
+                )
+            })
+            .collect();
+        Ok(format!(
+            "{{\"counters\":{},\"breakers\":[{}]}}",
+            cca_obs::resilience().snapshot().to_json(),
+            breakers.join(",")
+        ))
+    }
+
     /// Drains the tracer: `"chrome"` renders a Chrome `trace_event`
     /// document, anything else JSON Lines.
     pub fn drain_trace(&self, format: &str) -> String {
@@ -209,6 +244,7 @@ impl DynObject for MonitorPort {
                 cca_obs::set_tracing(on);
                 Ok(DynValue::Void)
             }
+            "resilienceJson" => Ok(DynValue::Str(self.resilience_json()?)),
             "drainTrace" => {
                 let format = args
                     .first()
@@ -381,8 +417,57 @@ mod tests {
 
         // Arity/type checking comes from the deposited metadata.
         assert!(invoke_checked(&**target, info.method("callCount").unwrap(), vec![]).is_err());
-        let r = invoke_checked(&**target, info.method("eventSubscriptions").unwrap(), vec![]);
+        let r = invoke_checked(
+            &**target,
+            info.method("eventSubscriptions").unwrap(),
+            vec![],
+        );
         assert!(r.unwrap().as_long().unwrap() >= 0);
+    }
+
+    #[test]
+    fn monitor_shows_live_breaker_state() {
+        use cca_core::resilience::{BreakerPolicy, CallPolicy, MockClock};
+
+        let fw = Framework::new(Repository::new());
+        fw.add_instance("p0", Arc::new(Provider)).unwrap();
+        fw.add_instance("u0", Arc::new(User)).unwrap();
+        let clock = MockClock::new();
+        let policy =
+            CallPolicy::with_clock(clock.clone()).with_breaker(BreakerPolicy::new(3, 1_000));
+        fw.connect_with_call_policy("u0", "in", "p0", "out", policy)
+            .unwrap();
+        let monitor = fw.install_monitor().unwrap();
+
+        let json = monitor.resilience_json().unwrap();
+        assert!(json.contains("\"state\":\"closed\""), "{json}");
+        assert!(json.contains("\"breaker_opens\""), "{json}");
+
+        // Trip the breaker; the monitor reflects it live.
+        let breaker = fw
+            .services("u0")
+            .unwrap()
+            .connection_breaker("in", 0)
+            .unwrap()
+            .unwrap();
+        for _ in 0..3 {
+            breaker.record_failure();
+        }
+        let json = monitor.resilience_json().unwrap();
+        assert!(json.contains("\"state\":\"open\""), "{json}");
+        assert!(json.contains("\"consecutiveFailures\":3"), "{json}");
+
+        // The reflective path reaches the same method via deposited SIDL.
+        let handle = fw
+            .services(MONITOR_INSTANCE)
+            .unwrap()
+            .get_provides_port("monitor")
+            .unwrap();
+        let target = handle.dynamic().unwrap();
+        let reflection = Reflection::from_model(&compile(MONITOR_SIDL).unwrap());
+        let info = reflection.type_info(MONITOR_PORT_TYPE).unwrap();
+        let r = invoke_checked(&**target, info.method("resilienceJson").unwrap(), vec![]).unwrap();
+        assert!(r.as_str().unwrap().contains("\"breakers\""));
     }
 
     #[test]

@@ -110,9 +110,7 @@ pub fn parse_script(source: &str) -> Result<Vec<Command>, CcaError> {
                     None => None,
                     Some(&"direct") => Some(ConnectionPolicy::Direct),
                     Some(&"proxied") => Some(ConnectionPolicy::Proxied),
-                    Some(other) => {
-                        return err(&format!("unknown connection policy '{other}'"))
-                    }
+                    Some(other) => return err(&format!("unknown connection policy '{other}'")),
                 };
                 Command::Connect {
                     user: words[1].into(),
@@ -123,7 +121,9 @@ pub fn parse_script(source: &str) -> Result<Vec<Command>, CcaError> {
                 }
             }
             ("connect", _) => {
-                return err("expected 'connect <user> <usesPort> <provider> <providesPort> [policy]'")
+                return err(
+                    "expected 'connect <user> <usesPort> <provider> <providesPort> [policy]'",
+                )
             }
             ("disconnect", 4) => Command::Disconnect {
                 user: words[1].into(),
@@ -351,9 +351,7 @@ mod tests {
     fn failing_command_reports_its_position() {
         let fw = Framework::new(scripted_repo());
         let err = fw
-            .run_script(
-                "instantiate demo.ProviderA a0\nconnect ghost in a0 out",
-            )
+            .run_script("instantiate demo.ProviderA a0\nconnect ghost in a0 out")
             .unwrap_err();
         assert!(err.to_string().contains("command 2"), "{err}");
         // Partial effects before the failure remain (scripts are not
@@ -371,11 +369,7 @@ mod tests {
         let go: Arc<dyn GoPort> = driver.clone();
         fw.services("driver0")
             .unwrap()
-            .add_provides_port(PortHandle::new(
-                "go",
-                cca_core::component::GO_PORT_TYPE,
-                go,
-            ))
+            .add_provides_port(PortHandle::new("go", cca_core::component::GO_PORT_TYPE, go))
             .unwrap();
         fw.run_script("go driver0 go\ngo driver0 go").unwrap();
         assert_eq!(driver.runs.load(Ordering::SeqCst), 2);

@@ -29,15 +29,15 @@
 
 pub mod flags;
 pub mod metrics;
+pub mod resilience;
 pub mod trace;
 
-pub use flags::{
-    counters_enabled, init_from_env, set_counters, set_tracing, tracing_enabled,
-};
+pub use flags::{counters_enabled, init_from_env, set_counters, set_tracing, tracing_enabled};
 pub use metrics::{
     CallShard, LatencyHistogram, LatencySnapshot, PortMetrics, PortMetricsSnapshot,
     TransportMetrics, TransportSnapshot,
 };
+pub use resilience::{resilience, ResilienceCounters, ResilienceSnapshot};
 pub use trace::{
     drain, span, to_chrome_trace, to_jsonl, trace_instant, Span, TraceEvent, TraceKind,
 };

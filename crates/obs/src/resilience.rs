@@ -1,0 +1,176 @@
+//! Global resilience counters: retries, deadline hits, breaker activity.
+//!
+//! `cca-core`'s resilience layer (retry/backoff, call deadlines,
+//! per-provider circuit breakers) reports here so the `MonitorPort` can
+//! answer "how degraded is this assembly right now" without walking every
+//! connection. Unlike the per-port call counters these are **not** gated
+//! by the `counters` flag: they only move on failure paths (a retry, a
+//! deadline expiry, a breaker transition, a quarantine rejection), which
+//! are rare and already expensive — the same reasoning that keeps
+//! connection-shape metrics ungated. Process-global, like [`crate::flags`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The process-wide resilience counter block.
+#[derive(Debug, Default)]
+pub struct ResilienceCounters {
+    retries: AtomicU64,
+    deadline_hits: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_half_opens: AtomicU64,
+    breaker_closes: AtomicU64,
+    quarantine_rejections: AtomicU64,
+}
+
+impl ResilienceCounters {
+    /// Records one retried attempt (an attempt after the first).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one call abandoned because its deadline expired.
+    pub fn record_deadline_hit(&self) {
+        self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a breaker transitioning to open (provider quarantined).
+    pub fn record_breaker_open(&self) {
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a breaker transitioning to half-open (probe admitted).
+    pub fn record_breaker_half_open(&self) {
+        self.breaker_half_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a breaker transitioning to closed (provider recovered).
+    pub fn record_breaker_close(&self) {
+        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a call refused because its provider was quarantined.
+    pub fn record_quarantine_rejection(&self) {
+        self.quarantine_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_half_opens: self.breaker_half_opens.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            quarantine_rejections: self.quarantine_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter (test isolation; counters are process-global).
+    pub fn reset(&self) {
+        self.retries.store(0, Ordering::Relaxed);
+        self.deadline_hits.store(0, Ordering::Relaxed);
+        self.breaker_opens.store(0, Ordering::Relaxed);
+        self.breaker_half_opens.store(0, Ordering::Relaxed);
+        self.breaker_closes.store(0, Ordering::Relaxed);
+        self.quarantine_rejections.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the global [`ResilienceCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSnapshot {
+    /// Attempts after the first (one per backoff wait).
+    pub retries: u64,
+    /// Calls abandoned on deadline expiry.
+    pub deadline_hits: u64,
+    /// Closed/half-open → open transitions (quarantines).
+    pub breaker_opens: u64,
+    /// Open → half-open transitions (probes admitted).
+    pub breaker_half_opens: u64,
+    /// → closed transitions (recoveries).
+    pub breaker_closes: u64,
+    /// Calls refused while a provider was quarantined.
+    pub quarantine_rejections: u64,
+}
+
+impl ResilienceSnapshot {
+    /// JSON rendering (object; stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"retries\":{},\"deadline_hits\":{},\"breaker_opens\":{},\
+             \"breaker_half_opens\":{},\"breaker_closes\":{},\
+             \"quarantine_rejections\":{}}}",
+            self.retries,
+            self.deadline_hits,
+            self.breaker_opens,
+            self.breaker_half_opens,
+            self.breaker_closes,
+            self.quarantine_rejections
+        )
+    }
+}
+
+static GLOBAL: ResilienceCounters = ResilienceCounters {
+    retries: AtomicU64::new(0),
+    deadline_hits: AtomicU64::new(0),
+    breaker_opens: AtomicU64::new(0),
+    breaker_half_opens: AtomicU64::new(0),
+    breaker_closes: AtomicU64::new(0),
+    quarantine_rejections: AtomicU64::new(0),
+};
+
+/// The process-global resilience counter block.
+pub fn resilience() -> &'static ResilienceCounters {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        // Local block (the global one is shared with other tests).
+        let c = ResilienceCounters::default();
+        c.record_retry();
+        c.record_retry();
+        c.record_deadline_hit();
+        c.record_breaker_open();
+        c.record_breaker_half_open();
+        c.record_breaker_close();
+        c.record_quarantine_rejection();
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            ResilienceSnapshot {
+                retries: 2,
+                deadline_hits: 1,
+                breaker_opens: 1,
+                breaker_half_opens: 1,
+                breaker_closes: 1,
+                quarantine_rejections: 1,
+            }
+        );
+        c.reset();
+        assert_eq!(c.snapshot(), ResilienceSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_json_is_stable() {
+        let c = ResilienceCounters::default();
+        c.record_retry();
+        assert_eq!(
+            c.snapshot().to_json(),
+            "{\"retries\":1,\"deadline_hits\":0,\"breaker_opens\":0,\
+             \"breaker_half_opens\":0,\"breaker_closes\":0,\
+             \"quarantine_rejections\":0}"
+        );
+    }
+
+    #[test]
+    fn global_block_is_reachable() {
+        let before = resilience().snapshot().retries;
+        resilience().record_retry();
+        assert!(resilience().snapshot().retries > before);
+    }
+}

@@ -135,11 +135,7 @@ impl Comm {
         self.recv_raw(self.group[src], tag as u64)
     }
 
-    fn recv_raw<T: Send + 'static>(
-        &self,
-        src_world: usize,
-        tag: u64,
-    ) -> Result<T, ParallelError> {
+    fn recv_raw<T: Send + 'static>(&self, src_world: usize, tag: u64) -> Result<T, ParallelError> {
         // First check the buffer of earlier arrivals.
         {
             let mut buf = self.endpoint.unexpected.borrow_mut();
@@ -148,13 +144,11 @@ impl Comm {
                 .position(|e| e.src_world == src_world && e.context == self.context && e.tag == tag)
             {
                 let env = buf.remove(pos);
-                return env
-                    .payload
-                    .downcast::<T>()
-                    .map(|b| *b)
-                    .map_err(|_| ParallelError::TypeMismatch {
+                return env.payload.downcast::<T>().map(|b| *b).map_err(|_| {
+                    ParallelError::TypeMismatch {
                         expected: std::any::type_name::<T>(),
-                    });
+                    }
+                });
             }
         }
         // Then pull from the wire, buffering anything that doesn't match.
@@ -165,13 +159,11 @@ impl Comm {
                 .recv()
                 .map_err(|_| ParallelError::Disconnected { peer: src_world })?;
             if env.src_world == src_world && env.context == self.context && env.tag == tag {
-                return env
-                    .payload
-                    .downcast::<T>()
-                    .map(|b| *b)
-                    .map_err(|_| ParallelError::TypeMismatch {
+                return env.payload.downcast::<T>().map(|b| *b).map_err(|_| {
+                    ParallelError::TypeMismatch {
                         expected: std::any::type_name::<T>(),
-                    });
+                    }
+                });
             }
             self.endpoint.unexpected.borrow_mut().push(env);
         }
@@ -386,11 +378,7 @@ impl Comm {
     /// `None` for ranks passing `color = None` (MPI's `MPI_UNDEFINED`).
     ///
     /// Collective: every rank of `self` must call it.
-    pub fn split(
-        &self,
-        color: Option<u32>,
-        key: i64,
-    ) -> Result<Option<Comm>, ParallelError> {
+    pub fn split(&self, color: Option<u32>, key: i64) -> Result<Option<Comm>, ParallelError> {
         // Everyone learns everyone's (color, key, world_rank).
         let triples = self.allgather((color, key, self.world_rank))?;
         // Context id for *each* color must be distinct and identical on all
@@ -694,10 +682,7 @@ mod tests {
     fn split_key_reorders_ranks() {
         let results = spmd(3, |c| {
             // Reverse order via key.
-            let sub = c
-                .split(Some(0), -(c.rank() as i64))
-                .unwrap()
-                .unwrap();
+            let sub = c.split(Some(0), -(c.rank() as i64)).unwrap().unwrap();
             sub.rank()
         });
         assert_eq!(results, vec![2, 1, 0]);
@@ -789,10 +774,7 @@ mod collective_tests {
             let mine: Vec<u32> = (0..c.rank() as u32 + 1).collect();
             c.gatherv(0, mine).unwrap()
         });
-        assert_eq!(
-            results[0],
-            Some(vec![vec![0], vec![0, 1], vec![0, 1, 2]])
-        );
+        assert_eq!(results[0], Some(vec![vec![0], vec![0, 1], vec![0, 1, 2]]));
         assert_eq!(results[1], None);
     }
 

@@ -33,7 +33,10 @@ impl fmt::Display for ParallelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParallelError::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             ParallelError::TypeMismatch { expected } => {
                 write!(f, "received message payload is not of type {expected}")

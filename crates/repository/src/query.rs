@@ -117,7 +117,12 @@ mod tests {
         }
     }
 
-    fn entry(class: &str, desc: &str, provides: &[(&str, &str)], uses: &[(&str, &str)]) -> ComponentEntry {
+    fn entry(
+        class: &str,
+        desc: &str,
+        provides: &[(&str, &str)],
+        uses: &[(&str, &str)],
+    ) -> ComponentEntry {
         ComponentEntry {
             class: class.into(),
             description: desc.into(),
@@ -210,11 +215,7 @@ mod tests {
     #[test]
     fn filters_conjoin() {
         let repo = demo_repo();
-        let none = repo.search(
-            &Query::any()
-                .providing("esi.Operator")
-                .in_package("viz."),
-        );
+        let none = repo.search(&Query::any().providing("esi.Operator").in_package("viz."));
         assert!(none.is_empty());
         let one = repo.search(
             &Query::any()

@@ -285,10 +285,7 @@ mod persistence_tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "cca_repo_test_{tag}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("cca_repo_test_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -303,9 +300,7 @@ mod persistence_tests {
             .deposit_sidl("package b { class Y implements-all a.X { } }")
             .unwrap_err(); // cross-deposit reference: must fail alone
         src_repo
-            .deposit_sidl(
-                "package b { interface Z { void g(); } class Y implements-all Z { } }",
-            )
+            .deposit_sidl("package b { interface Z { void g(); } class Y implements-all Z { } }")
             .unwrap();
         let dir = temp_dir("roundtrip");
         let written = src_repo.export_catalog(&dir).unwrap();
@@ -332,8 +327,11 @@ mod persistence_tests {
         let dir = temp_dir("skip");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("notes.txt"), "not sidl").unwrap();
-        std::fs::write(dir.join("p.sidl"), "package p { interface I { void f(); } }")
-            .unwrap();
+        std::fs::write(
+            dir.join("p.sidl"),
+            "package p { interface I { void f(); } }",
+        )
+        .unwrap();
         let repo = Repository::new();
         let types = repo.import_catalog(&dir).unwrap();
         assert_eq!(types, vec!["p.I".to_string()]);

@@ -22,13 +22,19 @@
 //! * [`proxy`] — a [`cca_sidl::DynObject`] that forwards through an ORB
 //!   reference, so a framework can hand a component a remote port through
 //!   the very same `PortHandle` mechanism as a local one.
+//! * [`resilient`] — deadline enforcement ([`DeadlineTransport`]: a wedged
+//!   round trip returns `cca.rpc.DeadlineExceeded` instead of hanging) and
+//!   seed-deterministic fault injection ([`FaultTransport`], driving the
+//!   CI fault matrix).
 
 pub mod orb;
 pub mod proxy;
+pub mod resilient;
 pub mod transport;
 pub mod wire;
 
 pub use orb::{ObjRef, Orb};
 pub use proxy::RemotePortProxy;
+pub use resilient::{DeadlineTransport, FaultAction, FaultTransport, INJECTED_FAULT_TYPE};
 pub use transport::{LatencyTransport, LoopbackTransport, Transport};
 pub use wire::{decode_reply, decode_request, encode_reply, encode_request, Reply, Request};

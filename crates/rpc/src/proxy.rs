@@ -75,7 +75,9 @@ mod tests {
         let proxy = RemotePortProxy::new("demo.Doubler", ObjRef::loopback("dbl", orb));
         assert_eq!(proxy.sidl_type(), "demo.Doubler");
         assert_eq!(proxy.remote_key(), "dbl");
-        let r = proxy.invoke("double", vec![DynValue::Double(21.0)]).unwrap();
+        let r = proxy
+            .invoke("double", vec![DynValue::Double(21.0)])
+            .unwrap();
         assert!(matches!(r, DynValue::Double(v) if v == 42.0));
     }
 

@@ -136,11 +136,8 @@ mod tests {
     #[test]
     fn latency_transport_charges_time_and_counts_bytes() {
         let inner = LoopbackTransport::new(Arc::new(Echo));
-        let slow = LatencyTransport::new(
-            inner,
-            Duration::from_micros(200),
-            Duration::from_nanos(0),
-        );
+        let slow =
+            LatencyTransport::new(inner, Duration::from_micros(200), Duration::from_nanos(0));
         let start = Instant::now();
         let reply = slow.call(Bytes::from_static(b"payload")).unwrap();
         let elapsed = start.elapsed();

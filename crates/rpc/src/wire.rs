@@ -346,19 +346,21 @@ mod tests {
     #[test]
     fn scalar_round_trips() {
         assert!(matches!(round_trip(DynValue::Void), DynValue::Void));
-        assert!(matches!(round_trip(DynValue::Bool(true)), DynValue::Bool(true)));
-        assert!(matches!(round_trip(DynValue::Char('λ')), DynValue::Char('λ')));
+        assert!(matches!(
+            round_trip(DynValue::Bool(true)),
+            DynValue::Bool(true)
+        ));
+        assert!(matches!(
+            round_trip(DynValue::Char('λ')),
+            DynValue::Char('λ')
+        ));
         assert!(matches!(round_trip(DynValue::Int(-5)), DynValue::Int(-5)));
         assert!(matches!(
             round_trip(DynValue::Long(1 << 60)),
             DynValue::Long(v) if v == 1 << 60
         ));
-        assert!(
-            matches!(round_trip(DynValue::Double(2.5)), DynValue::Double(v) if v == 2.5)
-        );
-        assert!(
-            matches!(round_trip(DynValue::Float(0.5)), DynValue::Float(v) if v == 0.5)
-        );
+        assert!(matches!(round_trip(DynValue::Double(2.5)), DynValue::Double(v) if v == 2.5));
+        assert!(matches!(round_trip(DynValue::Float(0.5)), DynValue::Float(v) if v == 0.5));
         assert!(matches!(
             round_trip(DynValue::Opaque(0xdeadbeef)),
             DynValue::Opaque(0xdeadbeef)
@@ -422,11 +424,7 @@ mod tests {
             fn sidl_type(&self) -> &str {
                 "x"
             }
-            fn invoke(
-                &self,
-                _: &str,
-                _: Vec<DynValue>,
-            ) -> Result<DynValue, SidlError> {
+            fn invoke(&self, _: &str, _: Vec<DynValue>) -> Result<DynValue, SidlError> {
                 Ok(DynValue::Void)
             }
         }

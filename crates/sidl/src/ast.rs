@@ -270,7 +270,10 @@ mod tests {
         assert_eq!(q.to_string(), "esi.solvers.Vector");
         let u = QName::parse("Vector");
         assert!(!u.is_qualified());
-        assert_eq!(u.qualified_in("esi.solvers").to_string(), "esi.solvers.Vector");
+        assert_eq!(
+            u.qualified_in("esi.solvers").to_string(),
+            "esi.solvers.Vector"
+        );
         // Already-qualified names are untouched.
         assert_eq!(q.qualified_in("other").to_string(), "esi.solvers.Vector");
     }

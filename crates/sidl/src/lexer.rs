@@ -204,7 +204,9 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, SidlError> {
                     bump!();
                 }
                 // Version-looking literal: digits '.' digits ('.' digits)*
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
                     && bytes[i + 1].is_ascii_digit()
                 {
                     while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {

@@ -44,7 +44,9 @@ pub mod parser;
 pub mod reflect;
 pub mod sema;
 
-pub use ast::{Argument, Class, Definition, EnumDef, Interface, Method, Mode, Package, QName, Type};
+pub use ast::{
+    Argument, Class, Definition, EnumDef, Interface, Method, Mode, Package, QName, Type,
+};
 pub use dynamic::{invoke_checked, DynObject, DynValue};
 pub use error::{SidlError, Span};
 pub use parser::parse;

@@ -423,10 +423,9 @@ impl Parser {
                         })
                     }
                     other => {
-                        return Err(self.error(format!(
-                            "expected array rank, found {}",
-                            other.describe()
-                        )))
+                        return Err(
+                            self.error(format!("expected array rank, found {}", other.describe()))
+                        )
                     }
                 }
             } else {

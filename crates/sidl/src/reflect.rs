@@ -108,8 +108,7 @@ impl Reflection {
             );
         }
         for c in model.classes() {
-            let mut bases: Vec<String> =
-                c.all_interfaces.iter().map(QName::to_string).collect();
+            let mut bases: Vec<String> = c.all_interfaces.iter().map(QName::to_string).collect();
             // Walk the class chain too.
             let mut cur = c.extends.clone();
             while let Some(base) = cur {

@@ -374,7 +374,10 @@ impl<'a> Resolver<'a> {
             if self.interface_parts(&base_q).is_none() {
                 return Err(SidlError::sema(
                     iface.span,
-                    format!("interface '{}' cannot extend non-interface '{base_q}'", iface.name),
+                    format!(
+                        "interface '{}' cannot extend non-interface '{base_q}'",
+                        iface.name
+                    ),
                 ));
             }
             let base = self.resolve_interface(&base_q, stack)?;
@@ -520,15 +523,17 @@ impl<'a> Resolver<'a> {
         let mut implements = Vec::new();
         for iface_ref in &class.implements {
             let iface_q = self.lookup(iface_ref, pkg, class.span)?;
-            let iface = self.resolve_interface(&iface_q, &mut Vec::new()).map_err(|_| {
-                SidlError::sema(
-                    class.span,
-                    format!(
-                        "class '{}' cannot implement non-interface '{iface_q}'",
-                        class.name
-                    ),
-                )
-            })?;
+            let iface = self
+                .resolve_interface(&iface_q, &mut Vec::new())
+                .map_err(|_| {
+                    SidlError::sema(
+                        class.span,
+                        format!(
+                            "class '{}' cannot implement non-interface '{iface_q}'",
+                            class.name
+                        ),
+                    )
+                })?;
             implements.push(iface_q.clone());
             all_interfaces.insert(iface_q.clone());
             for b in &iface.all_bases {
@@ -584,7 +589,10 @@ fn check_no_overloads(methods: &[Method], owner: &str) -> Result<(), SidlError> 
         if !seen.insert(&m.name) {
             return Err(SidlError::sema(
                 m.span,
-                format!("duplicate method '{}' in '{owner}' (SIDL has no overloading)", m.name),
+                format!(
+                    "duplicate method '{}' in '{owner}' (SIDL has no overloading)",
+                    m.name
+                ),
             ));
         }
     }
@@ -635,13 +643,11 @@ mod tests {
 
     #[test]
     fn signature_conflict_in_multiple_inheritance_rejected() {
-        let e = err(
-            "package p {
+        let e = err("package p {
                 interface A { void f(in int x); }
                 interface B { void f(in double x); }
                 interface C extends A, B { }
-            }",
-        );
+            }");
         assert!(e.contains("collision"), "{e}");
     }
 
@@ -660,23 +666,19 @@ mod tests {
 
     #[test]
     fn inheritance_cycle_detected() {
-        let e = err(
-            "package p {
+        let e = err("package p {
                 interface A extends B { }
                 interface B extends A { }
-            }",
-        );
+            }");
         assert!(e.contains("cycle"), "{e}");
     }
 
     #[test]
     fn class_cycle_detected() {
-        let e = err(
-            "package p {
+        let e = err("package p {
                 class A extends B { }
                 class B extends A { }
-            }",
-        );
+            }");
         assert!(e.contains("cycle"), "{e}");
     }
 
@@ -684,27 +686,21 @@ mod tests {
     fn unknown_types_rejected() {
         assert!(err("package p { interface A extends Nope { } }").contains("unknown type"));
         assert!(err("package p { class C extends Nope { } }").contains("unknown type"));
-        assert!(
-            err("package p { interface A { void f(in Mystery m); } }").contains("unknown type")
-        );
+        assert!(err("package p { interface A { void f(in Mystery m); } }").contains("unknown type"));
         assert!(err("package p { interface A { void f() throws Gone; } }")
             .contains("unknown exception type"));
     }
 
     #[test]
     fn kind_confusion_rejected() {
-        assert!(err(
-            "package p { class C { } interface I extends C { } }"
-        )
-        .contains("cannot extend non-interface"));
-        assert!(err(
-            "package p { interface I { } class C extends I { } }"
-        )
-        .contains("cannot extend non-class"));
-        assert!(err(
-            "package p { class D { } class C implements-all D { } }"
-        )
-        .contains("cannot implement non-interface"));
+        assert!(err("package p { class C { } interface I extends C { } }")
+            .contains("cannot extend non-interface"));
+        assert!(err("package p { interface I { } class C extends I { } }")
+            .contains("cannot extend non-class"));
+        assert!(
+            err("package p { class D { } class C implements-all D { } }")
+                .contains("cannot implement non-interface")
+        );
     }
 
     #[test]
@@ -714,8 +710,10 @@ mod tests {
 
     #[test]
     fn overloading_rejected() {
-        assert!(err("package p { interface I { void f(); void f(in int x); } }")
-            .contains("no overloading"));
+        assert!(
+            err("package p { interface I { void f(); void f(in int x); } }")
+                .contains("no overloading")
+        );
     }
 
     #[test]
@@ -758,23 +756,19 @@ mod tests {
 
     #[test]
     fn final_method_override_rejected() {
-        let e = err(
-            "package p {
+        let e = err("package p {
                 class Base { final void run(); }
                 class Derived extends Base { void run(); }
-            }",
-        );
+            }");
         assert!(e.contains("final"), "{e}");
     }
 
     #[test]
     fn class_signature_must_match_interface() {
-        let e = err(
-            "package p {
+        let e = err("package p {
                 interface I { void f(in int x); }
                 class C implements-all I { void f(in double x); }
-            }",
-        );
+            }");
         assert!(e.contains("signature"), "{e}");
     }
 

@@ -310,10 +310,7 @@ mod proptests {
 
     fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
         (1usize..8, 1usize..8).prop_flat_map(|(nr, nc)| {
-            let t = proptest::collection::vec(
-                (0..nr, 0..nc, -5.0f64..5.0),
-                0..24,
-            );
+            let t = proptest::collection::vec((0..nr, 0..nc, -5.0f64..5.0), 0..24);
             (Just(nr), Just(nc), t)
         })
     }

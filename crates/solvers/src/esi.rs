@@ -436,7 +436,10 @@ impl DynObject for SolverFacade {
                 ))
             }
             "lastIterations" => Ok(DynValue::Int(
-                self.owner.last_stats().map(|s| s.iterations as i32).unwrap_or(-1),
+                self.owner
+                    .last_stats()
+                    .map(|s| s.iterations as i32)
+                    .unwrap_or(-1),
             )),
             other => Err(SidlError::invoke(format!("no method '{other}'"))),
         }
@@ -468,8 +471,9 @@ pub fn expose_solver_ports(c: &Arc<SolverComponent>) -> Result<(), CcaError> {
     });
     let typed: Arc<dyn LinearSolverPort> = facade.clone();
     let dynamic: Arc<dyn DynObject> = facade;
-    services
-        .add_provides_port(PortHandle::new("solver", "esi.LinearSolver", typed).with_dynamic(dynamic))
+    services.add_provides_port(
+        PortHandle::new("solver", "esi.LinearSolver", typed).with_dynamic(dynamic),
+    )
 }
 
 #[cfg(test)]
@@ -534,7 +538,11 @@ mod tests {
     fn preconditioner_choice_changes_iteration_count() {
         let (a, b, _) = poisson_problem(12);
         let mut iters = Vec::new();
-        for pkind in [PrecondKind::Identity, PrecondKind::Jacobi, PrecondKind::Ilu0] {
+        for pkind in [
+            PrecondKind::Identity,
+            PrecondKind::Jacobi,
+            PrecondKind::Ilu0,
+        ] {
             let (fw, _solver) = assemble(a.clone(), pkind, ConnectionPolicy::Direct);
             let port: Arc<dyn LinearSolverPort> = fw
                 .services("solver0")

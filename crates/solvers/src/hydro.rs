@@ -162,7 +162,13 @@ impl HydroSim {
                 u[mesh.idx(i, j)] = (-(dx * dx + dy * dy) / 0.01).exp();
             }
         }
-        HydroSim { cfg, mesh, u, h, coef }
+        HydroSim {
+            cfg,
+            mesh,
+            u,
+            h,
+            coef,
+        }
     }
 
     /// Grid spacing.

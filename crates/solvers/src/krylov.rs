@@ -13,10 +13,10 @@
 //! Figure 1's Krylov-solver component call a preconditioner component
 //! through a directly connected port in the inner loop without overhead.
 
+use crate::csr::CsrMatrix;
 use crate::precond::Preconditioner;
 use crate::vector::{axpy, dot, dot_local, norm2, xpby, Reduction};
 use cca_core::CcaError;
-use crate::csr::CsrMatrix;
 
 /// `y = A x` on the local rows.
 pub trait LinearOperator {
@@ -361,11 +361,7 @@ mod tests {
     fn residual(a: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
         let mut r = vec![0.0; b.len()];
         a.matvec(x, &mut r);
-        let rr: f64 = r
-            .iter()
-            .zip(b)
-            .map(|(ri, bi)| (bi - ri) * (bi - ri))
-            .sum();
+        let rr: f64 = r.iter().zip(b).map(|(ri, bi)| (bi - ri) * (bi - ri)).sum();
         let bb: f64 = b.iter().map(|v| v * v).sum();
         (rr / bb).sqrt()
     }
@@ -432,8 +428,7 @@ mod tests {
         let mut b = vec![0.0; n];
         a.matvec(&x_true, &mut b);
         let mut x = vec![0.0; n];
-        let stats =
-            bicgstab(&a, &Jacobi::new(&a), &b, &mut x, 1e-10, 1000, &SerialReduce).unwrap();
+        let stats = bicgstab(&a, &Jacobi::new(&a), &b, &mut x, 1e-10, 1000, &SerialReduce).unwrap();
         assert!(stats.converged, "{stats:?}");
         assert!(residual(&a, &b, &x) < 1e-8);
     }
@@ -468,8 +463,7 @@ mod tests {
             KrylovKind::Gmres { restart: 15 },
         ] {
             let mut x = vec![0.0; b.len()];
-            let stats =
-                solve(kind, &a, &Identity, &b, &mut x, 1e-8, 1000, &SerialReduce).unwrap();
+            let stats = solve(kind, &a, &Identity, &b, &mut x, 1e-8, 1000, &SerialReduce).unwrap();
             assert!(stats.converged, "{kind:?}: {stats:?}");
             assert!(residual(&a, &b, &x) < 1e-6, "{kind:?}");
         }
@@ -543,14 +537,17 @@ mod tests {
         let n = a.nrows();
         // Serial reference.
         let mut x_ref = vec![0.0; n];
-        let serial =
-            cg(&a, &Identity, &b, &mut x_ref, 1e-10, 1000, &SerialReduce).unwrap();
+        let serial = cg(&a, &Identity, &b, &mut x_ref, 1e-10, 1000, &SerialReduce).unwrap();
         // 4-rank SPMD run over block rows.
         let p = 4;
         let rows_per = n / p;
         let results = spmd(p, |c| {
             let row0 = c.rank() * rows_per;
-            let rows = if c.rank() == p - 1 { n - row0 } else { rows_per };
+            let rows = if c.rank() == p - 1 {
+                n - row0
+            } else {
+                rows_per
+            };
             let op = DistLaplacian {
                 full: a.clone(),
                 row0,

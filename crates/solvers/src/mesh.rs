@@ -109,8 +109,7 @@ impl Mesh2d {
                 comm.send(b, tag, first_row).expect("send to below");
             }
             if let Some(a) = above {
-                let last_row =
-                    ghosted[nx * self.ny_local..nx * (self.ny_local + 1)].to_vec();
+                let last_row = ghosted[nx * self.ny_local..nx * (self.ny_local + 1)].to_vec();
                 comm.send(a, tag, last_row).expect("send to above");
             }
             if let Some(b) = below {
@@ -233,9 +232,7 @@ mod tests {
         spmd(p, |c| {
             let m = Mesh2d::decompose(nx, ny, p, c.rank());
             // Field value = global row index.
-            let field: Vec<f64> = (0..m.local_len())
-                .map(|k| (m.j0 + k / nx) as f64)
-                .collect();
+            let field: Vec<f64> = (0..m.local_len()).map(|k| (m.j0 + k / nx) as f64).collect();
             let mut g = m.add_ghosts(&field);
             m.halo_exchange(Some(c), &mut g, 3);
             // Ghost below holds j0-1, ghost above holds j0+ny_local.
@@ -260,9 +257,7 @@ mod tests {
         let p = 3;
         let results = spmd(p, |c| {
             let m = Mesh2d::decompose(nx, ny, p, c.rank());
-            let field: Vec<f64> = (0..m.local_len())
-                .map(|k| (k + m.j0 * nx) as f64)
-                .collect();
+            let field: Vec<f64> = (0..m.local_len()).map(|k| (k + m.j0 * nx) as f64).collect();
             m.gather_global(Some(c), &field)
         });
         let global = results[0].as_ref().unwrap();

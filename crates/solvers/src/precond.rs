@@ -267,7 +267,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, 1.0), (2, 2, 4.0)],
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, 1.0),
+                (2, 2, 4.0),
+            ],
         )
         .unwrap();
         let ilu = Ilu0::new(&a);

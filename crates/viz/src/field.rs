@@ -145,18 +145,20 @@ mod tests {
     #[test]
     fn republishing_bumps_frame() {
         let src = InMemoryFieldSource::new();
-        src.publish("u", serial_desc(2), vec![vec![0.0, 0.0]]).unwrap();
-        src.publish("u", serial_desc(2), vec![vec![1.0, 1.0]]).unwrap();
+        src.publish("u", serial_desc(2), vec![vec![0.0, 0.0]])
+            .unwrap();
+        src.publish("u", serial_desc(2), vec![vec![1.0, 1.0]])
+            .unwrap();
         assert_eq!(src.frame(), 2);
         assert_eq!(src.local_field("u", 0).unwrap(), vec![1.0, 1.0]);
     }
 
     #[test]
     fn parallel_descriptor_buffers() {
-        let desc =
-            DistArrayDesc::new(&[10], Distribution::block_1d(2, 1).unwrap()).unwrap();
+        let desc = DistArrayDesc::new(&[10], Distribution::block_1d(2, 1).unwrap()).unwrap();
         let src = InMemoryFieldSource::new();
-        src.publish("u", desc, vec![vec![0.0; 5], vec![1.0; 5]]).unwrap();
+        src.publish("u", desc, vec![vec![0.0; 5], vec![1.0; 5]])
+            .unwrap();
         assert_eq!(src.local_field("u", 1).unwrap(), vec![1.0; 5]);
         assert!(src.local_field("u", 2).is_err());
     }
@@ -169,7 +171,9 @@ mod tests {
             .publish("u", serial_desc(2), vec![vec![0.0; 2], vec![0.0; 2]])
             .is_err());
         // Wrong buffer length.
-        assert!(src.publish("u", serial_desc(2), vec![vec![0.0; 3]]).is_err());
+        assert!(src
+            .publish("u", serial_desc(2), vec![vec![0.0; 3]])
+            .is_err());
         // Missing field.
         assert!(src.field_desc("ghost").is_err());
         assert!(src.local_field("ghost", 0).is_err());

@@ -9,8 +9,8 @@
 use crate::field::FieldSourcePort;
 use crate::render::{render_ascii, FieldStats};
 use cca_core::{CcaError, CcaServices, Component, PortHandle};
-use cca_data::{CompiledPlan, DistArrayDesc, Distribution, RedistPlan};
 use cca_data::TypeMap;
+use cca_data::{CompiledPlan, DistArrayDesc, Distribution, RedistPlan};
 use cca_sidl::DynObject;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -167,7 +167,10 @@ impl FieldProviderComponent {
     }
 
     /// Attaches a dynamic facade for proxied connections.
-    pub fn with_dynamic(source: Arc<dyn FieldSourcePort>, dynamic: Arc<dyn DynObject>) -> Arc<Self> {
+    pub fn with_dynamic(
+        source: Arc<dyn FieldSourcePort>,
+        dynamic: Arc<dyn DynObject>,
+    ) -> Arc<Self> {
         Arc::new(FieldProviderComponent {
             source,
             dynamic: Some(dynamic),
@@ -217,11 +220,8 @@ mod tests {
     #[test]
     fn monitor_assembles_distributed_field() {
         // A 12-element field block-distributed over 3 "ranks".
-        let desc = DistArrayDesc::new(
-            &[12],
-            cca_data::Distribution::block_1d(3, 1).unwrap(),
-        )
-        .unwrap();
+        let desc =
+            DistArrayDesc::new(&[12], cca_data::Distribution::block_1d(3, 1).unwrap()).unwrap();
         let buffers: Vec<Vec<f64>> = (0..3)
             .map(|r| (0..4).map(|k| (r * 4 + k) as f64).collect())
             .collect();
@@ -236,11 +236,8 @@ mod tests {
 
     #[test]
     fn monitor_handles_cyclic_sources() {
-        let dist = cca_data::Distribution::new(
-            ProcessGrid::linear(2).unwrap(),
-            &[DimDist::Cyclic],
-        )
-        .unwrap();
+        let dist = cca_data::Distribution::new(ProcessGrid::linear(2).unwrap(), &[DimDist::Cyclic])
+            .unwrap();
         let desc = DistArrayDesc::new(&[6], dist).unwrap();
         // Rank 0 owns 0,2,4; rank 1 owns 1,3,5.
         let source = InMemoryFieldSource::new();
@@ -255,12 +252,10 @@ mod tests {
     #[test]
     fn history_accumulates_frames() {
         let source = InMemoryFieldSource::new();
-        let desc = DistArrayDesc::new(
-            &[2],
-            cca_data::Distribution::serial(1).unwrap(),
-        )
-        .unwrap();
-        source.publish("u", desc.clone(), vec![vec![1.0, 1.0]]).unwrap();
+        let desc = DistArrayDesc::new(&[2], cca_data::Distribution::serial(1).unwrap()).unwrap();
+        source
+            .publish("u", desc.clone(), vec![vec![1.0, 1.0]])
+            .unwrap();
         let (_fw, monitor) = wire_monitor(source.clone(), "u");
         monitor.capture().unwrap();
         source.publish("u", desc, vec![vec![2.0, 2.0]]).unwrap();
@@ -275,11 +270,7 @@ mod tests {
     #[test]
     fn render_latest_2d() {
         let source = InMemoryFieldSource::new();
-        let desc = DistArrayDesc::new(
-            &[4, 4],
-            cca_data::Distribution::serial(2).unwrap(),
-        )
-        .unwrap();
+        let desc = DistArrayDesc::new(&[4, 4], cca_data::Distribution::serial(2).unwrap()).unwrap();
         let mut data = vec![0.0; 16];
         data[3] = 5.0;
         source.publish("u", desc, vec![data]).unwrap();

@@ -100,9 +100,11 @@ pub fn sparkline(series: &[f64]) -> String {
         return String::new();
     }
     let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
-    let (min, max) = finite.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let range = max - min;
     series
         .iter()

@@ -85,8 +85,10 @@ fn main() -> Result<(), CcaError> {
     events.subscribe(
         "builder.*",
         Arc::new(move |topic: &str, body: &TypeMap| {
-            sink.lock()
-                .push(format!("{topic}: {}", body.get_string("detail", String::new())));
+            sink.lock().push(format!(
+                "{topic}: {}",
+                body.get_string("detail", String::new())
+            ));
         }),
     );
     let publish = |topic: &str, detail: &str| {
@@ -96,11 +98,7 @@ fn main() -> Result<(), CcaError> {
     };
 
     let read = |fw: &Framework| -> f64 {
-        let port: Arc<dyn NumberPort> = fw
-            .services("reader0")
-            .unwrap()
-            .get_port_as("in")
-            .unwrap();
+        let port: Arc<dyn NumberPort> = fw.services("reader0").unwrap().get_port_as("in").unwrap();
         port.value()
     };
 

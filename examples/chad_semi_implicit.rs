@@ -47,8 +47,7 @@ fn main() {
     .unwrap();
     // Visualization side: serial (the "local workstation" of §2.2),
     // occupying world rank 4.
-    let viz_desc =
-        DistArrayDesc::new(&[cfg.nx, cfg.ny], Distribution::serial(2).unwrap()).unwrap();
+    let viz_desc = DistArrayDesc::new(&[cfg.nx, cfg.ny], Distribution::serial(2).unwrap()).unwrap();
     let port = MxNPort::new(&sim_desc, &viz_desc, vec![0, 1, 2, 3], vec![4], 400).unwrap();
 
     println!(

@@ -14,8 +14,8 @@ use cca::core::event::RecordingListener;
 use cca::framework::Framework;
 use cca::repository::Repository;
 use cca::solvers::esi::{
-    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent,
-    PrecondComponent, PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
+    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent, PrecondComponent,
+    PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
 };
 use cca::solvers::{HydroConfig, HydroSim, KrylovKind};
 use cca::viz::monitor::FieldProviderComponent;
@@ -86,15 +86,16 @@ fn main() {
 
     // Field publication for the monitor.
     let source = InMemoryFieldSource::new();
-    let desc =
-        DistArrayDesc::new(&[cfg.nx, cfg.ny], Distribution::serial(2).unwrap()).unwrap();
+    let desc = DistArrayDesc::new(&[cfg.nx, cfg.ny], Distribution::serial(2).unwrap()).unwrap();
     fw.add_instance("fields0", FieldProviderComponent::new(source.clone()))
         .unwrap();
 
     println!("phase 1: unobserved, unpreconditioned");
     for s in 0..3 {
         let stats = step(&mut sim, &port);
-        source.publish("u", desc.clone(), vec![sim.u.clone()]).unwrap();
+        source
+            .publish("u", desc.clone(), vec![sim.u.clone()])
+            .unwrap();
         println!("  step {s}: {} CG iterations", stats.iterations);
     }
 
@@ -111,7 +112,8 @@ fn main() {
 
     println!("phase 3: swap preconditioner components mid-run (redirect)");
     let before = step(&mut sim, &port).iterations;
-    fw.redirect("solver0", "M", "weak0", "strong0", "M").unwrap();
+    fw.redirect("solver0", "M", "weak0", "strong0", "M")
+        .unwrap();
     let after = step(&mut sim, &port).iterations;
     println!("  CG iterations: {before} before swap, {after} after ILU(0)");
     assert!(after <= before);
@@ -127,8 +129,10 @@ fn main() {
     // Rebuild the matrix component to match (a new instance, new wiring).
     fw.add_instance("matrix1", MatrixComponent::new(steered.local_matrix()))
         .unwrap();
-    fw.redirect("solver0", "A", "matrix0", "matrix1", "A").unwrap();
-    fw.redirect("strong0", "A", "matrix0", "matrix1", "A").unwrap();
+    fw.redirect("solver0", "A", "matrix0", "matrix1", "A")
+        .unwrap();
+    fw.redirect("strong0", "A", "matrix0", "matrix1", "A")
+        .unwrap();
     let stats = step(&mut steered, &port);
     println!(
         "  nu {} -> {}: peak {:.4} -> {:.4} in one step ({} iters)",

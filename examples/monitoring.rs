@@ -98,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("instances:\n  {}\n", instances.as_str()?);
 
     // 2. Turn the per-port counters on (a runtime flip — no restart).
-    invoke_checked(&*target, method(info, "setCounters"), vec![DynValue::Bool(true)])?;
+    invoke_checked(
+        &*target,
+        method(info, "setCounters"),
+        vec![DynValue::Bool(true)],
+    )?;
 
     // 3. Drive some traffic through the assembly's uses port.
     let services = fw.services("integrator0")?;
@@ -128,10 +132,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(calls.as_long()? >= 10_000);
 
     // 5. Trace a reconfiguration and render it for chrome://tracing.
-    invoke_checked(&*target, method(info, "setTracing"), vec![DynValue::Bool(true)])?;
+    invoke_checked(
+        &*target,
+        method(info, "setTracing"),
+        vec![DynValue::Bool(true)],
+    )?;
     fw.disconnect("integrator0", "force", "force0")?;
     fw.connect("integrator0", "force", "force0", "force")?;
-    invoke_checked(&*target, method(info, "setTracing"), vec![DynValue::Bool(false)])?;
+    invoke_checked(
+        &*target,
+        method(info, "setTracing"),
+        vec![DynValue::Bool(false)],
+    )?;
     let trace = invoke_checked(
         &*target,
         method(info, "drainTrace"),

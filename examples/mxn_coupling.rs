@@ -52,10 +52,22 @@ fn main() {
     println!("global array: {n} elements\n");
 
     println!("-- the paper's three collective-port cases ----------------");
-    describe("matched 4 -> 4 (no redistribution)", &block(n, 4), &block(n, 4));
-    describe("serial -> 4 (scatter semantics)", &block(n, 1), &block(n, 4));
+    describe(
+        "matched 4 -> 4 (no redistribution)",
+        &block(n, 4),
+        &block(n, 4),
+    );
+    describe(
+        "serial -> 4 (scatter semantics)",
+        &block(n, 1),
+        &block(n, 4),
+    );
     describe("4 -> serial (gather semantics)", &block(n, 4), &block(n, 1));
-    describe("4 block -> 3 cyclic (arbitrary MxN)", &block(n, 4), &cyclic(n, 3));
+    describe(
+        "4 block -> 3 cyclic (arbitrary MxN)",
+        &block(n, 4),
+        &cyclic(n, 3),
+    );
     describe("8 block -> 2 block (shrink)", &block(n, 8), &block(n, 2));
     describe(
         "4 cyclic(64) -> 4 cyclic(16)",

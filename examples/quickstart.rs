@@ -103,10 +103,9 @@ fn main() -> Result<(), CcaError> {
     }
 
     // Bonus: compile a SIDL snippet and show what the repository learns.
-    let model = cca::sidl::compile(
-        "package demo { interface Greeter { string greet(in string name); } }",
-    )
-    .map_err(CcaError::Sidl)?;
+    let model =
+        cca::sidl::compile("package demo { interface Greeter { string greet(in string name); } }")
+            .map_err(CcaError::Sidl)?;
     let reflection = cca::sidl::Reflection::from_model(&model);
     let info = reflection.type_info("demo.Greeter").expect("registered");
     println!(

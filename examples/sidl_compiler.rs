@@ -28,7 +28,10 @@ fn main() {
                 std::process::exit(1);
             }),
         ),
-        None => ("sidl/esi.sidl (built-in)".to_string(), DEFAULT_SOURCE.to_string()),
+        None => (
+            "sidl/esi.sidl (built-in)".to_string(),
+            DEFAULT_SOURCE.to_string(),
+        ),
     };
 
     println!("== compiling {name} ==");

@@ -1,32 +1,60 @@
 #!/usr/bin/env bash
 # Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
-# port-resolution, E10 observability overhead) and leaves the
-# machine-readable results in BENCH_ports.json and BENCH_obs.json at the
-# repo root. Both files are published atomically (write temp + rename),
-# so a killed run never leaves a truncated artifact.
+# port-resolution, E10 observability overhead, E11 resilience overhead)
+# and leaves the machine-readable results in BENCH_ports.json,
+# BENCH_obs.json, and BENCH_resilience.json at the repo root. All files
+# are published atomically (write temp + rename), so a killed run never
+# leaves a truncated artifact.
+#
+# Every bench runs even if an earlier one fails its acceptance gate; the
+# script exits nonzero if ANY did, so one broken gate can't mask another's
+# result (and CI still gets every artifact that was produced).
 #
 # Set CCA_BENCH_FAST=1 for a quick smoke run (fewer samples, shorter
 # calibration) — used by CI, where absolute numbers are noise anyway and
 # only the acceptance assertions (E9: cached ≤3x bare, one plan build per
-# shape; E10: off ≤1.1x PR-1, counters on ≤1.5x) matter.
-set -euo pipefail
+# shape; E10: off ≤1.1x PR-1, counters on ≤1.5x; E11: closed breaker
+# ≤1.1x PR-1) matter.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
 
-echo "==> E1 direct-connect ladder"
-cargo bench --offline -p cca-bench --bench e1_direct_connect
+FAILED=()
 
-echo "==> E8 fan-out"
-cargo bench --offline -p cca-bench --bench e8_fanout
+run_bench() {
+    local label="$1"
+    shift
+    echo "==> $label"
+    if ! "$@"; then
+        echo "!! $label FAILED"
+        FAILED+=("$label")
+    fi
+}
 
-echo "==> E9 port resolution (writes BENCH_ports.json)"
-BENCH_PORTS_OUT="$ROOT/BENCH_ports.json" \
+run_bench "E1 direct-connect ladder" \
+    cargo bench --offline -p cca-bench --bench e1_direct_connect
+
+run_bench "E8 fan-out" \
+    cargo bench --offline -p cca-bench --bench e8_fanout
+
+run_bench "E9 port resolution (writes BENCH_ports.json)" \
+    env BENCH_PORTS_OUT="$ROOT/BENCH_ports.json" \
     cargo bench --offline -p cca-bench --bench e9_port_resolution
 
-echo "==> E10 observability overhead (writes BENCH_obs.json)"
-BENCH_OBS_OUT="$ROOT/BENCH_obs.json" \
+run_bench "E10 observability overhead (writes BENCH_obs.json)" \
+    env BENCH_OBS_OUT="$ROOT/BENCH_obs.json" \
     cargo bench --offline -p cca-bench --bench e10_obs_overhead
 
+run_bench "E11 resilience overhead (writes BENCH_resilience.json)" \
+    env BENCH_RESILIENCE_OUT="$ROOT/BENCH_resilience.json" \
+    cargo bench --offline -p cca-bench --bench e11_resilience
+
 echo "==> results"
-cat "$ROOT/BENCH_ports.json"
-cat "$ROOT/BENCH_obs.json"
+for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json; do
+    [ -f "$ROOT/$artifact" ] && cat "$ROOT/$artifact"
+done
+
+if [ "${#FAILED[@]}" -gt 0 ]; then
+    echo "benches failed: ${FAILED[*]}" >&2
+    exit 1
+fi

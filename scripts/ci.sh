@@ -1,26 +1,93 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, lint. Run from anywhere; operates on the repo root.
-# The workspace vendors all external deps under vendor/, so this works fully
-# offline (--offline keeps cargo from touching the network at all).
+# Tier-1 gate: build, test, lint, format, perf gates. Run from anywhere;
+# operates on the repo root. The workspace vendors all external deps under
+# vendor/, so this works fully offline (--offline keeps cargo from touching
+# the network at all).
+#
+# Usage: scripts/ci.sh [mode]
+#   all        (default) every check below, in order
+#   build-test release build + test suite
+#   clippy     clippy with -D warnings
+#   fmt        rustfmt --check
+#   fault      the fault-injection suites under one CCA_FAULT_SEED
+#   bench-gate quick-mode E10/E11 perf gates
+#
+# The CI workflow fans these out as separate jobs; `all` keeps the
+# one-command local story.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --offline --release --workspace
+MODE="${1:-all}"
 
-echo "==> cargo test"
-cargo test --offline --workspace -q
+# The quick-mode perf gates write throwaway artifacts next to the committed
+# ones; clean them up however the script exits so a failed gate can't leak
+# a stale BENCH_*.ci.json for the committed-artifact check to trip over.
+cleanup() {
+    rm -f BENCH_obs.ci.json BENCH_obs.ci.json.tmp \
+        BENCH_resilience.ci.json BENCH_resilience.ci.json.tmp
+}
+trap cleanup EXIT
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+build_test() {
+    echo "==> cargo build --release"
+    cargo build --offline --release --workspace
 
-# Quick-mode observability gate: asserts instrumentation-off stays ≤1.1x
-# the pre-instrumentation call and counters-on ≤1.5x (see EXPERIMENTS.md
-# E10). The committed-artifact JSON check runs with the test suite above
-# (crates/bench/tests/bench_json.rs).
-echo "==> E10 observability overhead gate (quick mode)"
-CCA_BENCH_FAST=1 BENCH_OBS_OUT="$(pwd)/BENCH_obs.ci.json" \
-    cargo bench --offline -p cca-bench --bench e10_obs_overhead
-rm -f BENCH_obs.ci.json
+    echo "==> cargo test"
+    cargo test --offline --workspace -q
+}
 
-echo "CI OK"
+clippy() {
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
+
+fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+}
+
+# One run of the failure-injection + resilience suites under a fixed fault
+# schedule. CI calls this once per seed in {1, 7, 42, 1999}; the suites are
+# mock-clock driven, so a seed fully determines every outcome.
+fault() {
+    local seed="${CCA_FAULT_SEED:-1}"
+    echo "==> fault matrix (CCA_FAULT_SEED=$seed)"
+    CCA_FAULT_SEED="$seed" cargo test --offline --test failure_injection --test resilience
+}
+
+bench_gate() {
+    # Quick-mode observability gate: asserts instrumentation-off stays
+    # ≤1.1x the pre-instrumentation call and counters-on ≤1.5x (see
+    # EXPERIMENTS.md E10). The committed-artifact JSON check runs with the
+    # test suite (crates/bench/tests/bench_json.rs).
+    echo "==> E10 observability overhead gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_OBS_OUT="$(pwd)/BENCH_obs.ci.json" \
+        cargo bench --offline -p cca-bench --bench e10_obs_overhead
+
+    # Quick-mode resilience gate: a closed circuit breaker on the
+    # CachedPort fast path stays ≤1.1x the PR-1 cached call (E11).
+    echo "==> E11 resilience overhead gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_RESILIENCE_OUT="$(pwd)/BENCH_resilience.ci.json" \
+        cargo bench --offline -p cca-bench --bench e11_resilience
+}
+
+case "$MODE" in
+all)
+    build_test
+    clippy
+    fmt
+    fault
+    bench_gate
+    ;;
+build-test) build_test ;;
+clippy) clippy ;;
+fmt) fmt ;;
+fault) fault ;;
+bench-gate) bench_gate ;;
+*)
+    echo "unknown mode '$MODE' (want all|build-test|clippy|fmt|fault|bench-gate)" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK ($MODE)"

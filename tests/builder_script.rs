@@ -4,8 +4,8 @@
 use cca::framework::Framework;
 use cca::repository::{ComponentEntry, PortSpec, Repository};
 use cca::solvers::esi::{
-    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent,
-    PrecondComponent, PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
+    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent, PrecondComponent,
+    PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
 };
 use cca::solvers::CsrMatrix;
 use cca_data::TypeMap;
@@ -38,7 +38,8 @@ fn script_assembles_the_solver_chain() {
     // Instantiate the matrix from the repository *by script*; the solver
     // and preconditioner need two-phase port exposure, so they are added
     // programmatically, then wired by script.
-    fw.run_script("instantiate esi.MatrixComponent matrix0").unwrap();
+    fw.run_script("instantiate esi.MatrixComponent matrix0")
+        .unwrap();
     let precond = PrecondComponent::new(PrecondKind::Jacobi);
     let solver = SolverComponent::new(SolverConfig::default());
     fw.add_instance("precond0", precond.clone()).unwrap();
@@ -71,10 +72,7 @@ fn script_assembles_the_solver_chain() {
     // Scripted teardown breaks the connections cleanly.
     fw.run_script("disconnect solver0 M precond0\nremove precond0")
         .unwrap();
-    assert!(fw
-        .instance_names()
-        .iter()
-        .all(|name| name != "precond0"));
+    assert!(fw.instance_names().iter().all(|name| name != "precond0"));
     // The solver degrades to unpreconditioned but still works.
     let (_, stats2) = port.solve_system(&b).unwrap();
     assert!(stats2.converged);
@@ -85,12 +83,14 @@ fn script_assembles_the_solver_chain() {
 fn scripted_proxied_connection() {
     let a = CsrMatrix::laplacian_2d(6, 6);
     let fw = Framework::new(esi_repo(a));
-    fw.run_script("instantiate esi.MatrixComponent matrix0").unwrap();
+    fw.run_script("instantiate esi.MatrixComponent matrix0")
+        .unwrap();
     let solver = SolverComponent::new(SolverConfig::default());
     fw.add_instance("solver0", solver.clone()).unwrap();
     expose_solver_ports(&solver).unwrap();
     // Explicit per-connection policy in the script.
-    fw.run_script("connect solver0 A matrix0 A proxied").unwrap();
+    fw.run_script("connect solver0 A matrix0 A proxied")
+        .unwrap();
     assert_eq!(fw.orb().keys(), vec!["matrix0/A".to_string()]);
     // The typed solve path cannot run over a proxy (its operator port is
     // dynamic-only now) — the solver reports the failure as an error, not

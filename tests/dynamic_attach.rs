@@ -13,8 +13,8 @@ use cca::core::ConfigEvent;
 use cca::framework::Framework;
 use cca::repository::Repository;
 use cca::solvers::esi::{
-    expose_precond_ports, expose_solver_ports, MatrixComponent, PrecondComponent, PrecondKind,
-    SolverComponent, SolverConfig, LinearSolverPort, ESI_SIDL,
+    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent, PrecondComponent,
+    PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
 };
 use cca::solvers::precond::Identity;
 use cca::solvers::{CsrMatrix, HydroConfig, HydroSim};
@@ -41,7 +41,8 @@ fn attach_monitor_mid_run_and_detach() {
     let mut sim = HydroSim::new(cfg, 1, 0);
     let source = InMemoryFieldSource::new();
     let publish = |sim: &HydroSim, src: &InMemoryFieldSource| {
-        src.publish("u", serial_desc(sim), vec![sim.u.clone()]).unwrap();
+        src.publish("u", serial_desc(sim), vec![sim.u.clone()])
+            .unwrap();
     };
 
     let fw = Framework::new(Repository::new());
@@ -137,7 +138,8 @@ fn swap_solver_components_mid_run_via_redirect() {
     let (x1, s1) = port.solve_system(&b).unwrap();
 
     // Mid-run component swap.
-    fw.redirect("solver0", "M", "weak0", "strong0", "M").unwrap();
+    fw.redirect("solver0", "M", "weak0", "strong0", "M")
+        .unwrap();
     let (x2, s2) = port.solve_system(&b).unwrap();
 
     // Same answer, fewer iterations.

@@ -163,9 +163,7 @@ fn destroying_a_provider_leaves_users_cleanly_disconnected() {
         }
         fn set_services(&self, s: Arc<CcaServices>) -> Result<(), CcaError> {
             let p: Arc<dyn DynObject> = Arc::new(ProvPort);
-            s.add_provides_port(
-                PortHandle::new("out", "test.Port", Arc::clone(&p)).with_dynamic(p),
-            )
+            s.add_provides_port(PortHandle::new("out", "test.Port", Arc::clone(&p)).with_dynamic(p))
         }
     }
     struct User;

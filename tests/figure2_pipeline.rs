@@ -154,10 +154,14 @@ fn full_figure2_pipeline() {
     assert!(generated.contains("pub struct SinkStub"));
 
     // Reflection is queryable without compile-time knowledge.
-    let reflection = repo.with_catalog(|cat| Reflection::from_model(
-        &cca::sidl::compile(cat.source_of("pipes").unwrap()).unwrap(),
-    ));
-    assert!(reflection.type_info("pipes.Sink").unwrap().method("push").is_some());
+    let reflection = repo.with_catalog(|cat| {
+        Reflection::from_model(&cca::sidl::compile(cat.source_of("pipes").unwrap()).unwrap())
+    });
+    assert!(reflection
+        .type_info("pipes.Sink")
+        .unwrap()
+        .method("push")
+        .is_some());
 
     // Builder: instantiate from the repository, add provides ports the
     // components expose, wire, run.

@@ -107,11 +107,7 @@ impl esi::Vector for DenseVector {
         let theirs = other.invoke("values", vec![])?;
         let theirs = theirs.as_double_array()?.clone();
         let mine = self.data.lock();
-        Ok(mine
-            .iter()
-            .zip(theirs.as_slice())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(mine.iter().zip(theirs.as_slice()).map(|(a, b)| a * b).sum())
     }
 
     fn scaleBy(&self, alpha: f64) -> Result<(), SidlError> {
@@ -123,7 +119,10 @@ impl esi::Vector for DenseVector {
 
     fn characteristic(&self) -> Result<Complex64, SidlError> {
         let d = self.data.lock();
-        Ok(Complex64::new(d.first().copied().unwrap_or(0.0), d.len() as f64))
+        Ok(Complex64::new(
+            d.first().copied().unwrap_or(0.0),
+            d.len() as f64,
+        ))
     }
 
     fn values(&self) -> Result<NdArray<f64>, SidlError> {
@@ -179,7 +178,10 @@ fn generated_enum_round_trips() {
     assert_eq!(esi::Status::Converged as i64, 0);
     assert_eq!(esi::Status::MaxIterations as i64, 10);
     assert_eq!(esi::Status::Breakdown as i64, 11);
-    assert_eq!(esi::Status::from_value(10), Some(esi::Status::MaxIterations));
+    assert_eq!(
+        esi::Status::from_value(10),
+        Some(esi::Status::MaxIterations)
+    );
     assert_eq!(esi::Status::from_value(99), None);
 }
 

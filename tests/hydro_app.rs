@@ -13,8 +13,8 @@
 use cca::framework::Framework;
 use cca::repository::Repository;
 use cca::solvers::esi::{
-    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent,
-    PrecondComponent, PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
+    expose_precond_ports, expose_solver_ports, LinearSolverPort, MatrixComponent, PrecondComponent,
+    PrecondKind, SolverComponent, SolverConfig, ESI_SIDL,
 };
 use cca::solvers::precond::Jacobi;
 use cca::solvers::{HydroConfig, HydroSim, KrylovKind};

@@ -73,10 +73,7 @@ fn simulation_field_reaches_differently_distributed_visualizer() {
     // And every element landed at the position the descriptors prescribe:
     // reassemble the global field from the viz buffers and from the plan's
     // in-memory execution; they must agree.
-    let viz_buffers: Vec<Vec<f64>> = results
-        .iter()
-        .filter_map(|(_, b)| b.clone())
-        .collect();
+    let viz_buffers: Vec<Vec<f64>> = results.iter().filter_map(|(_, b)| b.clone()).collect();
     let stats = FieldStats::of(&viz_buffers.concat());
     assert_eq!(stats.count, nx * ny);
 }

@@ -68,7 +68,14 @@ fn full_pipeline_is_consistent() {
     assert_eq!(dense.kind, TypeKind::Class);
     // Dense sees: typeName, dot, multiply, factor, allocated, compact.
     let names: Vec<&str> = dense.methods.iter().map(|m| m.name.as_str()).collect();
-    for expect in ["typeName", "dot", "multiply", "factor", "allocated", "compact"] {
+    for expect in [
+        "typeName",
+        "dot",
+        "multiply",
+        "factor",
+        "allocated",
+        "compact",
+    ] {
         assert!(names.contains(&expect), "missing {expect} in {names:?}");
     }
     // typeName appears exactly once despite three inheritance paths.
@@ -97,9 +104,7 @@ fn full_pipeline_is_consistent() {
     assert!(rust.contains("pub mod num {"));
     assert!(rust.contains("pub mod linalg {"));
     assert!(rust.contains("pub trait Kitchen: Object + Send + Sync {"));
-    assert!(rust.contains(
-        "pub trait Factorizable: Matrix + Vector + Send + Sync {"
-    ));
+    assert!(rust.contains("pub trait Factorizable: Matrix + Vector + Send + Sync {"));
     assert!(rust.contains("fn dz(&self, z: Complex64) -> Result<Complex64, SidlError>;"));
     assert!(rust.contains("pub struct DenseSkel<T: Dense>(pub T);"));
     assert_eq!(rust.matches('{').count(), rust.matches('}').count());

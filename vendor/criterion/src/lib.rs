@@ -14,7 +14,6 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-
 /// Target wall-clock time per measured sample batch.
 const TARGET_BATCH: Duration = Duration::from_millis(5);
 

@@ -148,7 +148,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 10000 consecutive values", self.label);
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive values",
+            self.label
+        );
     }
 }
 
@@ -215,8 +218,7 @@ impl Arbitrary for char {
     fn arbitrary(rng: &mut TestRng) -> char {
         // Mostly ASCII, occasionally an arbitrary scalar value.
         if rng.below(4) == 0 {
-            char::from_u32(rng.next_u64() as u32 % 0x11_0000)
-                .unwrap_or('\u{fffd}')
+            char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{fffd}')
         } else {
             (b' ' + rng.below(95) as u8) as char
         }
@@ -402,8 +404,7 @@ impl<V> Union<V> {
 
     /// Adds an arm.
     pub fn or(mut self, strategy: impl Strategy<Value = V> + 'static) -> Self {
-        self.arms
-            .push(Rc::new(move |rng| strategy.generate(rng)));
+        self.arms.push(Rc::new(move |rng| strategy.generate(rng)));
         self
     }
 }
@@ -624,8 +625,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        Just, ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
     };
 }
 
@@ -640,10 +641,7 @@ mod tests {
     }
 
     fn arb_shape() -> impl Strategy<Value = Shape> {
-        prop_oneof![
-            Just(Shape::Dot),
-            (1u32..=7).prop_map(Shape::Box),
-        ]
+        prop_oneof![Just(Shape::Dot), (1u32..=7).prop_map(Shape::Box),]
     }
 
     proptest! {
