@@ -692,10 +692,20 @@ impl<P: ?Sized + Send + Sync + 'static> CachedPort<P> {
         let started = policy.clock().now_ns();
         let mut attempt = 0u32;
         loop {
-            // (Re-)resolution: `get` checks breaker admission (or fails
-            // over inside revalidate) — a quarantined-everywhere slot
-            // surfaces as ProviderQuarantined here.
-            let error = match self.get_cloned() {
+            // One admission check per attempt: the pre-loop `get` already
+            // resolved attempt 0 (claiming a half-open breaker's single
+            // probe if one was due) — re-checking admission here would
+            // discard that probe and wrongly report the sole provider of
+            // a fan-out-1 slot as quarantined. Later attempts re-resolve:
+            // `get` checks breaker admission (or fails over inside
+            // revalidate) — a quarantined-everywhere slot surfaces as
+            // ProviderQuarantined here.
+            let resolution = if attempt == 0 {
+                Ok(Arc::clone(self.port.as_ref().unwrap()))
+            } else {
+                self.get_cloned()
+            };
+            let error = match resolution {
                 Ok(port) => {
                     let result = f(&port);
                     if let Some(b) = &self.breaker {

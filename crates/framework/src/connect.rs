@@ -9,10 +9,15 @@
 use crate::framework::Framework;
 use cca_core::resilience::{BreakerObserver, BreakerState, CallPolicy, Clock};
 use cca_core::{CcaError, ConfigEvent, PortHandle};
-use cca_rpc::{DeadlineTransport, LoopbackTransport, ObjRef, RemotePortProxy, Transport};
+use cca_rpc::transport::Dispatcher;
+use cca_rpc::{
+    DeadlineTransport, LoopbackTransport, ObjRef, RemotePortProxy, TcpServer, TcpTransport,
+    Transport,
+};
 use cca_sidl::DynObject;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// How the framework realizes a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -326,6 +331,111 @@ impl Framework {
                 (c, state)
             })
             .collect()
+    }
+
+    // -- remote connections -------------------------------------------------
+
+    /// Publishes a provides port for remote callers: registers the port's
+    /// dynamic facade with the framework ORB under the key
+    /// `"{provider}/{provides_port}"` and returns that key. Pair with
+    /// [`serve_tcp`](Self::serve_tcp) to put the ORB on the network; a
+    /// remote framework then reaches the port via
+    /// [`connect_remote`](Self::connect_remote) with the returned key.
+    pub fn export_port(&self, provider: &str, provides_port: &str) -> Result<String, CcaError> {
+        let handle = self.services(provider)?.get_provides_port(provides_port)?;
+        let servant = handle.dynamic().cloned().ok_or_else(|| {
+            CcaError::Framework(format!(
+                "provides port '{provides_port}' of '{provider}' has no dynamic facade; \
+                 remote export needs one (attach the SIDL skeleton with \
+                 PortHandle::with_dynamic)"
+            ))
+        })?;
+        let key = format!("{provider}/{provides_port}");
+        self.orb.register(key.clone(), servant);
+        Ok(key)
+    }
+
+    /// Serves this framework's ORB over TCP: every port already exported
+    /// (via [`export_port`](Self::export_port) or a proxied connection)
+    /// becomes remotely invocable. Bind to `"127.0.0.1:0"` for an
+    /// ephemeral port and read the real one off the returned server.
+    pub fn serve_tcp(&self, addr: &str) -> Result<Arc<TcpServer>, CcaError> {
+        TcpServer::bind(addr, Arc::clone(&self.orb) as Arc<dyn Dispatcher>)
+            .map_err(|e| CcaError::Framework(format!("serve tcp://{addr}: {e}")))
+    }
+
+    /// Connects `user.uses_port` to a port exported by a *remote*
+    /// framework: `addr` is the remote [`serve_tcp`](Self::serve_tcp)
+    /// address and `remote_key` the key its `export_port` returned. The
+    /// user receives an ordinary [`PortHandle`] whose dynamic facade
+    /// marshals every call over TCP — the same shape as a local proxied
+    /// connection, so the component cannot tell (§6.2).
+    ///
+    /// The uses slot's [`CallPolicy`] applies unchanged: a deadline both
+    /// bounds each round trip on the policy clock *and* becomes the socket
+    /// read/write timeout, and a breaker policy attaches a circuit breaker
+    /// that quarantines the remote provider on connection failures exactly
+    /// like a wedged local one (its transitions are published as
+    /// configuration events, labelled `tcp://{addr}/{remote_key}`).
+    ///
+    /// Trust edge: the remote port's type cannot be checked against the
+    /// local repository without a network round trip, so the uses slot's
+    /// declared type is taken at face value — a mismatch surfaces at call
+    /// time as a remote dispatch error, not at connect time.
+    pub fn connect_remote(
+        &self,
+        user: &str,
+        uses_port: &str,
+        addr: &str,
+        remote_key: &str,
+    ) -> Result<(), CcaError> {
+        let _span = cca_obs::span("framework.connect_remote");
+        let user_services = self.services(user)?;
+        let uses_type = user_services.uses_port_type(uses_port)?;
+        let slot_policy = user_services.call_policy(uses_port)?;
+        let deadline = slot_policy
+            .as_ref()
+            .and_then(|p| p.deadline_ns().map(|d| (d, Arc::clone(p.clock()))));
+
+        let mut tcp = TcpTransport::new(addr);
+        if let Some((deadline_ns, _)) = &deadline {
+            tcp = tcp.with_io_timeout(Duration::from_nanos(*deadline_ns));
+        }
+        let mut transport: Arc<dyn Transport> = Arc::new(tcp);
+        if let Some((deadline_ns, clock)) = deadline {
+            transport = DeadlineTransport::new(transport, deadline_ns, clock);
+        }
+        let proxy = RemotePortProxy::new(&uses_type, ObjRef::new(remote_key, transport));
+        let dyn_proxy: Arc<dyn DynObject> = proxy;
+        let provider_label = format!("tcp://{addr}/{remote_key}");
+        let mut delivered = PortHandle::new(remote_key, uses_type.as_str(), Arc::clone(&dyn_proxy))
+            .with_dynamic(dyn_proxy);
+        if let Some(breaker) = slot_policy.as_ref().and_then(|p| p.new_breaker()) {
+            breaker.set_observer(Arc::new(QuarantineObserver {
+                framework: Weak::clone(&self.myself),
+                user: user.to_string(),
+                uses_port: uses_port.to_string(),
+                provider: provider_label.clone(),
+            }));
+            delivered = delivered.with_breaker(Arc::new(breaker));
+        }
+        user_services.connect_uses(uses_port, delivered)?;
+        self.connections.write().push(ConnectionInfo {
+            user: user.to_string(),
+            uses_port: uses_port.to_string(),
+            provider: provider_label.clone(),
+            provides_port: remote_key.to_string(),
+            port_type: uses_type.clone(),
+            policy: ConnectionPolicy::Proxied,
+        });
+        self.emit(ConfigEvent::Connected {
+            user: user.to_string(),
+            uses_port: uses_port.to_string(),
+            provider: provider_label,
+            provides_port: remote_key.to_string(),
+            port_type: uses_type,
+        });
+        Ok(())
     }
 }
 

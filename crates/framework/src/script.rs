@@ -255,7 +255,46 @@ mod tests {
         assert!(parse_script("launch x").is_err());
     }
 
-    // Minimal component pair for execution tests.
+    #[test]
+    fn parse_rejects_bad_arity_for_every_command() {
+        // Every command form, one word short: each error names the
+        // offending line and the expected shape.
+        for (lineno, bad) in [
+            "instantiate esi.Matrix",
+            "connect solver0 A matrix0",
+            "disconnect solver0 M",
+            "redirect solver0 M precond0 precond1",
+            "remove",
+            "go driver0",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let source = format!("{}{}", "\n".repeat(lineno), bad);
+            let err = parse_script(&source).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("line {}", lineno + 1)),
+                "'{bad}' should fail on line {}: {msg}",
+                lineno + 1
+            );
+            assert!(msg.contains("expected"), "'{bad}': {msg}");
+        }
+        // Too many words is just as malformed as too few.
+        assert!(parse_script("remove a b").is_err());
+        // An unknown policy word on an otherwise valid connect.
+        let err = parse_script("connect u0 in p0 out sideways").unwrap_err();
+        assert!(
+            err.to_string().contains("unknown connection policy"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_parse_to_nothing() {
+        let cmds = parse_script("\n  # nothing but commentary\n\n   \n# more\n").unwrap();
+        assert!(cmds.is_empty());
+    }
     trait NumPort: Send + Sync {
         fn value(&self) -> i64;
     }
@@ -357,6 +396,98 @@ mod tests {
         // Partial effects before the failure remain (scripts are not
         // transactional, matching Ccaffeine).
         assert_eq!(fw.instance_names(), vec!["a0"]);
+    }
+
+    #[test]
+    fn execute_surfaces_framework_errors_for_each_command_kind() {
+        let fw = Framework::new(scripted_repo());
+        fw.run_script("instantiate demo.ProviderA a0\ninstantiate demo.User u0")
+            .unwrap();
+
+        // Unknown repository class.
+        assert!(fw
+            .execute(&Command::Instantiate {
+                class: "demo.DoesNotExist".into(),
+                instance: "x0".into(),
+            })
+            .is_err());
+        // Connecting a user instance that was never created.
+        assert!(fw
+            .execute(&Command::Connect {
+                user: "ghost".into(),
+                uses_port: "in".into(),
+                provider: "a0".into(),
+                provides_port: "out".into(),
+                policy: None,
+            })
+            .is_err());
+        // Disconnecting a connection that does not exist.
+        assert!(fw
+            .execute(&Command::Disconnect {
+                user: "u0".into(),
+                uses_port: "in".into(),
+                provider: "a0".into(),
+            })
+            .is_err());
+        // Redirecting to a provider that does not exist.
+        fw.run_script("connect u0 in a0 out").unwrap();
+        assert!(fw
+            .execute(&Command::Redirect {
+                user: "u0".into(),
+                uses_port: "in".into(),
+                old_provider: "a0".into(),
+                new_provider: "nobody".into(),
+                provides_port: "out".into(),
+            })
+            .is_err());
+        // The failed redirect was not transactional (matching Ccaffeine):
+        // it had already disconnected the old provider when attaching the
+        // new one failed, so the explicit disconnect now has nothing left
+        // to remove.
+        assert!(fw
+            .execute(&Command::Disconnect {
+                user: "u0".into(),
+                uses_port: "in".into(),
+                provider: "a0".into(),
+            })
+            .is_err());
+        // Removing an instance twice.
+        fw.run_script("remove a0").unwrap();
+        assert!(fw
+            .execute(&Command::Remove {
+                instance: "a0".into(),
+            })
+            .is_err());
+        // `go` against a missing instance / missing go port.
+        assert!(fw
+            .execute(&Command::Go {
+                instance: "nobody".into(),
+                port: "go".into(),
+            })
+            .is_err());
+        assert!(fw
+            .execute(&Command::Go {
+                instance: "u0".into(),
+                port: "go".into(),
+            })
+            .is_err());
+        // The survivors are untouched by the failed commands.
+        assert_eq!(fw.instance_names(), vec!["u0"]);
+    }
+
+    #[test]
+    fn run_script_reports_parse_errors_before_executing_anything() {
+        let fw = Framework::new(scripted_repo());
+        // The script has a valid first command and a malformed second one:
+        // parsing fails up front, so nothing executes at all.
+        let err = fw
+            .run_script("instantiate demo.ProviderA a0\nwarp 9")
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(
+            fw.instance_names().is_empty(),
+            "parse failure must be atomic"
+        );
     }
 
     #[test]

@@ -341,6 +341,8 @@ pub struct TransportMetrics {
     round_trips: AtomicU64,
     bytes_out: AtomicU64,
     bytes_in: AtomicU64,
+    dials: AtomicU64,
+    connection_drops: AtomicU64,
     latency: LatencyHistogram,
     per_method: Mutex<BTreeMap<String, u64>>,
 }
@@ -373,12 +375,38 @@ impl TransportMetrics {
         self.round_trips.load(Ordering::Relaxed)
     }
 
+    /// Records one socket dial attempt (successful or not). Like connection
+    /// churn in [`PortMetrics`], dials are rare structural events and are
+    /// recorded unconditionally — not gated by [`crate::counters_enabled`].
+    pub fn record_dial(&self) {
+        self.dials.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection discarded after an error (the peer hung up,
+    /// a frame was malformed, or a timeout fired). Unconditional, like
+    /// [`record_dial`](Self::record_dial).
+    pub fn record_connection_drop(&self) {
+        self.connection_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Socket dial attempts so far.
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+
+    /// Connections discarded after errors so far.
+    pub fn connection_drops(&self) -> u64 {
+        self.connection_drops.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy.
     pub fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
             round_trips: self.round_trips.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            dials: self.dials.load(Ordering::Relaxed),
+            connection_drops: self.connection_drops.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             per_method: self
                 .per_method
@@ -407,6 +435,10 @@ pub struct TransportSnapshot {
     pub bytes_out: u64,
     /// Marshaled reply bytes received.
     pub bytes_in: u64,
+    /// Socket dial attempts (0 for in-process transports).
+    pub dials: u64,
+    /// Connections discarded after errors.
+    pub connection_drops: u64,
     /// Round-trip latency histogram.
     pub latency: LatencySnapshot,
     /// `(method, round_trips)` sorted by method name.
@@ -424,10 +456,13 @@ impl TransportSnapshot {
             .join(",");
         format!(
             "{{\"round_trips\":{},\"bytes_out\":{},\"bytes_in\":{},\
+             \"dials\":{},\"connection_drops\":{},\
              \"per_method\":{{{methods}}},\"latency\":{}}}",
             self.round_trips,
             self.bytes_out,
             self.bytes_in,
+            self.dials,
+            self.connection_drops,
             self.latency.to_json()
         )
     }
@@ -521,5 +556,20 @@ mod tests {
         assert_eq!(s.latency.count, 3);
         assert!(s.to_json().contains("\"solve\":2"));
         assert!(format!("{t:?}").contains("round_trips"));
+    }
+
+    #[test]
+    fn transport_metrics_count_dials_and_drops() {
+        let t = TransportMetrics::new();
+        t.record_dial();
+        t.record_dial();
+        t.record_connection_drop();
+        assert_eq!(t.dials(), 2);
+        assert_eq!(t.connection_drops(), 1);
+        let s = t.snapshot();
+        assert_eq!(s.dials, 2);
+        assert_eq!(s.connection_drops, 1);
+        assert!(s.to_json().contains("\"dials\":2"));
+        assert!(s.to_json().contains("\"connection_drops\":1"));
     }
 }

@@ -1,0 +1,483 @@
+//! Length-prefixed, versioned framing for the TCP transport.
+//!
+//! The [`wire`](crate::wire) encoding is self-describing but *unbounded*:
+//! a byte stream carrying back-to-back requests gives the reader no way to
+//! know where one message ends and the next begins, and no way to refuse a
+//! hostile peer before buffering its payload. This module adds the
+//! boundary layer: every message travels as one frame,
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"CCAR"
+//! 4       1     protocol version (currently 1)
+//! 5       1     kind: 0 = request, 1 = reply
+//! 6       2     reserved, must be zero
+//! 8       8     correlation id (u64 LE) — duplicated from the wire
+//!               payload so a transport can route replies to callers
+//!               without demarshaling them (out-of-order completion)
+//! 16      4     payload length (u32 LE), capped
+//! 20      …     payload (the `wire` encoding of a Request or Reply)
+//! ```
+//!
+//! Every malformed input — wrong magic, unknown version or kind, a length
+//! over the cap, a stream that ends mid-frame — is a typed [`FrameError`],
+//! never a panic and never an unbounded read. [`FrameDecoder`] is
+//! incremental: bytes may arrive split at arbitrary boundaries (as TCP
+//! delivers them) and frames pop out exactly when complete.
+
+use bytes::Bytes;
+use cca_sidl::SidlError;
+use std::fmt;
+
+/// The four magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"CCAR";
+
+/// The protocol version this build speaks.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const FRAME_HEADER_LEN: usize = 20;
+
+/// Default payload cap: large enough for any marshaled `wire` array the
+/// decoder itself accepts, small enough that a hostile length field cannot
+/// make the reader balloon.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 64 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A marshaled [`crate::wire::Request`].
+    Request,
+    /// A marshaled [`crate::wire::Reply`].
+    Reply,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Reply => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, FrameError> {
+        match b {
+            0 => Ok(FrameKind::Request),
+            1 => Ok(FrameKind::Reply),
+            other => Err(FrameError::BadKind(other)),
+        }
+    }
+}
+
+/// One complete frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Request or reply.
+    pub kind: FrameKind,
+    /// Transport-level correlation id.
+    pub request_id: u64,
+    /// The marshaled message.
+    pub payload: Bytes,
+}
+
+/// Why a byte sequence is not a frame. Every variant is a protocol error a
+/// peer produced (or an attacker forged); none of them panic the reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte names a protocol this build does not speak.
+    BadVersion(u8),
+    /// The kind byte is neither request nor reply.
+    BadKind(u8),
+    /// The reserved bytes were non-zero (a future extension, or garbage).
+    BadReserved(u16),
+    /// The declared payload length exceeds the reader's cap.
+    Oversized {
+        /// Length the header declared.
+        declared: u32,
+        /// The reader's cap.
+        cap: u32,
+    },
+    /// The stream ended inside a frame (header or payload).
+    Truncated {
+        /// Bytes buffered when the stream ended.
+        have: usize,
+        /// Bytes the complete frame needed.
+        need: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(
+                f,
+                "unsupported frame version {v} (this build speaks {FRAME_VERSION})"
+            ),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadReserved(r) => write!(f, "non-zero reserved frame bytes {r:#06x}"),
+            FrameError::Oversized { declared, cap } => {
+                write!(
+                    f,
+                    "frame payload of {declared} bytes exceeds the {cap}-byte cap"
+                )
+            }
+            FrameError::Truncated { have, need } => {
+                write!(f, "stream ended mid-frame ({have} of {need} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for SidlError {
+    fn from(e: FrameError) -> Self {
+        SidlError::user(crate::tcp::CONNECTION_EXCEPTION_TYPE, e.to_string())
+    }
+}
+
+/// Encodes one frame. Fails (typed, no panic) if the payload exceeds
+/// `max_payload`.
+pub fn encode_frame(
+    kind: FrameKind,
+    request_id: u64,
+    payload: &[u8],
+    max_payload: u32,
+) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > max_payload as usize {
+        return Err(FrameError::Oversized {
+            declared: payload.len().min(u32::MAX as usize) as u32,
+            cap: max_payload,
+        });
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.push(kind.to_byte());
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Parsed header fields (internal).
+struct Header {
+    kind: FrameKind,
+    request_id: u64,
+    payload_len: u32,
+}
+
+fn parse_header(raw: &[u8; FRAME_HEADER_LEN], max_payload: u32) -> Result<Header, FrameError> {
+    if raw[0..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic([raw[0], raw[1], raw[2], raw[3]]));
+    }
+    if raw[4] != FRAME_VERSION {
+        return Err(FrameError::BadVersion(raw[4]));
+    }
+    let kind = FrameKind::from_byte(raw[5])?;
+    let reserved = u16::from_le_bytes([raw[6], raw[7]]);
+    if reserved != 0 {
+        return Err(FrameError::BadReserved(reserved));
+    }
+    let request_id = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(raw[16..20].try_into().unwrap());
+    if payload_len > max_payload {
+        return Err(FrameError::Oversized {
+            declared: payload_len,
+            cap: max_payload,
+        });
+    }
+    Ok(Header {
+        kind,
+        request_id,
+        payload_len,
+    })
+}
+
+/// Incremental frame reassembly over a byte stream delivered in arbitrary
+/// chunks. Feed bytes as they arrive; complete frames pop out in order.
+/// The header is validated as soon as its 20 bytes are buffered, so a bad
+/// magic or an oversized length is rejected *before* any payload
+/// accumulates.
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_payload: u32,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default payload cap.
+    pub fn new() -> Self {
+        Self::with_max_payload(DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// A decoder with an explicit payload cap.
+    pub fn with_max_payload(max_payload: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_payload,
+        }
+    }
+
+    /// Appends newly arrived bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet popped as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame, if one is buffered. `Ok(None)` means
+    /// "keep feeding"; an error is fatal for the stream (framing has no
+    /// resync point, so the caller must drop the connection).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let raw: [u8; FRAME_HEADER_LEN] = self.buf[..FRAME_HEADER_LEN].try_into().unwrap();
+        let header = parse_header(&raw, self.max_payload)?;
+        let total = FRAME_HEADER_LEN + header.payload_len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = Bytes::from(self.buf[FRAME_HEADER_LEN..total].to_vec());
+        self.buf.drain(..total);
+        Ok(Some(Frame {
+            kind: header.kind,
+            request_id: header.request_id,
+            payload,
+        }))
+    }
+
+    /// Declares end-of-stream: errors if bytes of an incomplete frame
+    /// remain buffered (the peer hung up mid-message).
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let need = if self.buf.len() < FRAME_HEADER_LEN {
+            FRAME_HEADER_LEN
+        } else {
+            let raw: [u8; FRAME_HEADER_LEN] = self.buf[..FRAME_HEADER_LEN].try_into().unwrap();
+            match parse_header(&raw, self.max_payload) {
+                Ok(h) => FRAME_HEADER_LEN + h.payload_len as usize,
+                Err(e) => return Err(e),
+            }
+        };
+        Err(FrameError::Truncated {
+            have: self.buf.len(),
+            need,
+        })
+    }
+}
+
+/// Reads one frame from a blocking reader. `Ok(None)` is a clean EOF at a
+/// frame boundary; EOF anywhere inside a frame is [`FrameError::Truncated`]
+/// surfaced as `InvalidData`. Frame-level violations are `InvalidData`
+/// carrying the [`FrameError`]; everything else is the underlying io error.
+pub fn read_frame(
+    reader: &mut impl std::io::Read,
+    max_payload: u32,
+) -> std::io::Result<Option<Frame>> {
+    use std::io::{Error, ErrorKind};
+
+    let mut raw = [0u8; FRAME_HEADER_LEN];
+    // First byte decides clean-EOF vs mid-frame EOF.
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(1) => break,
+            Ok(_) => unreachable!("read into a 1-byte buffer"),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    raw[0] = first[0];
+    reader.read_exact(&mut raw[1..]).map_err(truncated)?;
+    let header = parse_header(&raw, max_payload)
+        .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    reader.read_exact(&mut payload).map_err(truncated)?;
+    Ok(Some(Frame {
+        kind: header.kind,
+        request_id: header.request_id,
+        payload: Bytes::from(payload),
+    }))
+}
+
+fn truncated(e: std::io::Error) -> std::io::Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "stream ended mid-frame".to_string(),
+        )
+    } else {
+        e
+    }
+}
+
+/// Writes one frame to a blocking writer.
+pub fn write_frame(
+    writer: &mut impl std::io::Write,
+    kind: FrameKind,
+    request_id: u64,
+    payload: &[u8],
+    max_payload: u32,
+) -> std::io::Result<()> {
+    let framed = encode_frame(kind, request_id, payload, max_payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(&framed)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_the_decoder() {
+        let framed = encode_frame(FrameKind::Request, 42, b"payload", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.request_id, 42);
+        assert_eq!(&frame.payload[..], b"payload");
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_reassembles() {
+        let framed = encode_frame(FrameKind::Reply, 7, b"slow", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for b in &framed {
+            dec.feed(std::slice::from_ref(b));
+            if let Some(f) = dec.next_frame().unwrap() {
+                got = Some(f);
+            }
+        }
+        let frame = got.expect("frame completed with the last byte");
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(&frame.payload[..], b"slow");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_before_any_payload() {
+        let mut framed = encode_frame(FrameKind::Request, 1, b"x", DEFAULT_MAX_PAYLOAD).unwrap();
+        framed[0] = b'X';
+        let mut dec = FrameDecoder::new();
+        // Feed only the header: rejection must not wait for the payload.
+        dec.feed(&framed[..FRAME_HEADER_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadMagic(m)) if m[0] == b'X'
+        ));
+    }
+
+    #[test]
+    fn version_kind_and_reserved_are_validated() {
+        let good = encode_frame(FrameKind::Request, 1, b"", DEFAULT_MAX_PAYLOAD).unwrap();
+        for (offset, value, want) in [(4usize, 9u8, "version"), (5, 7, "kind"), (6, 1, "reserved")]
+        {
+            let mut bad = good.clone();
+            bad[offset] = value;
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bad);
+            let err = dec.next_frame().unwrap_err();
+            let matched = matches!(
+                (&err, want),
+                (FrameError::BadVersion(9), "version")
+                    | (FrameError::BadKind(7), "kind")
+                    | (FrameError::BadReserved(1), "reserved")
+            );
+            assert!(matched, "{want}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_the_header_alone() {
+        let mut framed = encode_frame(FrameKind::Request, 1, b"abc", 1024).unwrap();
+        framed[16..20].copy_from_slice(&(2048u32).to_le_bytes());
+        let mut dec = FrameDecoder::with_max_payload(1024);
+        dec.feed(&framed[..FRAME_HEADER_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized {
+                declared: 2048,
+                cap: 1024
+            })
+        ));
+        // Encoding over the cap is refused symmetrically.
+        assert!(matches!(
+            encode_frame(FrameKind::Request, 1, &[0u8; 2048], 1024),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported_at_end_of_stream() {
+        let framed = encode_frame(FrameKind::Request, 1, b"hello", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed[..framed.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none(), "frame is incomplete");
+        let err = dec.finish().unwrap_err();
+        assert!(
+            matches!(err, FrameError::Truncated { have, need }
+                if have == framed.len() - 1 && need == framed.len()),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_mid_frame_eof() {
+        let framed = encode_frame(FrameKind::Reply, 3, b"ok", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut cursor = std::io::Cursor::new(framed.clone());
+        let frame = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.request_id, 3);
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .is_none());
+        let mut cut = std::io::Cursor::new(framed[..framed.len() - 1].to_vec());
+        assert!(read_frame(&mut cut, DEFAULT_MAX_PAYLOAD).is_err());
+    }
+
+    #[test]
+    fn back_to_back_frames_pop_in_order() {
+        let mut stream = Vec::new();
+        for id in 0..5u64 {
+            stream.extend(
+                encode_frame(
+                    FrameKind::Request,
+                    id,
+                    format!("m{id}").as_bytes(),
+                    DEFAULT_MAX_PAYLOAD,
+                )
+                .unwrap(),
+            );
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        for id in 0..5u64 {
+            let f = dec.next_frame().unwrap().unwrap();
+            assert_eq!(f.request_id, id);
+            assert_eq!(f.payload.as_slice(), format!("m{id}").as_bytes());
+        }
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+}

@@ -26,15 +26,27 @@
 //!   round trip returns `cca.rpc.DeadlineExceeded` instead of hanging) and
 //!   seed-deterministic fault injection ([`FaultTransport`], driving the
 //!   CI fault matrix).
+//! * [`frame`] — the boundary layer for real networks: length-prefixed,
+//!   versioned frames over the [`wire`] encoding, with a payload cap and
+//!   typed rejection of malformed input (proptested in
+//!   `tests/frame_proptest.rs`).
+//! * [`tcp`] — the actual wire: a threaded `std::net` server dispatching
+//!   into the same [`transport::Dispatcher`] as the loopback, and a
+//!   pooled, timeout-aware client [`TcpTransport`] whose failures feed
+//!   the circuit-breaker machinery unchanged.
 
+pub mod frame;
 pub mod orb;
 pub mod proxy;
 pub mod resilient;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use frame::{FrameDecoder, FrameError, FrameKind};
 pub use orb::{ObjRef, Orb};
 pub use proxy::RemotePortProxy;
 pub use resilient::{DeadlineTransport, FaultAction, FaultTransport, INJECTED_FAULT_TYPE};
+pub use tcp::{TcpServer, TcpTransport, CONNECTION_EXCEPTION_TYPE};
 pub use transport::{LatencyTransport, LoopbackTransport, Transport};
 pub use wire::{decode_reply, decode_request, encode_reply, encode_request, Reply, Request};

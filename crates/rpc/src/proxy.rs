@@ -97,6 +97,80 @@ mod tests {
     }
 
     #[test]
+    fn proxy_surfaces_remote_user_exceptions_verbatim() {
+        struct Thrower;
+        impl DynObject for Thrower {
+            fn sidl_type(&self) -> &str {
+                "demo.Thrower"
+            }
+            fn invoke(&self, _m: &str, _a: Vec<DynValue>) -> Result<DynValue, SidlError> {
+                Err(SidlError::user("demo.Boom", "remote detonation"))
+            }
+        }
+        let orb = Orb::new();
+        orb.register("boom", Arc::new(Thrower));
+        let proxy = RemotePortProxy::new("demo.Thrower", ObjRef::loopback("boom", orb));
+        let e = proxy.invoke("go", vec![]).unwrap_err();
+        match e {
+            SidlError::UserException {
+                exception_type,
+                message,
+            } => {
+                assert_eq!(exception_type, "demo.Boom");
+                assert_eq!(message, "remote detonation");
+            }
+            other => panic!("user exception must cross the proxy intact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proxy_to_unregistered_key_reports_object_not_found() {
+        // A stale reference (servant unregistered, or key never existed)
+        // fails with the ORB's typed error, not a panic or a hang.
+        let orb = Orb::new();
+        orb.register("dbl", Arc::new(Doubler));
+        let proxy = RemotePortProxy::new("demo.Doubler", ObjRef::loopback("gone", orb));
+        let e = proxy
+            .invoke("double", vec![DynValue::Double(1.0)])
+            .unwrap_err();
+        assert!(e.to_string().contains("ObjectNotFound"), "{e}");
+    }
+
+    #[test]
+    fn proxy_over_dead_tcp_endpoint_is_a_typed_connection_error() {
+        // Bind-then-drop guarantees a dead port: the proxy's first call
+        // dials, fails, and surfaces the tcp transport's typed error.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = RemotePortProxy::new("demo.Doubler", ObjRef::tcp("dbl", dead.to_string()));
+        let e = proxy
+            .invoke("double", vec![DynValue::Double(1.0)])
+            .unwrap_err();
+        match e {
+            SidlError::UserException { exception_type, .. } => {
+                assert_eq!(exception_type, crate::tcp::CONNECTION_EXCEPTION_TYPE);
+            }
+            other => panic!("dead endpoint must be a connection error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proxy_argument_type_errors_come_back_as_remote_faults() {
+        // Passing a string where the servant demands a double: the failure
+        // happens server-side and comes back marshaled, proving the error
+        // path round-trips rather than short-circuiting locally.
+        let orb = Orb::new();
+        orb.register("dbl", Arc::new(Doubler));
+        let proxy = RemotePortProxy::new("demo.Doubler", ObjRef::loopback("dbl", orb));
+        let e = proxy
+            .invoke("double", vec![DynValue::Str("not a number".into())])
+            .unwrap_err();
+        assert!(e.to_string().contains("SystemException"), "{e}");
+    }
+
+    #[test]
     fn proxy_over_simulated_network() {
         let orb = Orb::new();
         orb.register("dbl", Arc::new(Doubler));

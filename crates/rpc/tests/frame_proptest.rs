@@ -1,0 +1,175 @@
+//! Property tests for the frame codec: the hostile-network boundary layer
+//! must reassemble anything a well-behaved peer sends, split at any TCP
+//! segment boundary, and must reject everything else with a typed
+//! [`FrameError`] — never a panic and never an unbounded buffer.
+
+use cca_rpc::frame::{
+    encode_frame, read_frame, Frame, FrameDecoder, FrameError, FrameKind, DEFAULT_MAX_PAYLOAD,
+    FRAME_HEADER_LEN,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![Just(FrameKind::Request), Just(FrameKind::Reply)]
+}
+
+/// Feeds `stream` to a decoder in chunks cut at `cuts` (cycled), draining
+/// every complete frame after each feed — the access pattern of a socket
+/// read loop over arbitrary segmentation.
+fn decode_in_chunks(stream: &[u8], cuts: &[usize]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    let mut cut_index = 0;
+    while offset < stream.len() {
+        let step = if cuts.is_empty() {
+            stream.len()
+        } else {
+            cuts[cut_index % cuts.len()].max(1)
+        };
+        cut_index += 1;
+        let end = (offset + step).min(stream.len());
+        dec.feed(&stream[offset..end]);
+        while let Some(f) = dec.next_frame()? {
+            frames.push(f);
+        }
+        offset = end;
+    }
+    dec.finish()?;
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sequence of frames survives encode → split-at-arbitrary-
+    /// boundaries → decode, bit-for-bit and in order.
+    #[test]
+    fn frames_survive_arbitrary_segmentation(
+        messages in proptest::collection::vec(
+            (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)),
+            1..6,
+        ),
+        cuts in proptest::collection::vec(1usize..64, 0..10),
+    ) {
+        let mut stream = Vec::new();
+        for (kind, id, payload) in &messages {
+            stream.extend(encode_frame(*kind, *id, payload, DEFAULT_MAX_PAYLOAD).unwrap());
+        }
+        let frames = decode_in_chunks(&stream, &cuts).unwrap();
+        prop_assert_eq!(frames.len(), messages.len());
+        for (frame, (kind, id, payload)) in frames.iter().zip(&messages) {
+            prop_assert_eq!(frame.kind, *kind);
+            prop_assert_eq!(frame.request_id, *id);
+            prop_assert_eq!(frame.payload.as_slice(), payload.as_slice());
+        }
+    }
+
+    /// Cutting a valid frame anywhere strictly inside it yields no frame
+    /// and a typed `Truncated` at end-of-stream — not a hang, not a panic.
+    #[test]
+    fn truncated_frames_are_rejected(
+        id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let framed = encode_frame(FrameKind::Request, id, &payload, DEFAULT_MAX_PAYLOAD).unwrap();
+        let cut = 1 + ((framed.len() - 2) as f64 * cut_fraction) as usize; // 1..len-1
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed[..cut]);
+        prop_assert!(dec.next_frame().unwrap().is_none());
+        prop_assert!(matches!(dec.finish(), Err(FrameError::Truncated { .. })));
+        // The blocking reader agrees: EOF inside a frame is an error.
+        let mut cursor = std::io::Cursor::new(framed[..cut].to_vec());
+        prop_assert!(read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).is_err());
+    }
+
+    /// Corrupting any header byte yields a typed error or (only for bytes
+    /// of the id/length fields) a different-but-bounded frame — never a
+    /// panic, and never a read past the declared cap.
+    #[test]
+    fn corrupted_headers_never_panic(
+        id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        corrupt_at in 0usize..FRAME_HEADER_LEN,
+        xor in 1u8..=255,
+    ) {
+        let mut framed = encode_frame(FrameKind::Reply, id, &payload, DEFAULT_MAX_PAYLOAD).unwrap();
+        framed[corrupt_at] ^= xor;
+        let mut dec = FrameDecoder::with_max_payload(4096);
+        dec.feed(&framed);
+        match dec.next_frame() {
+            Err(
+                FrameError::BadMagic(_)
+                | FrameError::BadVersion(_)
+                | FrameError::BadKind(_)
+                | FrameError::BadReserved(_)
+                | FrameError::Oversized { .. },
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            // A corrupted id still decodes (ids are opaque); a corrupted
+            // length either truncates (no frame yet) or shortens the
+            // payload (frame pops, possibly with trailing garbage burned
+            // by finish()). All bounded, all panic-free.
+            Ok(_) => {}
+        }
+    }
+
+    /// A declared length over the cap is rejected from the header alone —
+    /// the decoder never buffers toward an oversized payload.
+    #[test]
+    fn oversized_frames_are_rejected_from_the_header(
+        id in any::<u64>(),
+        declared in 1025u32..1_000_000,
+    ) {
+        let mut header = encode_frame(FrameKind::Request, id, b"", DEFAULT_MAX_PAYLOAD).unwrap();
+        header[16..20].copy_from_slice(&declared.to_le_bytes());
+        let mut dec = FrameDecoder::with_max_payload(1024);
+        dec.feed(&header);
+        prop_assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { declared: d, cap: 1024 }) if d == declared
+        ));
+        prop_assert_eq!(dec.buffered(), FRAME_HEADER_LEN);
+    }
+
+    /// Arbitrary garbage fed to the decoder either errors (typed) or waits
+    /// for more bytes; it never panics. Wire payloads from the orb layer
+    /// are opaque here, so this is the full input space.
+    #[test]
+    fn random_bytes_never_panic_the_decoder(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(1usize..32, 0..6),
+    ) {
+        let _ = decode_in_chunks(&data, &cuts);
+        let mut cursor = std::io::Cursor::new(data);
+        while let Ok(Some(_)) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD) {}
+    }
+
+    /// The incremental decoder and the blocking reader agree on every
+    /// valid stream.
+    #[test]
+    fn decoder_and_reader_agree(
+        messages in proptest::collection::vec(
+            (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..5,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for (kind, id, payload) in &messages {
+            stream.extend(encode_frame(*kind, *id, payload, DEFAULT_MAX_PAYLOAD).unwrap());
+        }
+        let incremental = decode_in_chunks(&stream, &[7]).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut blocking = Vec::new();
+        while let Some(f) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap() {
+            blocking.push(f);
+        }
+        prop_assert_eq!(incremental.len(), blocking.len());
+        for (a, b) in incremental.iter().zip(&blocking) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.request_id, b.request_id);
+            prop_assert_eq!(a.payload.as_slice(), b.payload.as_slice());
+        }
+    }
+}

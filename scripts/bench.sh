@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
-# port-resolution, E10 observability overhead, E11 resilience overhead)
-# and leaves the machine-readable results in BENCH_ports.json,
-# BENCH_obs.json, and BENCH_resilience.json at the repo root. All files
-# are published atomically (write temp + rename), so a killed run never
-# leaves a truncated artifact.
+# port-resolution, E10 observability overhead, E11 resilience overhead,
+# E12 remote rpc) and leaves the machine-readable results in
+# BENCH_ports.json, BENCH_obs.json, BENCH_resilience.json, and
+# BENCH_rpc.json at the repo root. All files are published atomically
+# (write temp + rename), so a killed run never leaves a truncated artifact.
 #
 # Every bench runs even if an earlier one fails its acceptance gate; the
 # script exits nonzero if ANY did, so one broken gate can't mask another's
@@ -14,7 +14,7 @@
 # calibration) — used by CI, where absolute numbers are noise anyway and
 # only the acceptance assertions (E9: cached ≤3x bare, one plan build per
 # shape; E10: off ≤1.1x PR-1, counters on ≤1.5x; E11: closed breaker
-# ≤1.1x PR-1) matter.
+# ≤1.1x PR-1; E12: loopback TCP round-trip median <100us) matter.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -49,8 +49,12 @@ run_bench "E11 resilience overhead (writes BENCH_resilience.json)" \
     env BENCH_RESILIENCE_OUT="$ROOT/BENCH_resilience.json" \
     cargo bench --offline -p cca-bench --bench e11_resilience
 
+run_bench "E12 remote rpc round-trip (writes BENCH_rpc.json)" \
+    env BENCH_RPC_OUT="$ROOT/BENCH_rpc.json" \
+    cargo bench --offline -p cca-bench --bench e12_remote_rpc
+
 echo "==> results"
-for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json; do
+for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json; do
     [ -f "$ROOT/$artifact" ] && cat "$ROOT/$artifact"
 done
 

@@ -46,13 +46,16 @@ fmt() {
     cargo fmt --all -- --check
 }
 
-# One run of the failure-injection + resilience suites under a fixed fault
-# schedule. CI calls this once per seed in {1, 7, 42, 1999}; the suites are
-# mock-clock driven, so a seed fully determines every outcome.
+# One run of the failure-injection + resilience + remote-transport suites
+# under a fixed fault schedule. CI calls this once per seed in
+# {1, 7, 42, 1999}; the suites are mock-clock driven (the remote one uses
+# real sockets but a seeded server-side drop plan), so a seed fully
+# determines every outcome.
 fault() {
     local seed="${CCA_FAULT_SEED:-1}"
     echo "==> fault matrix (CCA_FAULT_SEED=$seed)"
-    CCA_FAULT_SEED="$seed" cargo test --offline --test failure_injection --test resilience
+    CCA_FAULT_SEED="$seed" cargo test --offline \
+        --test failure_injection --test resilience --test remote_transport
 }
 
 bench_gate() {
