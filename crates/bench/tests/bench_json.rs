@@ -232,6 +232,17 @@ fn committed_bench_artifacts_parse_and_declare_schema() {
             ),
             other => panic!("{name}: missing string 'schema' field (got {other:?})"),
         }
+        if name == "BENCH_rpc.json" {
+            // E13 merges the mux throughput quantities into E12's
+            // artifact; a bench.sh run that skipped the merge (or a bad
+            // hand edit) must fail here, not in a trend script.
+            for key in ["throughput_calls_per_sec", "p99_ns"] {
+                assert!(
+                    matches!(map.get(key), Some(Json::Num(_))),
+                    "{name}: missing numeric '{key}' field (E13 mux merge)"
+                );
+            }
+        }
         checked.push(name);
     }
     assert!(

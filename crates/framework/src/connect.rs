@@ -11,8 +11,8 @@ use cca_core::resilience::{BreakerObserver, BreakerState, CallPolicy, Clock};
 use cca_core::{CcaError, ConfigEvent, PortHandle};
 use cca_rpc::transport::Dispatcher;
 use cca_rpc::{
-    DeadlineTransport, LoopbackTransport, ObjRef, RemotePortProxy, TcpServer, TcpTransport,
-    Transport,
+    DeadlineTransport, LoopbackTransport, MuxServer, MuxTransport, ObjRef, RemotePortProxy,
+    TcpServer, TcpTransport, Transport,
 };
 use cca_sidl::DynObject;
 use std::collections::BTreeMap;
@@ -32,6 +32,21 @@ pub enum ConnectionPolicy {
     /// framework does when the two components live in different address
     /// spaces; here it also serves as the measurable baseline (E3).
     Proxied,
+}
+
+/// Which TCP client a remote connection rides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemoteTransportKind {
+    /// The PR-5 pooled transport: one in-flight request per pooled
+    /// connection, checked out for the duration of the call. Simple and
+    /// predictable; the default.
+    #[default]
+    Pooled,
+    /// The multiplexed transport: concurrent calls pipeline over a small
+    /// fixed connection set, with replies routed by frame request id
+    /// (`cca_rpc::MuxTransport`). The right choice when many components or
+    /// threads share one remote provider.
+    Mux,
 }
 
 /// A record of one live connection.
@@ -364,6 +379,18 @@ impl Framework {
             .map_err(|e| CcaError::Framework(format!("serve tcp://{addr}: {e}")))
     }
 
+    /// Serves this framework's ORB over multiplexed TCP: the same exported
+    /// ports as [`serve_tcp`](Self::serve_tcp), dispatched through the
+    /// same ORB, but from an event-driven [`MuxServer`] whose thread
+    /// budget does not grow with the number of peers. A remote framework
+    /// reaches it with [`connect_remote_with`](Self::connect_remote_with)
+    /// and [`RemoteTransportKind::Mux`] for pipelining — though the pooled
+    /// client interoperates too (the wire format is identical).
+    pub fn serve_tcp_mux(&self, addr: &str) -> Result<Arc<MuxServer>, CcaError> {
+        MuxServer::bind(addr, Arc::clone(&self.orb) as Arc<dyn Dispatcher>)
+            .map_err(|e| CcaError::Framework(format!("serve tcp+mux://{addr}: {e}")))
+    }
+
     /// Connects `user.uses_port` to a port exported by a *remote*
     /// framework: `addr` is the remote [`serve_tcp`](Self::serve_tcp)
     /// address and `remote_key` the key its `export_port` returned. The
@@ -389,6 +416,31 @@ impl Framework {
         addr: &str,
         remote_key: &str,
     ) -> Result<(), CcaError> {
+        self.connect_remote_with(
+            user,
+            uses_port,
+            addr,
+            remote_key,
+            RemoteTransportKind::Pooled,
+        )
+    }
+
+    /// [`connect_remote`](Self::connect_remote) with an explicit transport
+    /// choice. [`RemoteTransportKind::Mux`] pipelines this slot's calls
+    /// (and those of every other mux slot aimed at the same address by
+    /// other threads) over the multiplexed client; connection failures
+    /// carry the same `cca.rpc.ConnectionFailure` type either way, so
+    /// breaker quarantine/recovery behaves identically. Mux connections
+    /// are labelled `tcp+mux://{addr}/{remote_key}` in connection records
+    /// and configuration events.
+    pub fn connect_remote_with(
+        &self,
+        user: &str,
+        uses_port: &str,
+        addr: &str,
+        remote_key: &str,
+        kind: RemoteTransportKind,
+    ) -> Result<(), CcaError> {
         let _span = cca_obs::span("framework.connect_remote");
         let user_services = self.services(user)?;
         let uses_type = user_services.uses_port_type(uses_port)?;
@@ -397,17 +449,27 @@ impl Framework {
             .as_ref()
             .and_then(|p| p.deadline_ns().map(|d| (d, Arc::clone(p.clock()))));
 
-        let mut tcp = TcpTransport::new(addr);
-        if let Some((deadline_ns, _)) = &deadline {
-            tcp = tcp.with_io_timeout(Duration::from_nanos(*deadline_ns));
-        }
-        let mut transport: Arc<dyn Transport> = Arc::new(tcp);
+        let (mut transport, provider_label): (Arc<dyn Transport>, String) = match kind {
+            RemoteTransportKind::Pooled => {
+                let mut tcp = TcpTransport::new(addr);
+                if let Some((deadline_ns, _)) = &deadline {
+                    tcp = tcp.with_io_timeout(Duration::from_nanos(*deadline_ns));
+                }
+                (Arc::new(tcp), format!("tcp://{addr}/{remote_key}"))
+            }
+            RemoteTransportKind::Mux => {
+                let mut mux = MuxTransport::new(addr);
+                if let Some((deadline_ns, _)) = &deadline {
+                    mux = mux.with_io_timeout(Duration::from_nanos(*deadline_ns));
+                }
+                (Arc::new(mux), format!("tcp+mux://{addr}/{remote_key}"))
+            }
+        };
         if let Some((deadline_ns, clock)) = deadline {
             transport = DeadlineTransport::new(transport, deadline_ns, clock);
         }
         let proxy = RemotePortProxy::new(&uses_type, ObjRef::new(remote_key, transport));
         let dyn_proxy: Arc<dyn DynObject> = proxy;
-        let provider_label = format!("tcp://{addr}/{remote_key}");
         let mut delivered = PortHandle::new(remote_key, uses_type.as_str(), Arc::clone(&dyn_proxy))
             .with_dynamic(dyn_proxy);
         if let Some(breaker) = slot_policy.as_ref().and_then(|p| p.new_breaker()) {

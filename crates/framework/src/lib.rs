@@ -33,7 +33,7 @@ pub mod monitor;
 pub mod script;
 
 pub use collective::{MxNPort, PlanCache};
-pub use connect::{ConnectionInfo, ConnectionPolicy};
+pub use connect::{ConnectionInfo, ConnectionPolicy, RemoteTransportKind};
 pub use event::{EventListener, EventService, SubscriptionId};
 pub use framework::Framework;
 pub use monitor::{

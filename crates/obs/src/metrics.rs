@@ -468,6 +468,172 @@ impl TransportSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multiplexed-transport metrics
+// ---------------------------------------------------------------------------
+
+/// Depth and backpressure metrics for a multiplexed transport endpoint.
+///
+/// A mux client shares a handful of sockets among many concurrent logical
+/// callers, and a mux server buffers replies per connection — so the
+/// interesting quantities are *depths*, not rates: how many calls are in
+/// flight right now (and the high-water mark), how many reply bytes are
+/// queued waiting for slow peers, and how often backpressure paused
+/// reading a connection. Every record path is a relaxed atomic,
+/// allocation-free, matching the [`PortMetrics`] contract.
+#[derive(Default)]
+pub struct MuxMetrics {
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
+    queued_bytes: AtomicU64,
+    peak_queued_bytes: AtomicU64,
+    paused_connections: AtomicU64,
+    pause_events: AtomicU64,
+    protocol_violations: AtomicU64,
+}
+
+/// Lock-free running maximum: raise `peak` to at least `value`.
+fn raise_peak(peak: &AtomicU64, value: u64) {
+    let mut seen = peak.load(Ordering::Relaxed);
+    while value > seen {
+        match peak.compare_exchange_weak(seen, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(now) => seen = now,
+        }
+    }
+}
+
+impl MuxMetrics {
+    /// Creates a zeroed block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A call entered the in-flight set (registered with the completion
+    /// router, not yet answered).
+    pub fn record_begin(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        raise_peak(&self.peak_in_flight, now);
+    }
+
+    /// A call left the in-flight set (completed, failed, or abandoned).
+    pub fn record_end(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the current total of queued (unflushed) reply bytes
+    /// across all connections.
+    pub fn set_queued_bytes(&self, bytes: u64) {
+        self.queued_bytes.store(bytes, Ordering::Relaxed);
+        raise_peak(&self.peak_queued_bytes, bytes);
+    }
+
+    /// Publishes how many connections currently have reads paused by
+    /// backpressure, counting each newly paused connection as an event.
+    pub fn set_paused_connections(&self, now_paused: u64) {
+        let before = self.paused_connections.swap(now_paused, Ordering::Relaxed);
+        if now_paused > before {
+            self.pause_events
+                .fetch_add(now_paused - before, Ordering::Relaxed);
+        }
+    }
+
+    /// A peer violated the mux protocol (unknown or already-completed
+    /// request id, wrong frame kind) and its connection was dropped.
+    pub fn record_protocol_violation(&self) {
+        self.protocol_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Calls in flight right now.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrent in-flight calls.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Reply bytes currently queued behind slow peers.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently paused by backpressure.
+    pub fn paused_connections(&self) -> u64 {
+        self.paused_connections.load(Ordering::Relaxed)
+    }
+
+    /// Times a connection newly entered the paused state.
+    pub fn pause_events(&self) -> u64 {
+        self.pause_events.load(Ordering::Relaxed)
+    }
+
+    /// Protocol violations observed so far.
+    pub fn protocol_violations(&self) -> u64 {
+        self.protocol_violations.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> MuxSnapshot {
+        MuxSnapshot {
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
+            queued_bytes: self.queued_bytes.load(Ordering::Relaxed),
+            peak_queued_bytes: self.peak_queued_bytes.load(Ordering::Relaxed),
+            paused_connections: self.paused_connections.load(Ordering::Relaxed),
+            pause_events: self.pause_events.load(Ordering::Relaxed),
+            protocol_violations: self.protocol_violations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for MuxMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxMetrics")
+            .field("in_flight", &self.in_flight())
+            .field("peak_in_flight", &self.peak_in_flight())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of [`MuxMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxSnapshot {
+    /// Calls in flight at snapshot time.
+    pub in_flight: u64,
+    /// High-water mark of concurrent in-flight calls.
+    pub peak_in_flight: u64,
+    /// Reply bytes queued behind slow peers at snapshot time.
+    pub queued_bytes: u64,
+    /// High-water mark of queued reply bytes.
+    pub peak_queued_bytes: u64,
+    /// Connections paused by backpressure at snapshot time.
+    pub paused_connections: u64,
+    /// Times a connection newly entered the paused state.
+    pub pause_events: u64,
+    /// Mux protocol violations (each cost its peer the connection).
+    pub protocol_violations: u64,
+}
+
+impl MuxSnapshot {
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"in_flight\":{},\"peak_in_flight\":{},\"queued_bytes\":{},\
+             \"peak_queued_bytes\":{},\"paused_connections\":{},\
+             \"pause_events\":{},\"protocol_violations\":{}}}",
+            self.in_flight,
+            self.peak_in_flight,
+            self.queued_bytes,
+            self.peak_queued_bytes,
+            self.paused_connections,
+            self.pause_events,
+            self.protocol_violations
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,5 +737,36 @@ mod tests {
         assert_eq!(s.connection_drops, 1);
         assert!(s.to_json().contains("\"dials\":2"));
         assert!(s.to_json().contains("\"connection_drops\":1"));
+    }
+
+    #[test]
+    fn mux_metrics_track_depth_watermarks_and_backpressure() {
+        let m = MuxMetrics::new();
+        m.record_begin();
+        m.record_begin();
+        m.record_begin();
+        assert_eq!(m.in_flight(), 3);
+        m.record_end();
+        assert_eq!(m.in_flight(), 2);
+        assert_eq!(m.peak_in_flight(), 3, "watermark survives completion");
+
+        m.set_queued_bytes(4096);
+        m.set_queued_bytes(128);
+        assert_eq!(m.queued_bytes(), 128);
+
+        m.set_paused_connections(2);
+        m.set_paused_connections(1);
+        m.set_paused_connections(3);
+        assert_eq!(m.paused_connections(), 3);
+        // 0→2 (+2 events), 2→1 (none), 1→3 (+2 events).
+        assert_eq!(m.pause_events(), 4);
+
+        m.record_protocol_violation();
+        let s = m.snapshot();
+        assert_eq!(s.peak_in_flight, 3);
+        assert_eq!(s.peak_queued_bytes, 4096);
+        assert_eq!(s.protocol_violations, 1);
+        assert!(s.to_json().contains("\"peak_in_flight\":3"));
+        assert!(format!("{m:?}").contains("in_flight"));
     }
 }

@@ -53,14 +53,17 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
-    fn to_byte(self) -> u8 {
+    /// The wire encoding of this kind (header byte 5).
+    pub fn to_byte(self) -> u8 {
         match self {
             FrameKind::Request => 0,
             FrameKind::Reply => 1,
         }
     }
 
-    fn from_byte(b: u8) -> Result<Self, FrameError> {
+    /// Decodes header byte 5; any value other than the two known kinds is
+    /// a typed [`FrameError::BadKind`].
+    pub fn from_byte(b: u8) -> Result<Self, FrameError> {
         match b {
             0 => Ok(FrameKind::Request),
             1 => Ok(FrameKind::Reply),
@@ -479,5 +482,47 @@ mod tests {
             assert_eq!(f.payload.as_slice(), format!("m{id}").as_bytes());
         }
         assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_request_ids_are_framing_legal_and_decode_intact() {
+        // The framing layer is deliberately id-agnostic: two well-formed
+        // frames bearing the same request id both decode, each with its
+        // own payload. Detecting the duplicate — and killing the
+        // connection that produced it — is the mux routing table's job
+        // (`mux::MuxTransport`), not the codec's; a codec that dropped or
+        // merged duplicates would mask the protocol violation the mux
+        // layer must report.
+        let mut stream = Vec::new();
+        stream.extend(encode_frame(FrameKind::Reply, 9, b"first", DEFAULT_MAX_PAYLOAD).unwrap());
+        stream.extend(encode_frame(FrameKind::Reply, 9, b"second", DEFAULT_MAX_PAYLOAD).unwrap());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let a = dec.next_frame().unwrap().unwrap();
+        let b = dec.next_frame().unwrap().unwrap();
+        assert_eq!(
+            (a.request_id, a.payload.as_slice()),
+            (9, b"first".as_slice())
+        );
+        assert_eq!(
+            (b.request_id, b.payload.as_slice()),
+            (9, b"second".as_slice())
+        );
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn kind_bytes_round_trip_and_reject_unknown_values() {
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::Request.to_byte()).unwrap(),
+            FrameKind::Request
+        );
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::Reply.to_byte()).unwrap(),
+            FrameKind::Reply
+        );
+        for bad in [2u8, 3, 0x7f, 0xff] {
+            assert!(matches!(FrameKind::from_byte(bad), Err(FrameError::BadKind(b)) if b == bad));
+        }
     }
 }

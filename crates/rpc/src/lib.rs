@@ -34,8 +34,14 @@
 //!   into the same [`transport::Dispatcher`] as the loopback, and a
 //!   pooled, timeout-aware client [`TcpTransport`] whose failures feed
 //!   the circuit-breaker machinery unchanged.
+//! * [`mux`] — the same wire, multiplexed: [`mux::MuxTransport`] pipelines
+//!   thousands of concurrent calls over a handful of sockets by routing
+//!   replies to waiters by frame request id, and [`mux::MuxServer`] serves
+//!   them from an event-driven readiness loop with per-connection
+//!   backpressure instead of a thread per peer (experiment E13).
 
 pub mod frame;
+pub mod mux;
 pub mod orb;
 pub mod proxy;
 pub mod resilient;
@@ -44,6 +50,7 @@ pub mod transport;
 pub mod wire;
 
 pub use frame::{FrameDecoder, FrameError, FrameKind};
+pub use mux::{MuxServer, MuxServerConfig, MuxTransport, PendingReply, DEFAULT_MUX_CONNECTIONS};
 pub use orb::{ObjRef, Orb};
 pub use proxy::RemotePortProxy;
 pub use resilient::{DeadlineTransport, FaultAction, FaultTransport, INJECTED_FAULT_TYPE};

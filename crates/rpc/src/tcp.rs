@@ -338,6 +338,12 @@ impl TcpTransport {
     }
 
     fn checkout(&self) -> Result<TcpStream, SidlError> {
+        // A saturated pool must not become an unbounded hang: the wait for
+        // a returned connection is charged against the same deadline as
+        // the socket I/O it precedes. With no io-timeout configured the
+        // historical wait-forever behavior stands (callers opted out of
+        // deadlines entirely).
+        let deadline = self.io_timeout.map(|t| Instant::now() + t);
         let mut pool = self.pool.lock().unwrap();
         loop {
             if let Some(stream) = pool.idle.pop() {
@@ -354,7 +360,23 @@ impl TcpTransport {
                     }
                 };
             }
-            pool = self.returned.wait(pool).unwrap();
+            match deadline {
+                None => pool = self.returned.wait(pool).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(SidlError::user(
+                            DEADLINE_EXCEPTION_TYPE,
+                            format!(
+                                "pool of {} connections to tcp://{} exhausted for \
+                                 {:?}: no connection returned within the call budget",
+                                self.max_conns, self.addr, self.io_timeout
+                            ),
+                        ));
+                    }
+                    pool = self.returned.wait_timeout(pool, d - now).unwrap().0;
+                }
+            }
         }
     }
 
@@ -607,5 +629,47 @@ mod tests {
         assert!(objref
             .invoke("double", vec![DynValue::Double(1.0)])
             .is_err());
+    }
+
+    #[test]
+    fn saturated_pool_fails_fast_against_the_deadline_instead_of_hanging() {
+        let (server, _orb) = serve();
+        let t = Arc::new(
+            TcpTransport::new(server.local_addr().to_string())
+                .with_pool_size(1)
+                .with_io_timeout(Duration::from_millis(50)),
+        );
+        // Occupy the only pool slot without returning it — the situation a
+        // wedged long call creates.
+        let held = t.checkout().expect("dial the only slot");
+        let started = Instant::now();
+        let e = t.call(Bytes::from_static(b"starved")).unwrap_err();
+        let waited = started.elapsed();
+        match e {
+            SidlError::UserException {
+                exception_type,
+                message,
+            } => {
+                assert_eq!(exception_type, DEADLINE_EXCEPTION_TYPE);
+                assert!(message.contains("exhausted"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            waited >= Duration::from_millis(50),
+            "the full budget is spent waiting before giving up: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "exhaustion is a deadline, not a hang: {waited:?}"
+        );
+        // Returning the connection heals the pool: the next call runs.
+        t.checkin(held);
+        let objref = ObjRef::new("doubler", Arc::clone(&t) as Arc<dyn Transport>);
+        let r = objref
+            .invoke("double", vec![DynValue::Double(4.0)])
+            .unwrap();
+        assert!(matches!(r, DynValue::Double(v) if v == 8.0));
+        server.shutdown();
     }
 }

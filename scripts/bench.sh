@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
 # port-resolution, E10 observability overhead, E11 resilience overhead,
-# E12 remote rpc) and leaves the machine-readable results in
+# E12 remote rpc, E13 mux throughput) and leaves the machine-readable results in
 # BENCH_ports.json, BENCH_obs.json, BENCH_resilience.json, and
 # BENCH_rpc.json at the repo root. All files are published atomically
 # (write temp + rename), so a killed run never leaves a truncated artifact.
@@ -14,7 +14,9 @@
 # calibration) — used by CI, where absolute numbers are noise anyway and
 # only the acceptance assertions (E9: cached ≤3x bare, one plan build per
 # shape; E10: off ≤1.1x PR-1, counters on ≤1.5x; E11: closed breaker
-# ≤1.1x PR-1; E12: loopback TCP round-trip median <100us) matter.
+# ≤1.1x PR-1; E12: loopback TCP round-trip median <100us; E13: the
+# logical clients share ≤8 sockets and mux beats the pooled baseline)
+# matter.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -52,6 +54,12 @@ run_bench "E11 resilience overhead (writes BENCH_resilience.json)" \
 run_bench "E12 remote rpc round-trip (writes BENCH_rpc.json)" \
     env BENCH_RPC_OUT="$ROOT/BENCH_rpc.json" \
     cargo bench --offline -p cca-bench --bench e12_remote_rpc
+
+# E13 must run after E12: it merges the mux throughput quantities into the
+# BENCH_rpc.json E12 just wrote (E12's keys are preserved).
+run_bench "E13 mux throughput (merges into BENCH_rpc.json)" \
+    env BENCH_RPC_OUT="$ROOT/BENCH_rpc.json" \
+    cargo bench --offline -p cca-bench --bench e13_mux_throughput
 
 echo "==> results"
 for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json; do

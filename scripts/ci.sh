@@ -24,7 +24,8 @@ MODE="${1:-all}"
 # a stale BENCH_*.ci.json for the committed-artifact check to trip over.
 cleanup() {
     rm -f BENCH_obs.ci.json BENCH_obs.ci.json.tmp \
-        BENCH_resilience.ci.json BENCH_resilience.ci.json.tmp
+        BENCH_resilience.ci.json BENCH_resilience.ci.json.tmp \
+        BENCH_rpc.ci.json BENCH_rpc.ci.json.tmp
 }
 trap cleanup EXIT
 
@@ -72,6 +73,14 @@ bench_gate() {
     echo "==> E11 resilience overhead gate (quick mode)"
     CCA_BENCH_FAST=1 BENCH_RESILIENCE_OUT="$(pwd)/BENCH_resilience.ci.json" \
         cargo bench --offline -p cca-bench --bench e11_resilience
+
+    # Quick-mode mux gate: 1,000 logical clients share ≤8 sockets and the
+    # multiplexed transport outruns the thread-per-connection pool (E13).
+    # Writes a throwaway artifact so the committed BENCH_rpc.json (full-run
+    # numbers) is never clobbered by a fast-mode run.
+    echo "==> E13 mux throughput gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_RPC_OUT="$(pwd)/BENCH_rpc.ci.json" \
+        cargo bench --offline -p cca-bench --bench e13_mux_throughput
 }
 
 case "$MODE" in
