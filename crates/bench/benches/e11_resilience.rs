@@ -18,8 +18,11 @@
 //! * `breaker_admit_ns` — one `CircuitBreaker::admit` in the closed state,
 //!   the isolated cost of the added load.
 //!
-//! Minimum-of-samples for the gated ratios, as in E10: sub-nanosecond
-//! deltas need the L1-hot floor, not a noise-inflated median.
+//! The gated pair runs as alternating baseline/probe rounds (as in E14),
+//! gating on the minimum per-round ratio: sub-nanosecond deltas need the
+//! L1-hot floor, and interleaving keeps clock or cache drift between two
+//! long separate windows from failing the gate — a genuinely slower
+//! probe is slower in every round.
 
 use cca_core::resilience::{BreakerPolicy, CallPolicy, MockClock};
 use cca_core::{CcaServices, PortHandle};
@@ -79,9 +82,16 @@ impl<P: ?Sized + Send + Sync + 'static> Pr1Replica<P> {
     }
 }
 
-/// Minimum ns/iter over `samples` batches, each auto-calibrated to roughly
-/// `target` wall-clock.
-fn measure_min<R>(samples: usize, target: Duration, mut f: impl FnMut() -> R) -> f64 {
+fn time_iters<R>(iters: u64, f: &mut impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Calibrates a batch size so one run of `f` takes roughly `target`.
+fn calibrate<R>(target: Duration, f: &mut impl FnMut() -> R) -> u64 {
     let mut iters: u64 = 1;
     loop {
         let start = Instant::now();
@@ -90,7 +100,7 @@ fn measure_min<R>(samples: usize, target: Duration, mut f: impl FnMut() -> R) ->
         }
         let elapsed = start.elapsed();
         if elapsed >= target || iters >= 1 << 28 {
-            break;
+            return iters;
         }
         iters = if elapsed.is_zero() {
             iters * 16
@@ -99,15 +109,37 @@ fn measure_min<R>(samples: usize, target: Duration, mut f: impl FnMut() -> R) ->
             ((iters as f64 * scale.clamp(1.2, 16.0)) as u64).max(iters + 1)
         };
     }
+}
+
+/// Minimum ns/iter over `samples` batches, each auto-calibrated to roughly
+/// `target` wall-clock.
+fn measure_min<R>(samples: usize, target: Duration, mut f: impl FnMut() -> R) -> f64 {
+    let iters = calibrate(target, &mut f);
     (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            start.elapsed().as_nanos() as f64 / iters as f64
-        })
+        .map(|_| time_iters(iters, &mut f))
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Alternating A/B measurement for a gated ratio: each round times the
+/// baseline and the probe back to back, keeping the minimum of each and
+/// the minimum per-round `probe/baseline` ratio (see the module doc).
+fn measure_ratio<RA, RB>(
+    samples: usize,
+    target: Duration,
+    mut baseline: impl FnMut() -> RA,
+    mut probe: impl FnMut() -> RB,
+) -> (f64, f64, f64) {
+    let iters = calibrate(target, &mut baseline);
+    calibrate(target, &mut probe); // warm the probe path too
+    let (mut best_a, mut best_b, mut best_ratio) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..samples {
+        let a = time_iters(iters, &mut baseline);
+        let b = time_iters(iters, &mut probe);
+        best_a = best_a.min(a);
+        best_b = best_b.min(b);
+        best_ratio = best_ratio.min(b / a);
+    }
+    (best_a, best_b, best_ratio)
 }
 
 /// One provider/user pair; `with_breaker` additionally installs a call
@@ -148,28 +180,11 @@ fn main() {
     cca_obs::set_tracing(false);
     cca_obs::set_counters(false);
 
-    // --- PR-1 replica baseline ------------------------------------------
+    // --- the gated pair: PR-1 replica vs CachedPort behind a closed
+    // breaker, in alternating rounds ------------------------------------
     let plain_user = wire(false);
     let mut replica = Pr1Replica::<dyn WorkPort>::new(Arc::clone(&plain_user), "in");
     replica.get().unwrap();
-    let pr1 = measure_min(samples, target, || {
-        black_box(&mut replica)
-            .get()
-            .unwrap()
-            .accumulate(black_box(1.0))
-    });
-
-    // --- today's CachedPort, no policy ----------------------------------
-    let mut cached_plain = plain_user.cached_port::<dyn WorkPort>("in");
-    cached_plain.get().unwrap();
-    let plain = measure_min(samples, target, || {
-        black_box(&mut cached_plain)
-            .get()
-            .unwrap()
-            .accumulate(black_box(1.0))
-    });
-
-    // --- CachedPort behind a closed breaker -----------------------------
     let guarded_user = wire(true);
     let mut cached_guarded = guarded_user.cached_port::<dyn WorkPort>("in");
     cached_guarded.get().unwrap();
@@ -177,8 +192,28 @@ fn main() {
         cached_guarded.breaker().is_some(),
         "the guarded slot must actually carry a breaker"
     );
-    let guarded = measure_min(samples, target, || {
-        black_box(&mut cached_guarded)
+    let (pr1, guarded, guarded_ratio) = measure_ratio(
+        samples,
+        target,
+        || {
+            black_box(&mut replica)
+                .get()
+                .unwrap()
+                .accumulate(black_box(1.0))
+        },
+        || {
+            black_box(&mut cached_guarded)
+                .get()
+                .unwrap()
+                .accumulate(black_box(1.0))
+        },
+    );
+
+    // --- today's CachedPort, no policy (informational) ------------------
+    let mut cached_plain = plain_user.cached_port::<dyn WorkPort>("in");
+    cached_plain.get().unwrap();
+    let plain = measure_min(samples, target, || {
+        black_box(&mut cached_plain)
             .get()
             .unwrap()
             .accumulate(black_box(1.0))
@@ -196,7 +231,6 @@ fn main() {
     let admit = measure_min(samples, target, || black_box(&breaker).admit());
 
     // --- report ----------------------------------------------------------
-    let guarded_ratio = guarded / pr1;
     let plain_ratio = plain / pr1;
     println!("e11_resilience/pr1_replica            {pr1:>10.2} ns/iter");
     println!(

@@ -243,6 +243,24 @@ fn committed_bench_artifacts_parse_and_declare_schema() {
                 );
             }
         }
+        if name == "BENCH_obs.json" {
+            // E14 merges the wire-tracing quantities into E10's artifact
+            // the same way; both halves must be present.
+            for key in [
+                "span_on_ns",
+                "wire_pr6_encode_ns",
+                "wire_off_encode_ns",
+                "wire_off_over_pr6_ratio",
+                "remote_call_off_ns",
+                "remote_call_on_ns",
+                "remote_on_over_off_ratio",
+            ] {
+                assert!(
+                    matches!(map.get(key), Some(Json::Num(_))),
+                    "{name}: missing numeric '{key}' field (E14 wire-trace merge)"
+                );
+            }
+        }
         checked.push(name);
     }
     assert!(

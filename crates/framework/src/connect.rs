@@ -82,12 +82,25 @@ impl BreakerObserver for QuarantineObserver {
             return;
         };
         match to {
-            BreakerState::Open => fw.emit(ConfigEvent::ProviderQuarantined {
-                user: self.user.clone(),
-                uses_port: self.uses_port.clone(),
-                provider: self.provider.clone(),
-                consecutive_failures,
-            }),
+            BreakerState::Open => {
+                // A quarantine is the incident the flight recorder exists
+                // for: capture the trailing trace ring before anyone asks.
+                if cca_obs::flight::enabled() {
+                    cca_obs::flight::record_incident(
+                        "ProviderQuarantined",
+                        &format!(
+                            "{}.{} -> {} after {consecutive_failures} consecutive failures",
+                            self.user, self.uses_port, self.provider
+                        ),
+                    );
+                }
+                fw.emit(ConfigEvent::ProviderQuarantined {
+                    user: self.user.clone(),
+                    uses_port: self.uses_port.clone(),
+                    provider: self.provider.clone(),
+                    consecutive_failures,
+                })
+            }
             BreakerState::Closed => fw.emit(ConfigEvent::ProviderRecovered {
                 user: self.user.clone(),
                 uses_port: self.uses_port.clone(),

@@ -24,12 +24,17 @@
 //!   between differently-distributed parallel components, executed over
 //!   `cca-parallel` communicators or in-memory for same-address-space
 //!   connections.
+//! * [`observability`] — the remote scrape plane: a reflective
+//!   `ObservabilityPort` exposing the trace ring, flight-recorder
+//!   inventory, and resilience counters over the same wire transports the
+//!   components use.
 
 pub mod collective;
 pub mod connect;
 pub mod event;
 pub mod framework;
 pub mod monitor;
+pub mod observability;
 pub mod script;
 
 pub use collective::{MxNPort, PlanCache};
@@ -38,5 +43,9 @@ pub use event::{EventListener, EventService, SubscriptionId};
 pub use framework::Framework;
 pub use monitor::{
     MonitorComponent, MonitorPort, MONITOR_INSTANCE, MONITOR_PORT_TYPE, MONITOR_SIDL,
+};
+pub use observability::{
+    ObservabilityComponent, ObservabilityPort, OBSERVABILITY_EXPORT_KEY, OBSERVABILITY_INSTANCE,
+    OBSERVABILITY_PORT_TYPE, OBSERVABILITY_SIDL,
 };
 pub use script::{parse_script, Command};

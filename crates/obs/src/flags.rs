@@ -20,6 +20,11 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Once;
 
+/// Serializes tests (across this crate's modules) that flip the
+/// process-global flag word or other process-global observability state.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
 /// Bit: the span/event tracer records.
 const TRACING: u32 = 1 << 0;
 /// Bit: per-port call counters and latency histograms record.
@@ -100,6 +105,7 @@ mod tests {
     #[test]
     fn toggles_round_trip() {
         // Serialize against sibling tests touching the same global word.
+        let _guard = TEST_LOCK.lock();
         set_tracing(false);
         set_counters(false);
         assert!(!tracing_enabled());

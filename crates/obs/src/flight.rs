@@ -1,0 +1,220 @@
+//! The fault flight recorder: a bounded on-disk "black box".
+//!
+//! When something goes wrong at a distance — a provider is quarantined, a
+//! call blows its deadline, a connection dies mid-flight — the live
+//! evidence (recent trace events, resilience counters, transport metrics)
+//! is gone by the time anyone looks. [`record_incident`] freezes that
+//! evidence the moment the fault fires: one JSONL file per incident,
+//! written atomically (tmp + rename, like the bench artifacts), holding a
+//! header line with the fault kind and counter snapshots followed by the
+//! last N ring events from [`crate::trace::snapshot`].
+//!
+//! The recorder is **off by default and does zero IO** until given a
+//! directory, either programmatically via [`configure`] or through the
+//! `CCA_FLIGHT_DIR` environment variable (read lazily on the first
+//! incident). Retention is bounded: oldest incident files are deleted
+//! beyond `max_incidents`. All triggers sit on failure paths, so the
+//! happy path never touches this module.
+
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+
+/// Ring events kept per incident by default.
+const DEFAULT_MAX_EVENTS: usize = 256;
+/// Incident files retained by default.
+const DEFAULT_MAX_INCIDENTS: usize = 16;
+
+struct FlightState {
+    dir: Option<PathBuf>,
+    max_incidents: usize,
+    max_events: usize,
+    seq: u64,
+    files: Vec<PathBuf>,
+    env_checked: bool,
+}
+
+static STATE: Mutex<FlightState> = Mutex::new(FlightState {
+    dir: None,
+    max_incidents: DEFAULT_MAX_INCIDENTS,
+    max_events: DEFAULT_MAX_EVENTS,
+    seq: 0,
+    files: Vec::new(),
+    env_checked: false,
+});
+
+fn resolve_env(state: &mut FlightState) {
+    if state.env_checked {
+        return;
+    }
+    state.env_checked = true;
+    if let Ok(dir) = std::env::var("CCA_FLIGHT_DIR") {
+        if !dir.is_empty() {
+            state.dir = Some(PathBuf::from(dir));
+        }
+    }
+}
+
+/// Points the recorder at `dir` (or disables it with `None`) and sets the
+/// retention bounds. Overrides `CCA_FLIGHT_DIR`.
+pub fn configure(dir: Option<&Path>, max_incidents: usize, max_events: usize) {
+    let mut state = STATE.lock();
+    state.env_checked = true;
+    state.dir = dir.map(Path::to_path_buf);
+    state.max_incidents = max_incidents.max(1);
+    state.max_events = max_events.max(1);
+}
+
+/// True if an incident would actually be written. Lets failure paths skip
+/// building metrics JSON when the recorder is off.
+pub fn enabled() -> bool {
+    let mut state = STATE.lock();
+    resolve_env(&mut state);
+    state.dir.is_some()
+}
+
+/// The incident files this process has recorded and not yet evicted,
+/// oldest first. Lets a scrape plane inventory the black box remotely.
+pub fn incidents() -> Vec<PathBuf> {
+    STATE.lock().files.clone()
+}
+
+/// Records an incident: [`record_incident_with_metrics`] without a
+/// transport metrics snapshot.
+pub fn record_incident(kind: &str, detail: &str) -> Option<PathBuf> {
+    record_incident_with_metrics(kind, detail, None)
+}
+
+/// Snapshots the system into a new incident file and returns its path,
+/// or `None` when the recorder is disabled.
+///
+/// Line 1 is the incident header: fault kind and detail, wall-clock
+/// timestamp, pid, flag state, the global resilience counters, and the
+/// caller-supplied transport `metrics` JSON if any. Every following line
+/// is one recent trace event in [`crate::trace::to_jsonl`] format, oldest
+/// first, capped at the configured `max_events`.
+pub fn record_incident_with_metrics(
+    kind: &str,
+    detail: &str,
+    metrics_json: Option<&str>,
+) -> Option<PathBuf> {
+    let mut state = STATE.lock();
+    resolve_env(&mut state);
+    let dir = state.dir.clone()?;
+    state.seq += 1;
+    let seq = state.seq;
+    let pid = std::process::id();
+    let path = dir.join(format!("flight_{pid}_{seq:04}.jsonl"));
+
+    let ts_unix_ns = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut contents = format!(
+        "{{\"schema\":\"cca-flight/1\",\"kind\":\"{}\",\"detail\":\"{}\",\
+         \"ts_unix_ns\":{ts_unix_ns},\"pid\":{pid},\"tracing\":{},\"counters\":{},\
+         \"resilience\":{}",
+        crate::trace::escape_json(kind),
+        crate::trace::escape_json(detail),
+        crate::tracing_enabled(),
+        crate::counters_enabled(),
+        crate::resilience().snapshot().to_json(),
+    );
+    if let Some(metrics) = metrics_json {
+        contents.push_str(&format!(",\"metrics\":{metrics}"));
+    }
+    contents.push_str("}\n");
+
+    let events = crate::trace::snapshot();
+    let from = events.len().saturating_sub(state.max_events);
+    contents.push_str(&crate::trace::to_jsonl(&events[from..]));
+
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let tmp = dir.join(format!("flight_{pid}_{seq:04}.jsonl.tmp"));
+    if std::fs::write(&tmp, contents).is_err() {
+        return None;
+    }
+    if std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return None;
+    }
+
+    state.files.push(path.clone());
+    while state.files.len() > state.max_incidents {
+        let oldest = state.files.remove(0);
+        let _ = std::fs::remove_file(oldest);
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cca_flight_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disabled_recorder_writes_nothing() {
+        let _guard = crate::flags::TEST_LOCK.lock();
+        configure(None, 4, 16);
+        assert!(!enabled());
+        assert!(record_incident("ProviderQuarantined", "p1").is_none());
+    }
+
+    #[test]
+    fn incident_captures_header_and_ring_events() {
+        let _guard = crate::flags::TEST_LOCK.lock();
+        let dir = temp_dir("capture");
+        configure(Some(&dir), 4, 8);
+        assert!(enabled());
+        crate::set_tracing(true);
+        crate::trace::drain();
+        crate::trace_instant("before-the-fault");
+        let path = record_incident_with_metrics(
+            "DeadlineExceeded",
+            "tcp://127.0.0.1:1/svc",
+            Some("{\"in_flight\":0}"),
+        )
+        .expect("incident written");
+        crate::set_tracing(false);
+        crate::trace::drain();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schema\":\"cca-flight/1\""));
+        assert!(header.contains("\"kind\":\"DeadlineExceeded\""));
+        assert!(header.contains("\"detail\":\"tcp://127.0.0.1:1/svc\""));
+        assert!(header.contains("\"resilience\":{"));
+        assert!(header.contains("\"metrics\":{\"in_flight\":0}"));
+        assert!(text.contains("\"name\":\"before-the-fault\""));
+        // No tmp file left behind.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .path()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        configure(None, 4, 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let _guard = crate::flags::TEST_LOCK.lock();
+        let dir = temp_dir("retain");
+        configure(Some(&dir), 2, 4);
+        let a = record_incident("ConnectionFailure", "one").unwrap();
+        let b = record_incident("ConnectionFailure", "two").unwrap();
+        let c = record_incident("ConnectionFailure", "three").unwrap();
+        assert!(!a.exists(), "oldest incident should be evicted");
+        assert!(b.exists() && c.exists());
+        assert_eq!(incidents(), vec![b.clone(), c.clone()]);
+        configure(None, 4, 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

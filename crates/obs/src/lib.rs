@@ -18,9 +18,17 @@
 //!   record path is allocation-free: relaxed atomics only. Call counting
 //!   from `CachedPort` uses single-writer [`metrics::CallShard`]s so the
 //!   per-call cost is one relaxed store, not an atomic RMW.
-//! * [`trace`] — a lightweight span/event tracer: fixed-capacity ring
-//!   buffer per thread, drained to JSONL or Chrome `trace_event` JSON
-//!   (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+//! * [`trace`] — a distributed span/event tracer: a lock-free
+//!   single-writer seqlock ring per thread, per-process seeded
+//!   trace/span ids with parent links, a thread-local current-span cell
+//!   whose identity crosses the wire ([`trace::current_context`] /
+//!   [`trace::install_context`]), drained to JSONL or Chrome
+//!   `trace_event` JSON and merged across processes by
+//!   [`trace::merge_chrome_trace`] (load it at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>).
+//! * [`flight`] — the fault flight recorder: on quarantine, deadline, or
+//!   connection failure, the recent ring events plus counter snapshots
+//!   are frozen into a bounded on-disk JSONL "black box".
 //!
 //! The framework aggregates these through `CCAServices` and exposes them
 //! to builders via the reflective `MonitorPort` (`cca-framework`), so a
@@ -28,6 +36,7 @@
 //! exactly as Fig. 2's builder would.
 
 pub mod flags;
+pub mod flight;
 pub mod metrics;
 pub mod resilience;
 pub mod trace;
@@ -39,5 +48,6 @@ pub use metrics::{
 };
 pub use resilience::{resilience, ResilienceCounters, ResilienceSnapshot};
 pub use trace::{
-    drain, span, to_chrome_trace, to_jsonl, trace_instant, Span, TraceEvent, TraceKind,
+    current_context, drain, install_context, merge_chrome_trace, snapshot, span, to_chrome_trace,
+    to_jsonl, trace_instant, ContextGuard, Span, TraceContext, TraceEvent, TraceKind,
 };

@@ -1,18 +1,33 @@
-//! A lightweight span/event tracer.
+//! A lightweight distributed span/event tracer.
 //!
-//! Each thread records into its own fixed-capacity ring buffer (no locks
-//! shared between recording threads, oldest events overwritten when the
-//! ring fills). Event names are stored inline (truncated to 32 bytes), so
-//! the record path performs **no allocation** once the thread's ring
-//! exists. [`drain`] collects every thread's events; [`to_jsonl`] and
-//! [`to_chrome_trace`] render them — the latter loads directly into
-//! `chrome://tracing` or <https://ui.perfetto.dev> (see EXPERIMENTS.md §E10).
+//! Each thread records into its own fixed-capacity ring buffer. The ring
+//! is a **single-writer seqlock**: the owning thread publishes events with
+//! plain relaxed stores bracketed by a `reserve`/`commit` counter pair, so
+//! the record path takes **no lock and performs no allocation** once the
+//! thread's ring exists. Readers ([`drain`]/[`snapshot`]) copy slots and
+//! then re-check `reserve`; any slot the writer might have been rewriting
+//! mid-copy is provably torn and discarded (the classic seqlock recipe,
+//! expressed entirely in safe Rust over `AtomicU64` words).
+//!
+//! Events carry **causal identity**: a per-process seeded `trace`/`span`
+//! id pair plus a parent link, maintained in a thread-local current-span
+//! cell. [`current_context`] exports the active identity for wire
+//! propagation (the `cca-rpc` frame codec carries it as a 16-byte
+//! extension) and [`install_context`] adopts a remote caller's identity
+//! around a server-side dispatch, which is how a server span ends up
+//! parented to the client span that caused it.
+//!
+//! [`to_jsonl`] and [`to_chrome_trace`] render one process's events;
+//! [`merge_chrome_trace`] fuses several processes' JSONL dumps into a
+//! single Perfetto timeline with flow arrows binding each remote dispatch
+//! to its originating call (see EXPERIMENTS.md §E14).
 //!
 //! All recording is guarded by [`crate::tracing_enabled`]: one relaxed
 //! atomic load when tracing is off.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -21,6 +36,9 @@ use std::time::Instant;
 const NAME_CAP: usize = 32;
 /// Events retained per thread before the ring wraps.
 const RING_CAP: usize = 4096;
+/// `u64` words per encoded event: 4 name words, packed meta, `ts_ns`,
+/// `dur_ns`, `trace_id`, `span_id`, `parent_id`.
+const EVENT_WORDS: usize = 10;
 
 /// What a [`TraceEvent`] describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +63,12 @@ pub struct TraceEvent {
     pub dur_ns: u64,
     /// Small dense id of the recording thread.
     pub thread: u64,
+    /// The trace this event belongs to; zero when no trace was active.
+    pub trace_id: u64,
+    /// This event's own span id (zero for instants).
+    pub span_id: u64,
+    /// The enclosing span's id at record time; zero at a trace root.
+    pub parent_id: u64,
 }
 
 impl TraceEvent {
@@ -66,34 +90,263 @@ fn pack_name(s: &str) -> ([u8; NAME_CAP], u8) {
     (buf, n as u8)
 }
 
+// ---------------------------------------------------------------------------
+// Trace identity
+// ---------------------------------------------------------------------------
+
+/// The causal identity a remote invocation carries across the wire: which
+/// trace it belongs to and which span is the caller.
+///
+/// Both ids are nonzero by construction; the frame codec treats an
+/// all-zero context as garbage. Serialized as 16 little-endian bytes
+/// (`trace_id` then `span_id`) in the `CCAR` v2 frame extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every causally-related span shares.
+    pub trace_id: u64,
+    /// The span that is the parent of whatever the receiver records.
+    pub span_id: u64,
+}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a bijective mix, so distinct inputs give
+/// distinct ids. (Local copy — `cca-core` depends on this crate, not the
+/// other way around.)
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static ID_STATE: AtomicU64 = AtomicU64::new(0);
+static ID_SEED: OnceLock<u64> = OnceLock::new();
+
+/// Per-process id seed: wall clock xor pid, so two processes started the
+/// same nanosecond still draw from different streams.
+fn id_seed() -> u64 {
+    *ID_SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        nanos ^ u64::from(std::process::id()).rotate_left(32)
+    })
+}
+
+/// Draws the next nonzero id without touching shared state on the hot
+/// path: each thread owns a disjoint id stream (a per-thread salt drawn
+/// once from the global counter, mixed into every draw), so the per-span
+/// cost is a `Cell` bump plus the SplitMix64 finalizer — no cross-core
+/// cache traffic, and still bijective within a stream.
+fn next_id() -> u64 {
+    ID_LOCAL.with(|l| {
+        let (salt, mut n) = l.get();
+        loop {
+            n = n.wrapping_add(1);
+            let id = splitmix64(salt ^ n.wrapping_mul(GOLDEN));
+            if id != 0 {
+                l.set((salt, n));
+                return id;
+            }
+        }
+    })
+}
+
+thread_local! {
+    /// The active (trace id, span id) on this thread; (0, 0) = no trace.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+
+    /// (per-thread id salt, per-thread draw counter). The salt folds the
+    /// process seed with a globally unique thread ordinal, keeping id
+    /// streams disjoint across threads *and* processes.
+    static ID_LOCAL: Cell<(u64, u64)> = Cell::new((
+        splitmix64(id_seed() ^ ID_STATE.fetch_add(1, Ordering::Relaxed).rotate_left(17)),
+        0,
+    ));
+}
+
+/// The identity an outgoing remote call should carry, or `None` when
+/// tracing is off or no span is active. One relaxed load on the off path.
+#[inline]
+pub fn current_context() -> Option<TraceContext> {
+    if !crate::tracing_enabled() {
+        return None;
+    }
+    let (trace_id, span_id) = CURRENT.with(Cell::get);
+    if trace_id == 0 {
+        None
+    } else {
+        Some(TraceContext { trace_id, span_id })
+    }
+}
+
+/// Restores the previous thread-local trace identity when dropped.
+///
+/// Returned by [`install_context`]; inert when no context was installed.
+pub struct ContextGuard {
+    prev: Option<(u64, u64)>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            CURRENT.with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Adopts a remote caller's trace identity on this thread until the
+/// returned guard drops. Spans opened under the guard are parented to the
+/// caller's span, which is how a server-side dispatch joins the client's
+/// trace. `None` (or tracing off) installs nothing and returns an inert
+/// guard.
+pub fn install_context(ctx: Option<TraceContext>) -> ContextGuard {
+    match ctx {
+        Some(c) if crate::tracing_enabled() => {
+            let prev = CURRENT.with(|cell| cell.replace((c.trace_id, c.span_id)));
+            ContextGuard { prev: Some(prev) }
+        }
+        _ => ContextGuard { prev: None },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The single-writer seqlock ring
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity single-writer ring of encoded events.
+///
+/// The owning thread is the only writer; readers run concurrently under
+/// the registry lock. Positions are monotone event counts: position `p`
+/// lives in slot `p % RING_CAP`. The writer bumps `reserve` *before*
+/// touching a slot and `commit` *after*, so a reader that copies slots
+/// and then re-checks `reserve` can discard exactly the positions whose
+/// slot may have been rewritten underneath it.
 struct Ring {
-    events: Vec<TraceEvent>,
-    next: usize,
+    words: Box<[AtomicU64]>,
+    /// Positions `< reserve` have begun (possibly finished) being written.
+    reserve: AtomicU64,
+    /// Positions `< commit` are fully written.
+    commit: AtomicU64,
+    /// Positions `< tail` were already consumed by [`drain`].
+    tail: AtomicU64,
     thread: u64,
 }
 
 impl Ring {
-    fn push(&mut self, ev: TraceEvent) {
-        if self.events.len() < RING_CAP {
-            self.events.push(ev);
-        } else {
-            self.events[self.next] = ev;
+    fn new(thread: u64) -> Self {
+        Ring {
+            words: (0..RING_CAP * EVENT_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            reserve: AtomicU64::new(0),
+            commit: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            thread,
         }
-        self.next = (self.next + 1) % RING_CAP;
+    }
+
+    /// Writer side. Must only be called from the ring's owning thread.
+    fn push(&self, ev: &TraceEvent) {
+        let h = self.commit.load(Ordering::Relaxed);
+        // Claim the slot before writing it; the release fence orders this
+        // store before the word stores below for any acquiring reader.
+        self.reserve.store(h + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        let slot = (h as usize % RING_CAP) * EVENT_WORDS;
+        let mut name_words = [0u64; 4];
+        for (i, chunk) in ev.name.chunks_exact(8).enumerate() {
+            name_words[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let kind = match ev.kind {
+            TraceKind::Span => 0u64,
+            TraceKind::Instant => 1u64,
+        };
+        let meta = u64::from(ev.name_len) | (kind << 8);
+        let encoded = [
+            name_words[0],
+            name_words[1],
+            name_words[2],
+            name_words[3],
+            meta,
+            ev.ts_ns,
+            ev.dur_ns,
+            ev.trace_id,
+            ev.span_id,
+            ev.parent_id,
+        ];
+        for (cell, word) in self.words[slot..slot + EVENT_WORDS].iter().zip(encoded) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        // Publish: readers that acquire-load a commit ≥ h+1 see the words.
+        self.commit.store(h + 1, Ordering::Release);
+    }
+
+    /// Reader side: appends every intact buffered event to `out`, oldest
+    /// first. With `consume` the events are marked drained.
+    fn read_into(&self, out: &mut Vec<TraceEvent>, consume: bool) {
+        let h1 = self.commit.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let start = tail.max(h1.saturating_sub(RING_CAP as u64));
+        if start < h1 {
+            let count = (h1 - start) as usize;
+            let mut copy = vec![0u64; count * EVENT_WORDS];
+            for (i, p) in (start..h1).enumerate() {
+                let slot = (p as usize % RING_CAP) * EVENT_WORDS;
+                for w in 0..EVENT_WORDS {
+                    copy[i * EVENT_WORDS + w] = self.words[slot + w].load(Ordering::Relaxed);
+                }
+            }
+            // Seqlock validation: order the copies above before the
+            // reserve re-read, then drop every position whose slot the
+            // writer may have been re-claiming while we copied.
+            fence(Ordering::Acquire);
+            let r2 = self.reserve.load(Ordering::Relaxed);
+            let valid_from = start.max(r2.saturating_sub(RING_CAP as u64));
+            for p in valid_from..h1 {
+                let i = (p - start) as usize;
+                out.push(self.decode(&copy[i * EVENT_WORDS..(i + 1) * EVENT_WORDS]));
+            }
+        }
+        if consume {
+            self.tail.store(h1, Ordering::Relaxed);
+        }
+    }
+
+    fn decode(&self, w: &[u64]) -> TraceEvent {
+        let mut name = [0u8; NAME_CAP];
+        for i in 0..4 {
+            name[i * 8..(i + 1) * 8].copy_from_slice(&w[i].to_le_bytes());
+        }
+        let name_len = (w[4] & 0xff).min(NAME_CAP as u64) as u8;
+        let kind = if (w[4] >> 8) & 0xff == 1 {
+            TraceKind::Instant
+        } else {
+            TraceKind::Span
+        };
+        TraceEvent {
+            name,
+            name_len,
+            kind,
+            ts_ns: w[5],
+            dur_ns: w[6],
+            thread: self.thread,
+            trace_id: w[7],
+            span_id: w[8],
+            parent_id: w[9],
+        }
     }
 }
 
-static REGISTRY: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 thread_local! {
-    static LOCAL: Arc<Mutex<Ring>> = {
-        let ring = Arc::new(Mutex::new(Ring {
-            events: Vec::with_capacity(RING_CAP),
-            next: 0,
-            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
-        }));
+    static LOCAL: Arc<Ring> = {
+        let ring = Arc::new(Ring::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
         REGISTRY.lock().push(Arc::clone(&ring));
         ring
     };
@@ -107,30 +360,21 @@ fn since_epoch_ns(at: Instant) -> u64 {
     at.saturating_duration_since(epoch()).as_nanos() as u64
 }
 
-fn record(name: &str, kind: TraceKind, ts_ns: u64, dur_ns: u64) {
-    let (name, name_len) = pack_name(name);
-    LOCAL.with(|ring| {
-        let mut ring = ring.lock();
-        let thread = ring.thread;
-        ring.push(TraceEvent {
-            name,
-            name_len,
-            kind,
-            ts_ns,
-            dur_ns,
-            thread,
-        });
-    });
-}
-
 /// A RAII guard: records a [`TraceKind::Span`] from creation to drop.
 ///
 /// Created by [`span`]. When tracing was off at creation the guard is
-/// inert (no clock read, no recording at drop).
+/// inert (no clock read, no recording at drop). While live, the guard's
+/// span is the thread's current span: nested spans and outgoing remote
+/// calls on the same thread parent to it. Drop the guard on the thread
+/// that created it — parenting state is thread-local.
 pub struct Span {
     name: [u8; NAME_CAP],
     name_len: u8,
     start: Option<Instant>,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    prev: (u64, u64),
 }
 
 impl Span {
@@ -138,34 +382,42 @@ impl Span {
     pub fn is_recording(&self) -> bool {
         self.start.is_some()
     }
+
+    /// This span's wire identity, for callers that propagate manually.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.start.map(|_| TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+        })
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
+            CURRENT.with(|c| c.set(self.prev));
             let dur_ns = start.elapsed().as_nanos() as u64;
-            // Re-pack is avoided: splice the already-inlined name in.
             let ts_ns = since_epoch_ns(start);
-            let (name, name_len) = (self.name, self.name_len);
-            LOCAL.with(|ring| {
-                let mut ring = ring.lock();
-                let thread = ring.thread;
-                ring.push(TraceEvent {
-                    name,
-                    name_len,
-                    kind: TraceKind::Span,
-                    ts_ns,
-                    dur_ns,
-                    thread,
-                });
-            });
+            let ev = TraceEvent {
+                name: self.name,
+                name_len: self.name_len,
+                kind: TraceKind::Span,
+                ts_ns,
+                dur_ns,
+                thread: 0,
+                trace_id: self.trace_id,
+                span_id: self.span_id,
+                parent_id: self.parent_id,
+            };
+            LOCAL.with(|ring| ring.push(&ev));
         }
     }
 }
 
 /// Opens a span. If tracing is disabled this is one relaxed atomic load
-/// and returns an inert guard; otherwise the span is recorded when the
-/// guard drops.
+/// and returns an inert guard; otherwise the span draws a fresh id,
+/// parents itself to the thread's current span (starting a new trace if
+/// none is active), becomes current, and records when the guard drops.
 #[inline]
 pub fn span(name: &str) -> Span {
     if !crate::tracing_enabled() {
@@ -173,47 +425,82 @@ pub fn span(name: &str) -> Span {
             name: [0; NAME_CAP],
             name_len: 0,
             start: None,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+            prev: (0, 0),
         };
     }
     let _ = epoch();
     let (name, name_len) = pack_name(name);
+    let span_id = next_id();
+    // One TLS visit reads the parent and installs this span. A root span
+    // starts a fresh trace whose id *is* its span id (the usual
+    // root-span convention) — one draw instead of two.
+    let (prev, trace_id) = CURRENT.with(|c| {
+        let prev = c.get();
+        let trace_id = if prev.0 == 0 { span_id } else { prev.0 };
+        c.set((trace_id, span_id));
+        (prev, trace_id)
+    });
     Span {
         name,
         name_len,
         start: Some(Instant::now()),
+        trace_id,
+        span_id,
+        parent_id: prev.1,
+        prev,
     }
 }
 
-/// Records a point event (Chrome trace `ph:"i"`). One relaxed load when
-/// tracing is off.
+/// Records a point event (Chrome trace `ph:"i"`), attached to the
+/// thread's current trace and span if one is active. One relaxed load
+/// when tracing is off.
 #[inline]
 pub fn trace_instant(name: &str) {
     if crate::tracing_enabled() {
-        let ts = since_epoch_ns(Instant::now());
-        record(name, TraceKind::Instant, ts, 0);
+        let ts_ns = since_epoch_ns(Instant::now());
+        let (trace_id, parent_id) = CURRENT.with(Cell::get);
+        let (name, name_len) = pack_name(name);
+        let ev = TraceEvent {
+            name,
+            name_len,
+            kind: TraceKind::Instant,
+            ts_ns,
+            dur_ns: 0,
+            thread: 0,
+            trace_id,
+            span_id: 0,
+            parent_id,
+        };
+        LOCAL.with(|ring| ring.push(&ev));
     }
+}
+
+fn collect(consume: bool) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    {
+        let registry = REGISTRY.lock();
+        for ring in registry.iter() {
+            ring.read_into(&mut out, consume);
+        }
+    }
+    out.sort_by_key(|e| e.ts_ns);
+    out
 }
 
 /// Removes and returns every buffered event from every thread's ring,
 /// ordered by timestamp. Rings that wrapped yield only their newest
 /// `4096` events.
 pub fn drain() -> Vec<TraceEvent> {
-    let rings: Vec<Arc<Mutex<Ring>>> = REGISTRY.lock().iter().map(Arc::clone).collect();
-    let mut out = Vec::new();
-    for ring in rings {
-        let mut ring = ring.lock();
-        if ring.events.len() == RING_CAP {
-            let split = ring.next;
-            out.extend_from_slice(&ring.events[split..]);
-            out.extend_from_slice(&ring.events[..split]);
-        } else {
-            out.extend_from_slice(&ring.events);
-        }
-        ring.events.clear();
-        ring.next = 0;
-    }
-    out.sort_by_key(|e| e.ts_ns);
-    out
+    collect(true)
+}
+
+/// Like [`drain`] but leaves the rings intact: the flight recorder and
+/// the scrape plane read without stealing events from each other.
+pub fn snapshot() -> Vec<TraceEvent> {
+    collect(false)
 }
 
 /// Escapes a string for inclusion inside a JSON string literal.
@@ -234,7 +521,9 @@ pub fn escape_json(s: &str) -> String {
 }
 
 /// Renders events as JSON Lines: one object per event, nanosecond
-/// timestamps, suitable for `jq`/log shippers.
+/// timestamps, ids as 16-digit hex strings (hex, not numbers, because
+/// u64 ids do not survive a round trip through JSON's f64), suitable for
+/// `jq`/log shippers and for [`merge_chrome_trace`].
 pub fn to_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     for ev in events {
@@ -243,41 +532,207 @@ pub fn to_jsonl(events: &[TraceEvent]) -> String {
             TraceKind::Instant => "instant",
         };
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"kind\":\"{kind}\",\"ts_ns\":{},\"dur_ns\":{},\"thread\":{}}}\n",
+            "{{\"name\":\"{}\",\"kind\":\"{kind}\",\"ts_ns\":{},\"dur_ns\":{},\"thread\":{},\
+             \"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}\n",
             escape_json(ev.name()),
             ev.ts_ns,
             ev.dur_ns,
-            ev.thread
+            ev.thread,
+            ev.trace_id,
+            ev.span_id,
+            ev.parent_id,
         ));
     }
     out
 }
 
+fn chrome_args(ev: &TraceEvent) -> String {
+    format!(
+        "\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}",
+        ev.trace_id, ev.span_id, ev.parent_id
+    )
+}
+
+fn chrome_event(ev: &TraceEvent, pid: usize) -> String {
+    let name = escape_json(ev.name());
+    let ts_us = ev.ts_ns as f64 / 1000.0;
+    let args = chrome_args(ev);
+    match ev.kind {
+        TraceKind::Span => format!(
+            "{{\"name\":\"{name}\",\"cat\":\"cca\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+             \"dur\":{:.3},\"pid\":{pid},\"tid\":{},{args}}}",
+            ev.dur_ns as f64 / 1000.0,
+            ev.thread
+        ),
+        TraceKind::Instant => format!(
+            "{{\"name\":\"{name}\",\"cat\":\"cca\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{ts_us:.3},\"pid\":{pid},\"tid\":{},{args}}}",
+            ev.thread
+        ),
+    }
+}
+
 /// Renders events as a Chrome `trace_event` JSON document (`ph:"X"`
-/// complete events, `ph:"i"` instants; timestamps in microseconds).
-/// Load the output at `chrome://tracing` or <https://ui.perfetto.dev>.
+/// complete events, `ph:"i"` instants; timestamps in microseconds; trace
+/// identity under `args`). Load the output at `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
     let mut body = String::new();
     for ev in events {
         if !body.is_empty() {
             body.push(',');
         }
-        let name = escape_json(ev.name());
-        let ts_us = ev.ts_ns as f64 / 1000.0;
-        match ev.kind {
-            TraceKind::Span => body.push_str(&format!(
-                "{{\"name\":\"{name}\",\"cat\":\"cca\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
-                 \"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
-                ev.dur_ns as f64 / 1000.0,
-                ev.thread
-            )),
-            TraceKind::Instant => body.push_str(&format!(
-                "{{\"name\":\"{name}\",\"cat\":\"cca\",\"ph\":\"i\",\"s\":\"t\",\
-                 \"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}}}",
-                ev.thread
-            )),
+        body.push_str(&chrome_event(ev, 1));
+    }
+    format!("{{\"traceEvents\":[{body}],\"displayTimeUnit\":\"ns\"}}")
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process merge
+// ---------------------------------------------------------------------------
+
+/// Returns the raw text of `"key":<value>` in a JSONL line, starting at
+/// the value.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    Some(&line[at..])
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let raw = field_raw(line, key)?;
+    let digits: String = raw.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn field_hex(line: &str, key: &str) -> Option<u64> {
+    let raw = field_raw(line, key)?.strip_prefix('"')?;
+    let end = raw.find('"')?;
+    u64::from_str_radix(&raw[..end], 16).ok()
+}
+
+/// Returns the *still-escaped* string value, so it can be re-emitted into
+/// JSON verbatim.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let raw = field_raw(line, key)?.strip_prefix('"')?;
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&raw[..i]),
+            _ => i += 1,
         }
     }
+    None
+}
+
+struct MergedEvent {
+    name_raw: String,
+    is_span: bool,
+    ts_ns: u64,
+    dur_ns: u64,
+    thread: u64,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    pid: usize,
+}
+
+/// Fuses several processes' [`to_jsonl`] dumps into one Chrome
+/// `trace_event` document: each `(label, jsonl)` pair becomes a named
+/// `pid` row, and every cross-process parent link (a server dispatch span
+/// whose parent span lives in another process) gets a Perfetto flow arrow
+/// from caller to callee. This is what turns N per-process dumps of a
+/// Figure-2 pipeline into one causal timeline.
+pub fn merge_chrome_trace(processes: &[(&str, &str)]) -> String {
+    let mut events: Vec<MergedEvent> = Vec::new();
+    let mut body = String::new();
+    for (idx, (label, jsonl)) in processes.iter().enumerate() {
+        let pid = idx + 1;
+        if !body.is_empty() {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(label)
+        ));
+        for line in jsonl.lines() {
+            let (Some(name_raw), Some(kind)) = (field_str(line, "name"), field_str(line, "kind"))
+            else {
+                continue;
+            };
+            events.push(MergedEvent {
+                name_raw: name_raw.to_string(),
+                is_span: kind == "span",
+                ts_ns: field_u64(line, "ts_ns").unwrap_or(0),
+                dur_ns: field_u64(line, "dur_ns").unwrap_or(0),
+                thread: field_u64(line, "thread").unwrap_or(0),
+                trace_id: field_hex(line, "trace").unwrap_or(0),
+                span_id: field_hex(line, "span").unwrap_or(0),
+                parent_id: field_hex(line, "parent").unwrap_or(0),
+                pid,
+            });
+        }
+    }
+
+    // Where each span lives, for binding cross-process parent links.
+    let mut span_home: std::collections::HashMap<u64, (usize, u64, u64)> =
+        std::collections::HashMap::new();
+    for ev in events.iter().filter(|e| e.is_span && e.span_id != 0) {
+        span_home.insert(ev.span_id, (ev.pid, ev.ts_ns, ev.thread));
+    }
+
+    for ev in &events {
+        body.push(',');
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        let args = format!(
+            "\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"}}",
+            ev.trace_id, ev.span_id, ev.parent_id
+        );
+        if ev.is_span {
+            body.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"cca\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+                 \"dur\":{:.3},\"pid\":{},\"tid\":{},{args}}}",
+                ev.name_raw,
+                ev.dur_ns as f64 / 1000.0,
+                ev.pid,
+                ev.thread
+            ));
+        } else {
+            body.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"cca\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{ts_us:.3},\"pid\":{},\"tid\":{},{args}}}",
+                ev.name_raw, ev.pid, ev.thread
+            ));
+        }
+    }
+
+    // Flow arrows for parent links that cross a process boundary.
+    for ev in events.iter().filter(|e| e.is_span && e.parent_id != 0) {
+        let Some(&(ppid, pts_ns, ptid)) = span_home.get(&ev.parent_id) else {
+            continue;
+        };
+        if ppid == ev.pid {
+            continue;
+        }
+        body.push_str(&format!(
+            ",{{\"name\":\"rpc\",\"cat\":\"cca\",\"ph\":\"s\",\"id\":{},\"pid\":{ppid},\
+             \"tid\":{ptid},\"ts\":{:.3}}}",
+            ev.span_id,
+            pts_ns as f64 / 1000.0
+        ));
+        body.push_str(&format!(
+            ",{{\"name\":\"rpc\",\"cat\":\"cca\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\
+             \"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+            ev.span_id,
+            ev.pid,
+            ev.thread,
+            ev.ts_ns as f64 / 1000.0
+        ));
+    }
+
     format!("{{\"traceEvents\":[{body}],\"displayTimeUnit\":\"ns\"}}")
 }
 
@@ -287,7 +742,7 @@ mod tests {
     use crate::flags;
 
     // Flag toggles are process-global; serialize the tests that flip them.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    use crate::flags::TEST_LOCK;
 
     #[test]
     fn span_and_instant_round_trip() {
@@ -309,16 +764,22 @@ mod tests {
         assert_eq!(events[1].name(), "connected");
         assert_eq!(events[1].kind, TraceKind::Instant);
         assert_eq!(events[1].dur_ns, 0);
+        // The instant is attached to the enclosing span's trace.
+        assert_ne!(events[0].trace_id, 0);
+        assert_eq!(events[1].trace_id, events[0].trace_id);
+        assert_eq!(events[1].parent_id, events[0].span_id);
 
         let jsonl = to_jsonl(&events);
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.contains("\"kind\":\"span\""));
         assert!(jsonl.contains("\"name\":\"connected\""));
+        assert!(jsonl.contains(&format!("\"trace\":\"{:016x}\"", events[0].trace_id)));
 
         let chrome = to_chrome_trace(&events);
         assert!(chrome.starts_with("{\"traceEvents\":["));
         assert!(chrome.contains("\"ph\":\"X\""));
         assert!(chrome.contains("\"ph\":\"i\""));
+        assert!(chrome.contains("\"args\":{\"trace\":"));
     }
 
     #[test]
@@ -328,9 +789,73 @@ mod tests {
         drain();
         let s = span("ignored");
         assert!(!s.is_recording());
+        assert!(s.context().is_none());
         drop(s);
         trace_instant("ignored");
+        assert!(current_context().is_none());
         assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_link_parents() {
+        let _guard = TEST_LOCK.lock();
+        flags::set_tracing(true);
+        drain();
+        {
+            let outer = span("outer");
+            let octx = outer.context().unwrap();
+            {
+                let inner = span("inner");
+                let ictx = inner.context().unwrap();
+                assert_eq!(ictx.trace_id, octx.trace_id);
+                assert_ne!(ictx.span_id, octx.span_id);
+                // The current context follows the innermost live span.
+                assert_eq!(current_context(), Some(ictx));
+            }
+            assert_eq!(current_context(), Some(octx));
+        }
+        flags::set_tracing(false);
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        let outer = events.iter().find(|e| e.name() == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name() == "inner").unwrap();
+        assert_eq!(inner.trace_id, outer.trace_id);
+        assert_eq!(inner.parent_id, outer.span_id);
+        assert_eq!(outer.parent_id, 0);
+    }
+
+    #[test]
+    fn installed_context_parents_local_spans() {
+        let _guard = TEST_LOCK.lock();
+        flags::set_tracing(true);
+        drain();
+        let remote = TraceContext {
+            trace_id: 0xabcd,
+            span_id: 0x1234,
+        };
+        {
+            let g = install_context(Some(remote));
+            assert_eq!(current_context(), Some(remote));
+            let _s = span("dispatch");
+            drop(_s);
+            drop(g);
+        }
+        assert!(current_context().is_none());
+        flags::set_tracing(false);
+        let events = drain();
+        let dispatch = events.iter().find(|e| e.name() == "dispatch").unwrap();
+        assert_eq!(dispatch.trace_id, remote.trace_id);
+        assert_eq!(dispatch.parent_id, remote.span_id);
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id:#x}");
+        }
     }
 
     #[test]
@@ -344,26 +869,122 @@ mod tests {
 
     #[test]
     fn ring_wraps_keeping_newest() {
-        let mut ring = Ring {
-            events: Vec::with_capacity(RING_CAP),
-            next: 0,
-            thread: 0,
-        };
+        let ring = Ring::new(7);
         let (name, name_len) = pack_name("x");
         for i in 0..(RING_CAP as u64 + 10) {
-            ring.push(TraceEvent {
+            ring.push(&TraceEvent {
                 name,
                 name_len,
                 kind: TraceKind::Instant,
                 ts_ns: i,
                 dur_ns: 0,
                 thread: 0,
+                trace_id: 1,
+                span_id: 0,
+                parent_id: 2,
             });
         }
-        assert_eq!(ring.events.len(), RING_CAP);
+        let mut out = Vec::new();
+        ring.read_into(&mut out, true);
+        assert_eq!(out.len(), RING_CAP);
         // Oldest surviving event is #10.
-        let min = ring.events.iter().map(|e| e.ts_ns).min().unwrap();
+        let min = out.iter().map(|e| e.ts_ns).min().unwrap();
         assert_eq!(min, 10);
+        assert!(out.iter().all(|e| e.thread == 7 && e.trace_id == 1));
+        // Consumed: a second read yields nothing new.
+        let mut again = Vec::new();
+        ring.read_into(&mut again, false);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let _guard = TEST_LOCK.lock();
+        flags::set_tracing(true);
+        drain();
+        trace_instant("kept");
+        flags::set_tracing(false);
+        let first = snapshot();
+        assert!(first.iter().any(|e| e.name() == "kept"));
+        let second = snapshot();
+        assert!(second.iter().any(|e| e.name() == "kept"));
+        let drained = drain();
+        assert!(drained.iter().any(|e| e.name() == "kept"));
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_see_only_intact_events() {
+        // Hammer one ring directly: a single writer races a reader that
+        // snapshots without consuming. Torn slots must never decode.
+        let ring = Arc::new(Ring::new(0));
+        let writer_ring = Arc::clone(&ring);
+        let writer = std::thread::spawn(move || {
+            let (even, even_len) = pack_name("even-event");
+            let (odd, odd_len) = pack_name("odd-event-name");
+            for i in 0..200_000u64 {
+                let (name, name_len) = if i % 2 == 0 {
+                    (even, even_len)
+                } else {
+                    (odd, odd_len)
+                };
+                writer_ring.push(&TraceEvent {
+                    name,
+                    name_len,
+                    kind: TraceKind::Instant,
+                    ts_ns: i,
+                    dur_ns: i ^ 0x5a5a,
+                    thread: 0,
+                    trace_id: 0xfeed,
+                    span_id: i,
+                    parent_id: !i,
+                });
+            }
+        });
+        let mut rounds = 0usize;
+        while !writer.is_finished() {
+            let mut out = Vec::new();
+            ring.read_into(&mut out, false);
+            for ev in &out {
+                let ok = (ev.name() == "even-event" && ev.ts_ns % 2 == 0)
+                    || (ev.name() == "odd-event-name" && ev.ts_ns % 2 == 1);
+                assert!(ok, "torn event leaked: {:?} ts={}", ev.name(), ev.ts_ns);
+                assert_eq!(ev.trace_id, 0xfeed);
+                assert_eq!(ev.span_id, ev.ts_ns);
+                assert_eq!(ev.parent_id, !ev.ts_ns);
+                assert_eq!(ev.dur_ns, ev.ts_ns ^ 0x5a5a);
+            }
+            rounds += 1;
+        }
+        writer.join().unwrap();
+        let mut out = Vec::new();
+        ring.read_into(&mut out, true);
+        assert_eq!(out.len(), RING_CAP);
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn merge_links_cross_process_spans() {
+        // Hand-built two-process dump: client call span 0x11 in trace
+        // 0xaa, server dispatch span 0x22 parented to 0x11.
+        let client = "{\"name\":\"rpc.mux.call\",\"kind\":\"span\",\"ts_ns\":1000,\
+                      \"dur_ns\":5000,\"thread\":0,\
+                      \"trace\":\"00000000000000aa\",\"span\":\"0000000000000011\",\
+                      \"parent\":\"0000000000000000\"}\n";
+        let server = "{\"name\":\"rpc.dispatch\",\"kind\":\"span\",\"ts_ns\":2000,\
+                      \"dur_ns\":1000,\"thread\":3,\
+                      \"trace\":\"00000000000000aa\",\"span\":\"0000000000000022\",\
+                      \"parent\":\"0000000000000011\"}\n";
+        let merged = merge_chrome_trace(&[("client", client), ("server", server)]);
+        assert!(merged.contains("\"process_name\""));
+        assert!(merged.contains("\"args\":{\"name\":\"client\"}"));
+        assert!(merged.contains("\"args\":{\"name\":\"server\"}"));
+        // Both spans present under their own pids.
+        assert!(merged.contains("\"name\":\"rpc.mux.call\",\"cat\":\"cca\",\"ph\":\"X\""));
+        assert!(merged.contains("\"pid\":2,\"tid\":3"));
+        // The cross-process link becomes a flow arrow pair.
+        assert!(merged.contains("\"ph\":\"s\",\"id\":34,\"pid\":1"));
+        assert!(merged.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":34,\"pid\":2"));
     }
 
     #[test]

@@ -9,23 +9,31 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"CCAR"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (currently 2)
 //! 5       1     kind: 0 = request, 1 = reply
-//! 6       2     reserved, must be zero
+//! 6       1     extension flags: bit 0 = trace context present; all
+//!               other bits must be zero
+//! 7       1     extension length: 16 when bit 0 is set, else 0
 //! 8       8     correlation id (u64 LE) — duplicated from the wire
 //!               payload so a transport can route replies to callers
 //!               without demarshaling them (out-of-order completion)
 //! 16      4     payload length (u32 LE), capped
-//! 20      …     payload (the `wire` encoding of a Request or Reply)
+//! 20      0|16  trace context: trace id then caller span id, both
+//!               u64 LE and both nonzero. Absent when tracing is off —
+//!               a tracing-off v2 frame is byte-identical to v1 except
+//!               the version byte, which is how E12/E13 stay untouched.
+//! 20+ext  …     payload (the `wire` encoding of a Request or Reply)
 //! ```
 //!
-//! Every malformed input — wrong magic, unknown version or kind, a length
-//! over the cap, a stream that ends mid-frame — is a typed [`FrameError`],
-//! never a panic and never an unbounded read. [`FrameDecoder`] is
-//! incremental: bytes may arrive split at arbitrary boundaries (as TCP
-//! delivers them) and frames pop out exactly when complete.
+//! Every malformed input — wrong magic, unknown version or kind, bad
+//! extension bytes, a length over the cap, a stream that ends mid-frame —
+//! is a typed [`FrameError`], never a panic and never an unbounded read.
+//! [`FrameDecoder`] is incremental: bytes may arrive split at arbitrary
+//! boundaries (as TCP delivers them) and frames pop out exactly when
+//! complete.
 
 use bytes::Bytes;
+use cca_obs::TraceContext;
 use cca_sidl::SidlError;
 use std::fmt;
 
@@ -33,10 +41,16 @@ use std::fmt;
 pub const FRAME_MAGIC: [u8; 4] = *b"CCAR";
 
 /// The protocol version this build speaks.
-pub const FRAME_VERSION: u8 = 1;
+pub const FRAME_VERSION: u8 = 2;
 
-/// Fixed header size in bytes.
+/// Fixed header size in bytes (the trace-context extension follows it).
 pub const FRAME_HEADER_LEN: usize = 20;
+
+/// Size of the trace-context extension when present: two `u64` LE ids.
+pub const TRACE_CONTEXT_LEN: usize = 16;
+
+/// Header flag bit 0: a trace-context extension follows the header.
+const FLAG_TRACE_CONTEXT: u8 = 1;
 
 /// Default payload cap: large enough for any marshaled `wire` array the
 /// decoder itself accepts, small enough that a hostile length field cannot
@@ -79,6 +93,8 @@ pub struct Frame {
     pub kind: FrameKind,
     /// Transport-level correlation id.
     pub request_id: u64,
+    /// The caller's trace identity, when the peer sent one.
+    pub context: Option<TraceContext>,
     /// The marshaled message.
     pub payload: Bytes,
 }
@@ -93,8 +109,9 @@ pub enum FrameError {
     BadVersion(u8),
     /// The kind byte is neither request nor reply.
     BadKind(u8),
-    /// The reserved bytes were non-zero (a future extension, or garbage).
-    BadReserved(u16),
+    /// The extension bytes are inconsistent: unknown flag bits, a length
+    /// that disagrees with the flags, or a context with zeroed ids.
+    BadContext(&'static str),
     /// The declared payload length exceeds the reader's cap.
     Oversized {
         /// Length the header declared.
@@ -102,7 +119,7 @@ pub enum FrameError {
         /// The reader's cap.
         cap: u32,
     },
-    /// The stream ended inside a frame (header or payload).
+    /// The stream ended inside a frame (header, extension, or payload).
     Truncated {
         /// Bytes buffered when the stream ended.
         have: usize,
@@ -120,7 +137,7 @@ impl fmt::Display for FrameError {
                 "unsupported frame version {v} (this build speaks {FRAME_VERSION})"
             ),
             FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
-            FrameError::BadReserved(r) => write!(f, "non-zero reserved frame bytes {r:#06x}"),
+            FrameError::BadContext(why) => write!(f, "bad trace-context extension: {why}"),
             FrameError::Oversized { declared, cap } => {
                 write!(
                     f,
@@ -142,13 +159,26 @@ impl From<FrameError> for SidlError {
     }
 }
 
-/// Encodes one frame. Fails (typed, no panic) if the payload exceeds
-/// `max_payload`.
+/// Encodes one frame without a trace context. Fails (typed, no panic) if
+/// the payload exceeds `max_payload`.
 pub fn encode_frame(
     kind: FrameKind,
     request_id: u64,
     payload: &[u8],
     max_payload: u32,
+) -> Result<Vec<u8>, FrameError> {
+    encode_frame_with(kind, request_id, payload, max_payload, None)
+}
+
+/// Encodes one frame, carrying `context` as the 16-byte extension when
+/// given. A context with a zeroed id is treated as absent (zero is the
+/// wire's "no trace" sentinel, and the decoder rejects it as garbage).
+pub fn encode_frame_with(
+    kind: FrameKind,
+    request_id: u64,
+    payload: &[u8],
+    max_payload: u32,
+    context: Option<TraceContext>,
 ) -> Result<Vec<u8>, FrameError> {
     if payload.len() > max_payload as usize {
         return Err(FrameError::Oversized {
@@ -156,13 +186,28 @@ pub fn encode_frame(
             cap: max_payload,
         });
     }
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    let context = context.filter(|c| c.trace_id != 0 && c.span_id != 0);
+    let ctx_len = if context.is_some() {
+        TRACE_CONTEXT_LEN
+    } else {
+        0
+    };
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ctx_len + payload.len());
     out.extend_from_slice(&FRAME_MAGIC);
     out.push(FRAME_VERSION);
     out.push(kind.to_byte());
-    out.extend_from_slice(&[0, 0]);
+    out.push(if context.is_some() {
+        FLAG_TRACE_CONTEXT
+    } else {
+        0
+    });
+    out.push(ctx_len as u8);
     out.extend_from_slice(&request_id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    if let Some(ctx) = context {
+        out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+        out.extend_from_slice(&ctx.span_id.to_le_bytes());
+    }
     out.extend_from_slice(payload);
     Ok(out)
 }
@@ -171,6 +216,7 @@ pub fn encode_frame(
 struct Header {
     kind: FrameKind,
     request_id: u64,
+    ctx_len: usize,
     payload_len: u32,
 }
 
@@ -182,9 +228,18 @@ fn parse_header(raw: &[u8; FRAME_HEADER_LEN], max_payload: u32) -> Result<Header
         return Err(FrameError::BadVersion(raw[4]));
     }
     let kind = FrameKind::from_byte(raw[5])?;
-    let reserved = u16::from_le_bytes([raw[6], raw[7]]);
-    if reserved != 0 {
-        return Err(FrameError::BadReserved(reserved));
+    let flags = raw[6];
+    if flags & !FLAG_TRACE_CONTEXT != 0 {
+        return Err(FrameError::BadContext("unknown flag bits"));
+    }
+    let ctx_len = raw[7] as usize;
+    let want = if flags & FLAG_TRACE_CONTEXT != 0 {
+        TRACE_CONTEXT_LEN
+    } else {
+        0
+    };
+    if ctx_len != want {
+        return Err(FrameError::BadContext("length disagrees with flags"));
     }
     let request_id = u64::from_le_bytes(raw[8..16].try_into().unwrap());
     let payload_len = u32::from_le_bytes(raw[16..20].try_into().unwrap());
@@ -197,15 +252,32 @@ fn parse_header(raw: &[u8; FRAME_HEADER_LEN], max_payload: u32) -> Result<Header
     Ok(Header {
         kind,
         request_id,
+        ctx_len,
         payload_len,
     })
 }
 
+/// Decodes the extension bytes following the header. Zeroed ids are the
+/// in-memory "no trace" sentinel; a peer that puts them on the wire sent
+/// garbage, and saying so catches bit-rot a silent `None` would mask.
+fn decode_context(ext: &[u8]) -> Result<Option<TraceContext>, FrameError> {
+    if ext.is_empty() {
+        return Ok(None);
+    }
+    let trace_id = u64::from_le_bytes(ext[0..8].try_into().unwrap());
+    let span_id = u64::from_le_bytes(ext[8..16].try_into().unwrap());
+    if trace_id == 0 || span_id == 0 {
+        return Err(FrameError::BadContext("zeroed trace ids"));
+    }
+    Ok(Some(TraceContext { trace_id, span_id }))
+}
+
 /// Incremental frame reassembly over a byte stream delivered in arbitrary
 /// chunks. Feed bytes as they arrive; complete frames pop out in order.
-/// The header is validated as soon as its 20 bytes are buffered, so a bad
-/// magic or an oversized length is rejected *before* any payload
-/// accumulates.
+/// The header is validated as soon as its 20 bytes are buffered, and the
+/// trace-context extension as soon as *its* bytes are, so a bad magic, an
+/// oversized length, or a garbage context is rejected *before* any
+/// payload accumulates.
 pub struct FrameDecoder {
     buf: Vec<u8>,
     max_payload: u32,
@@ -250,15 +322,21 @@ impl FrameDecoder {
         }
         let raw: [u8; FRAME_HEADER_LEN] = self.buf[..FRAME_HEADER_LEN].try_into().unwrap();
         let header = parse_header(&raw, self.max_payload)?;
-        let total = FRAME_HEADER_LEN + header.payload_len as usize;
+        let body_at = FRAME_HEADER_LEN + header.ctx_len;
+        if self.buf.len() < body_at {
+            return Ok(None);
+        }
+        let context = decode_context(&self.buf[FRAME_HEADER_LEN..body_at])?;
+        let total = body_at + header.payload_len as usize;
         if self.buf.len() < total {
             return Ok(None);
         }
-        let payload = Bytes::from(self.buf[FRAME_HEADER_LEN..total].to_vec());
+        let payload = Bytes::from(self.buf[body_at..total].to_vec());
         self.buf.drain(..total);
         Ok(Some(Frame {
             kind: header.kind,
             request_id: header.request_id,
+            context,
             payload,
         }))
     }
@@ -274,7 +352,7 @@ impl FrameDecoder {
         } else {
             let raw: [u8; FRAME_HEADER_LEN] = self.buf[..FRAME_HEADER_LEN].try_into().unwrap();
             match parse_header(&raw, self.max_payload) {
-                Ok(h) => FRAME_HEADER_LEN + h.payload_len as usize,
+                Ok(h) => FRAME_HEADER_LEN + h.ctx_len + h.payload_len as usize,
                 Err(e) => return Err(e),
             }
         };
@@ -311,11 +389,17 @@ pub fn read_frame(
     reader.read_exact(&mut raw[1..]).map_err(truncated)?;
     let header = parse_header(&raw, max_payload)
         .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let mut ext = [0u8; TRACE_CONTEXT_LEN];
+    let ext = &mut ext[..header.ctx_len];
+    reader.read_exact(ext).map_err(truncated)?;
+    let context =
+        decode_context(ext).map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
     let mut payload = vec![0u8; header.payload_len as usize];
     reader.read_exact(&mut payload).map_err(truncated)?;
     Ok(Some(Frame {
         kind: header.kind,
         request_id: header.request_id,
+        context,
         payload: Bytes::from(payload),
     }))
 }
@@ -331,7 +415,7 @@ fn truncated(e: std::io::Error) -> std::io::Error {
     }
 }
 
-/// Writes one frame to a blocking writer.
+/// Writes one frame without a trace context to a blocking writer.
 pub fn write_frame(
     writer: &mut impl std::io::Write,
     kind: FrameKind,
@@ -339,7 +423,19 @@ pub fn write_frame(
     payload: &[u8],
     max_payload: u32,
 ) -> std::io::Result<()> {
-    let framed = encode_frame(kind, request_id, payload, max_payload)
+    write_frame_with(writer, kind, request_id, payload, max_payload, None)
+}
+
+/// Writes one frame, carrying `context` when given, to a blocking writer.
+pub fn write_frame_with(
+    writer: &mut impl std::io::Write,
+    kind: FrameKind,
+    request_id: u64,
+    payload: &[u8],
+    max_payload: u32,
+    context: Option<TraceContext>,
+) -> std::io::Result<()> {
+    let framed = encode_frame_with(kind, request_id, payload, max_payload, context)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     writer.write_all(&framed)?;
     writer.flush()
@@ -349,6 +445,10 @@ pub fn write_frame(
 mod tests {
     use super::*;
 
+    fn ctx(trace_id: u64, span_id: u64) -> TraceContext {
+        TraceContext { trace_id, span_id }
+    }
+
     #[test]
     fn frame_round_trips_through_the_decoder() {
         let framed = encode_frame(FrameKind::Request, 42, b"payload", DEFAULT_MAX_PAYLOAD).unwrap();
@@ -357,14 +457,61 @@ mod tests {
         let frame = dec.next_frame().unwrap().unwrap();
         assert_eq!(frame.kind, FrameKind::Request);
         assert_eq!(frame.request_id, 42);
+        assert_eq!(frame.context, None);
         assert_eq!(&frame.payload[..], b"payload");
         assert!(dec.next_frame().unwrap().is_none());
         dec.finish().unwrap();
     }
 
     #[test]
+    fn context_round_trips_through_the_decoder() {
+        let framed = encode_frame_with(
+            FrameKind::Request,
+            42,
+            b"payload",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(0xdead_beef, 0x1234)),
+        )
+        .unwrap();
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + TRACE_CONTEXT_LEN + 7);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(frame.context, Some(ctx(0xdead_beef, 0x1234)));
+        assert_eq!(&frame.payload[..], b"payload");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn contextless_frames_spend_zero_extension_bytes() {
+        // The E12/E13 invariant: tracing off ⇒ the frame is exactly the
+        // v1 layout except the version byte. No flags, no extension.
+        let framed = encode_frame(FrameKind::Reply, 9, b"ok", DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + 2);
+        assert_eq!(framed[6], 0);
+        assert_eq!(framed[7], 0);
+        // A zeroed context is normalized to "absent", not sent as garbage.
+        let zeroed = encode_frame_with(
+            FrameKind::Reply,
+            9,
+            b"ok",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(0, 7)),
+        )
+        .unwrap();
+        assert_eq!(zeroed, framed);
+    }
+
+    #[test]
     fn byte_at_a_time_delivery_reassembles() {
-        let framed = encode_frame(FrameKind::Reply, 7, b"slow", DEFAULT_MAX_PAYLOAD).unwrap();
+        let framed = encode_frame_with(
+            FrameKind::Reply,
+            7,
+            b"slow",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(1, 2)),
+        )
+        .unwrap();
         let mut dec = FrameDecoder::new();
         let mut got = None;
         for b in &framed {
@@ -375,6 +522,7 @@ mod tests {
         }
         let frame = got.expect("frame completed with the last byte");
         assert_eq!(frame.request_id, 7);
+        assert_eq!(frame.context, Some(ctx(1, 2)));
         assert_eq!(&frame.payload[..], b"slow");
     }
 
@@ -392,10 +540,14 @@ mod tests {
     }
 
     #[test]
-    fn version_kind_and_reserved_are_validated() {
+    fn version_kind_and_extension_bytes_are_validated() {
         let good = encode_frame(FrameKind::Request, 1, b"", DEFAULT_MAX_PAYLOAD).unwrap();
-        for (offset, value, want) in [(4usize, 9u8, "version"), (5, 7, "kind"), (6, 1, "reserved")]
-        {
+        for (offset, value, want) in [
+            (4usize, 9u8, "version"),
+            (5, 7, "kind"),
+            (6, 0xfe, "flags"),
+            (7, 5, "ctx-len"),
+        ] {
             let mut bad = good.clone();
             bad[offset] = value;
             let mut dec = FrameDecoder::new();
@@ -405,10 +557,63 @@ mod tests {
                 (&err, want),
                 (FrameError::BadVersion(9), "version")
                     | (FrameError::BadKind(7), "kind")
-                    | (FrameError::BadReserved(1), "reserved")
+                    | (FrameError::BadContext("unknown flag bits"), "flags")
+                    | (
+                        FrameError::BadContext("length disagrees with flags"),
+                        "ctx-len"
+                    )
             );
             assert!(matched, "{want}: {err:?}");
         }
+    }
+
+    #[test]
+    fn zeroed_wire_context_is_typed_garbage() {
+        let mut framed = encode_frame_with(
+            FrameKind::Request,
+            1,
+            b"x",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(3, 4)),
+        )
+        .unwrap();
+        framed[FRAME_HEADER_LEN..FRAME_HEADER_LEN + 8].fill(0);
+        let mut dec = FrameDecoder::new();
+        // Header + extension alone must reject: no payload needed.
+        dec.feed(&framed[..FRAME_HEADER_LEN + TRACE_CONTEXT_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadContext("zeroed trace ids"))
+        ));
+    }
+
+    #[test]
+    fn flags_and_length_must_agree_both_ways() {
+        // flags=1 but length 0.
+        let mut framed = encode_frame_with(
+            FrameKind::Request,
+            1,
+            b"",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(3, 4)),
+        )
+        .unwrap();
+        framed[7] = 0;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadContext("length disagrees with flags"))
+        ));
+        // flags=0 but length 16.
+        let mut framed = encode_frame(FrameKind::Request, 1, b"", DEFAULT_MAX_PAYLOAD).unwrap();
+        framed[7] = TRACE_CONTEXT_LEN as u8;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadContext("length disagrees with flags"))
+        ));
     }
 
     #[test]
@@ -433,30 +638,49 @@ mod tests {
 
     #[test]
     fn truncation_is_reported_at_end_of_stream() {
-        let framed = encode_frame(FrameKind::Request, 1, b"hello", DEFAULT_MAX_PAYLOAD).unwrap();
-        let mut dec = FrameDecoder::new();
-        dec.feed(&framed[..framed.len() - 1]);
-        assert!(dec.next_frame().unwrap().is_none(), "frame is incomplete");
-        let err = dec.finish().unwrap_err();
-        assert!(
-            matches!(err, FrameError::Truncated { have, need }
-                if have == framed.len() - 1 && need == framed.len()),
-            "{err:?}"
-        );
+        let framed = encode_frame_with(
+            FrameKind::Request,
+            1,
+            b"hello",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(1, 2)),
+        )
+        .unwrap();
+        // Cut inside the payload, and separately inside the extension.
+        for cut in [framed.len() - 1, FRAME_HEADER_LEN + 3] {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&framed[..cut]);
+            assert!(dec.next_frame().unwrap().is_none(), "frame is incomplete");
+            let err = dec.finish().unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { have, need }
+                    if have == cut && need == framed.len()),
+                "cut at {cut}: {err:?}"
+            );
+        }
     }
 
     #[test]
     fn read_frame_distinguishes_clean_eof_from_mid_frame_eof() {
-        let framed = encode_frame(FrameKind::Reply, 3, b"ok", DEFAULT_MAX_PAYLOAD).unwrap();
+        let framed = encode_frame_with(
+            FrameKind::Reply,
+            3,
+            b"ok",
+            DEFAULT_MAX_PAYLOAD,
+            Some(ctx(5, 6)),
+        )
+        .unwrap();
         let mut cursor = std::io::Cursor::new(framed.clone());
         let frame = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
             .unwrap()
             .unwrap();
         assert_eq!(frame.request_id, 3);
+        assert_eq!(frame.context, Some(ctx(5, 6)));
         assert!(read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD)
             .unwrap()
             .is_none());
-        let mut cut = std::io::Cursor::new(framed[..framed.len() - 1].to_vec());
+        // EOF inside the extension bytes is mid-frame, not clean.
+        let mut cut = std::io::Cursor::new(framed[..FRAME_HEADER_LEN + 5].to_vec());
         assert!(read_frame(&mut cut, DEFAULT_MAX_PAYLOAD).is_err());
     }
 
@@ -464,12 +688,16 @@ mod tests {
     fn back_to_back_frames_pop_in_order() {
         let mut stream = Vec::new();
         for id in 0..5u64 {
+            // Alternate context/no-context to prove the boundary logic
+            // accounts for the variable extension.
+            let context = (id % 2 == 0).then(|| ctx(id + 1, id + 100));
             stream.extend(
-                encode_frame(
+                encode_frame_with(
                     FrameKind::Request,
                     id,
                     format!("m{id}").as_bytes(),
                     DEFAULT_MAX_PAYLOAD,
+                    context,
                 )
                 .unwrap(),
             );
@@ -479,6 +707,7 @@ mod tests {
         for id in 0..5u64 {
             let f = dec.next_frame().unwrap().unwrap();
             assert_eq!(f.request_id, id);
+            assert_eq!(f.context, (id % 2 == 0).then(|| ctx(id + 1, id + 100)));
             assert_eq!(f.payload.as_slice(), format!("m{id}").as_bytes());
         }
         assert!(dec.next_frame().unwrap().is_none());

@@ -49,7 +49,10 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use frame::{FrameDecoder, FrameError, FrameKind};
+pub use frame::{
+    encode_frame, encode_frame_with, write_frame, write_frame_with, Frame, FrameDecoder,
+    FrameError, FrameKind, FRAME_VERSION, TRACE_CONTEXT_LEN,
+};
 pub use mux::{MuxServer, MuxServerConfig, MuxTransport, PendingReply, DEFAULT_MUX_CONNECTIONS};
 pub use orb::{ObjRef, Orb};
 pub use proxy::RemotePortProxy;

@@ -38,13 +38,14 @@
 //! misclassified as a violation.
 
 use crate::frame::{
-    encode_frame, read_frame, Frame, FrameDecoder, FrameKind, DEFAULT_MAX_PAYLOAD, FRAME_HEADER_LEN,
+    encode_frame, encode_frame_with, read_frame, Frame, FrameDecoder, FrameKind,
+    DEFAULT_MAX_PAYLOAD, FRAME_HEADER_LEN,
 };
 use crate::tcp::CONNECTION_EXCEPTION_TYPE;
 use crate::transport::{Dispatcher, Transport};
 use bytes::Bytes;
 use cca_core::resilience::{SplitMix64, DEADLINE_EXCEPTION_TYPE};
-use cca_obs::{MuxMetrics, TransportMetrics};
+use cca_obs::{MuxMetrics, TraceContext, TransportMetrics};
 use cca_sidl::SidlError;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
@@ -164,6 +165,16 @@ impl MuxConn {
             out.buf.clear();
         }
         self.out_cv.notify_all();
+        // Black-box the death while the evidence is fresh: what the mux
+        // counters saw and what the trace rings hold, before the waiters
+        // wake and their retries overwrite both.
+        if cca_obs::flight::enabled() {
+            cca_obs::flight::record_incident_with_metrics(
+                "ConnectionFailure",
+                &format!("tcp+mux://{}: {cause}", self.addr),
+                Some(&self.metrics.snapshot().to_json()),
+            );
+        }
         for cell in victims {
             self.metrics.record_end();
             cell.deliver(Err(cause.clone()));
@@ -435,11 +446,15 @@ impl MuxTransport {
         let _span = cca_obs::span("rpc.mux.submit");
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let conn = self.conn_for_call()?;
-        let framed = encode_frame(
+        // The submit span above is current here, so the wire context
+        // parents the server's dispatch span to this very call. Tracing
+        // off ⇒ `None` after one relaxed load, zero extension bytes.
+        let framed = encode_frame_with(
             FrameKind::Request,
             request_id,
             request.as_ref(),
             self.max_payload,
+            cca_obs::trace::current_context(),
         )?;
         let cell = Arc::new(WaitCell::new());
         {
@@ -627,6 +642,9 @@ struct Job {
     conn_id: u64,
     request_id: u64,
     payload: Bytes,
+    /// The caller's trace identity from the frame, installed around the
+    /// dispatch so the worker's spans join the caller's trace.
+    context: Option<TraceContext>,
     /// Bytes this job charges against its connection's backlog until the
     /// reply lands in the write buffer (see [`ServerConn::pending_cost`]).
     cost: usize,
@@ -873,7 +891,13 @@ impl MuxServer {
             // valid frame observes its call never completing against its
             // deadline. To keep parity with `TcpServer` (which hangs up),
             // we enqueue a sentinel close instead.
-            match self.dispatcher.dispatch(job.payload) {
+            let outcome = {
+                // Adopt the caller's wire identity for the dispatch: the
+                // ORB's dispatch span parents to the client's call span.
+                let _ctx = cca_obs::install_context(job.context);
+                self.dispatcher.dispatch(job.payload)
+            };
+            match outcome {
                 Ok(reply) => {
                     match encode_frame(
                         FrameKind::Reply,
@@ -1088,6 +1112,7 @@ impl MuxServer {
                 Ok(Some(Frame {
                     kind: FrameKind::Request,
                     request_id,
+                    context,
                     payload,
                 })) => {
                     if self.should_drop() {
@@ -1104,6 +1129,7 @@ impl MuxServer {
                     self.jobs.lock().unwrap().jobs.push_back(Job {
                         conn_id: conn.id,
                         request_id,
+                        context,
                         payload,
                         cost,
                     });

@@ -75,13 +75,14 @@ impl Transport for DeadlineTransport {
             self.deadline_hits.fetch_add(1, Ordering::Relaxed);
             cca_obs::resilience().record_deadline_hit();
             cca_obs::trace_instant("rpc.deadline_exceeded");
-            return Err(SidlError::user(
-                DEADLINE_EXCEPTION_TYPE,
-                format!(
-                    "round trip took {elapsed} ns, budget was {} ns",
-                    self.deadline_ns
-                ),
-            ));
+            let message = format!(
+                "round trip took {elapsed} ns, budget was {} ns",
+                self.deadline_ns
+            );
+            if cca_obs::flight::enabled() {
+                cca_obs::flight::record_incident("DeadlineExceeded", &message);
+            }
+            return Err(SidlError::user(DEADLINE_EXCEPTION_TYPE, message));
         }
         result
     }

@@ -23,7 +23,7 @@
 //! [`TcpServer::set_fault_plan`] arms a seeded schedule that hangs up
 //! *after* reading a request and *before* replying — the worst moment.
 
-use crate::frame::{read_frame, write_frame, FrameKind, DEFAULT_MAX_PAYLOAD};
+use crate::frame::{read_frame, write_frame, write_frame_with, FrameKind, DEFAULT_MAX_PAYLOAD};
 use crate::transport::{Dispatcher, Transport};
 use bytes::Bytes;
 use cca_core::resilience::{SplitMix64, DEADLINE_EXCEPTION_TYPE};
@@ -44,6 +44,12 @@ use std::time::{Duration, Instant};
 pub const CONNECTION_EXCEPTION_TYPE: &str = "cca.rpc.ConnectionFailure";
 
 fn conn_err(message: impl Into<String>) -> SidlError {
+    let message = message.into();
+    // Failure path only: freeze the evidence while it is still fresh. A
+    // disabled recorder (the default) returns without IO.
+    if cca_obs::flight::enabled() {
+        cca_obs::flight::record_incident("ConnectionFailure", &message);
+    }
     SidlError::user(CONNECTION_EXCEPTION_TYPE, message)
 }
 
@@ -189,9 +195,15 @@ impl TcpServer {
             // Dispatch errors here mean the *payload* was undecodable (the
             // dispatcher marshals servant errors into replies) — a protocol
             // violation, handled like a framing one: hang up.
-            let reply = match self.dispatcher.dispatch(frame.payload) {
-                Ok(r) => r,
-                Err(_) => break,
+            let reply = {
+                // Adopt the caller's trace identity for the duration of the
+                // dispatch: the ORB's dispatch span parents to the client's
+                // call span across the wire.
+                let _ctx = cca_obs::install_context(frame.context);
+                match self.dispatcher.dispatch(frame.payload) {
+                    Ok(r) => r,
+                    Err(_) => break,
+                }
             };
             if write_frame(
                 &mut stream,
@@ -405,13 +417,14 @@ impl TcpTransport {
 
     fn io_to_sidl(&self, verb: &str, e: std::io::Error) -> SidlError {
         if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
-            SidlError::user(
-                DEADLINE_EXCEPTION_TYPE,
-                format!(
-                    "socket {verb} to tcp://{} timed out (budget {:?})",
-                    self.addr, self.io_timeout
-                ),
-            )
+            let message = format!(
+                "socket {verb} to tcp://{} timed out (budget {:?})",
+                self.addr, self.io_timeout
+            );
+            if cca_obs::flight::enabled() {
+                cca_obs::flight::record_incident("DeadlineExceeded", &message);
+            }
+            SidlError::user(DEADLINE_EXCEPTION_TYPE, message)
         } else {
             conn_err(format!("socket {verb} to tcp://{}: {e}", self.addr))
         }
@@ -425,12 +438,15 @@ impl TcpTransport {
     ) -> Result<Bytes, SidlError> {
         let _ = stream.set_read_timeout(self.io_timeout);
         let _ = stream.set_write_timeout(self.io_timeout);
-        write_frame(
+        // Tracing off ⇒ `current_context()` is `None` after one relaxed
+        // load and the frame spends zero extension bytes.
+        write_frame_with(
             stream,
             FrameKind::Request,
             request_id,
             request,
             self.max_payload,
+            cca_obs::trace::current_context(),
         )
         .map_err(|e| self.io_to_sidl("write", e))?;
         let frame = read_frame(stream, self.max_payload)

@@ -3,14 +3,26 @@
 //! segment boundary, and must reject everything else with a typed
 //! [`FrameError`] — never a panic and never an unbounded buffer.
 
+use cca_obs::TraceContext;
 use cca_rpc::frame::{
-    encode_frame, read_frame, Frame, FrameDecoder, FrameError, FrameKind, DEFAULT_MAX_PAYLOAD,
-    FRAME_HEADER_LEN,
+    encode_frame, encode_frame_with, read_frame, Frame, FrameDecoder, FrameError, FrameKind,
+    DEFAULT_MAX_PAYLOAD, FRAME_HEADER_LEN, TRACE_CONTEXT_LEN,
 };
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = FrameKind> {
     prop_oneof![Just(FrameKind::Request), Just(FrameKind::Reply)]
+}
+
+/// An optional trace context with the nonzero ids a real tracer produces
+/// (zero is the wire's "no trace" sentinel and is typed-invalid).
+fn arb_ctx() -> impl Strategy<Value = Option<TraceContext>> {
+    (any::<bool>(), any::<u64>(), any::<u64>()).prop_map(|(present, t, s)| {
+        present.then(|| TraceContext {
+            trace_id: t.max(1),
+            span_id: s.max(1),
+        })
+    })
 }
 
 /// Feeds `stream` to a decoder in chunks cut at `cuts` (cycled), draining
@@ -42,25 +54,29 @@ fn decode_in_chunks(stream: &[u8], cuts: &[usize]) -> Result<Vec<Frame>, FrameEr
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Any sequence of frames survives encode → split-at-arbitrary-
-    /// boundaries → decode, bit-for-bit and in order.
+    /// Any sequence of frames — trace context present or absent, mixed
+    /// freely — survives encode → split-at-arbitrary-boundaries → decode,
+    /// bit-for-bit and in order.
     #[test]
     fn frames_survive_arbitrary_segmentation(
         messages in proptest::collection::vec(
-            (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)),
+            (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256), arb_ctx()),
             1..6,
         ),
         cuts in proptest::collection::vec(1usize..64, 0..10),
     ) {
         let mut stream = Vec::new();
-        for (kind, id, payload) in &messages {
-            stream.extend(encode_frame(*kind, *id, payload, DEFAULT_MAX_PAYLOAD).unwrap());
+        for (kind, id, payload, ctx) in &messages {
+            stream.extend(
+                encode_frame_with(*kind, *id, payload, DEFAULT_MAX_PAYLOAD, *ctx).unwrap(),
+            );
         }
         let frames = decode_in_chunks(&stream, &cuts).unwrap();
         prop_assert_eq!(frames.len(), messages.len());
-        for (frame, (kind, id, payload)) in frames.iter().zip(&messages) {
+        for (frame, (kind, id, payload, ctx)) in frames.iter().zip(&messages) {
             prop_assert_eq!(frame.kind, *kind);
             prop_assert_eq!(frame.request_id, *id);
+            prop_assert_eq!(frame.context, *ctx);
             prop_assert_eq!(frame.payload.as_slice(), payload.as_slice());
         }
     }
@@ -71,9 +87,13 @@ proptest! {
     fn truncated_frames_are_rejected(
         id in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ctx in arb_ctx(),
         cut_fraction in 0.0f64..1.0,
     ) {
-        let framed = encode_frame(FrameKind::Request, id, &payload, DEFAULT_MAX_PAYLOAD).unwrap();
+        // With a context present the cut can land inside the extension
+        // bytes too; truncation must be typed wherever it falls.
+        let framed =
+            encode_frame_with(FrameKind::Request, id, &payload, DEFAULT_MAX_PAYLOAD, ctx).unwrap();
         let cut = 1 + ((framed.len() - 2) as f64 * cut_fraction) as usize; // 1..len-1
         let mut dec = FrameDecoder::new();
         dec.feed(&framed[..cut]);
@@ -91,10 +111,12 @@ proptest! {
     fn corrupted_headers_never_panic(
         id in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ctx in arb_ctx(),
         corrupt_at in 0usize..FRAME_HEADER_LEN,
         xor in 1u8..=255,
     ) {
-        let mut framed = encode_frame(FrameKind::Reply, id, &payload, DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut framed =
+            encode_frame_with(FrameKind::Reply, id, &payload, DEFAULT_MAX_PAYLOAD, ctx).unwrap();
         framed[corrupt_at] ^= xor;
         let mut dec = FrameDecoder::with_max_payload(4096);
         dec.feed(&framed);
@@ -103,7 +125,7 @@ proptest! {
                 FrameError::BadMagic(_)
                 | FrameError::BadVersion(_)
                 | FrameError::BadKind(_)
-                | FrameError::BadReserved(_)
+                | FrameError::BadContext(_)
                 | FrameError::Oversized { .. },
             ) => {}
             Err(e) => prop_assert!(false, "unexpected error {e:?}"),
@@ -112,6 +134,60 @@ proptest! {
             // payload (frame pops, possibly with trailing garbage burned
             // by finish()). All bounded, all panic-free.
             Ok(_) => {}
+        }
+    }
+
+    /// Corrupting the trace-context extension bytes themselves yields
+    /// either a frame with different (still nonzero) ids or a typed
+    /// `BadContext` when the corruption zeroes an id — never a panic, and
+    /// the payload is never misframed (the extension length is fixed by
+    /// the header, so flipping context bits cannot shift the boundary).
+    #[test]
+    fn corrupted_context_bytes_never_panic_or_misframe(
+        id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        corrupt_at in 0usize..TRACE_CONTEXT_LEN,
+        xor in 1u8..=255,
+    ) {
+        let ctx = TraceContext { trace_id: 0x1111, span_id: 0x2222 };
+        let mut framed =
+            encode_frame_with(FrameKind::Request, id, &payload, DEFAULT_MAX_PAYLOAD, Some(ctx))
+                .unwrap();
+        framed[FRAME_HEADER_LEN + corrupt_at] ^= xor;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        match dec.next_frame() {
+            Ok(Some(frame)) => {
+                let got = frame.context.expect("flags still demand a context");
+                prop_assert!(got.trace_id != 0 && got.span_id != 0);
+                prop_assert_eq!(frame.payload.as_slice(), payload.as_slice());
+            }
+            Err(FrameError::BadContext(_)) => {}
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    /// Any declared extension length other than exactly {0 without flags,
+    /// 16 with flags} is a typed `BadContext` from the header alone — an
+    /// attacker cannot use the length byte to smuggle or swallow bytes.
+    #[test]
+    fn mismatched_context_length_is_rejected(
+        id in any::<u64>(),
+        with_ctx in any::<bool>(),
+        bad_len in any::<u8>(),
+    ) {
+        let ctx = with_ctx.then_some(TraceContext { trace_id: 7, span_id: 9 });
+        let mut framed =
+            encode_frame_with(FrameKind::Request, id, b"p", DEFAULT_MAX_PAYLOAD, ctx).unwrap();
+        let good_len = framed[7];
+        if bad_len != good_len {
+            framed[7] = bad_len;
+            let mut dec = FrameDecoder::new();
+            dec.feed(&framed);
+            prop_assert!(matches!(
+                dec.next_frame(),
+                Err(FrameError::BadContext(_))
+            ));
         }
     }
 
@@ -151,13 +227,15 @@ proptest! {
     #[test]
     fn decoder_and_reader_agree(
         messages in proptest::collection::vec(
-            (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            (arb_kind(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64), arb_ctx()),
             0..5,
         ),
     ) {
         let mut stream = Vec::new();
-        for (kind, id, payload) in &messages {
-            stream.extend(encode_frame(*kind, *id, payload, DEFAULT_MAX_PAYLOAD).unwrap());
+        for (kind, id, payload, ctx) in &messages {
+            stream.extend(
+                encode_frame_with(*kind, *id, payload, DEFAULT_MAX_PAYLOAD, *ctx).unwrap(),
+            );
         }
         let incremental = decode_in_chunks(&stream, &[7]).unwrap();
         let mut cursor = std::io::Cursor::new(stream);
@@ -169,6 +247,7 @@ proptest! {
         for (a, b) in incremental.iter().zip(&blocking) {
             prop_assert_eq!(a.kind, b.kind);
             prop_assert_eq!(a.request_id, b.request_id);
+            prop_assert_eq!(a.context, b.context);
             prop_assert_eq!(a.payload.as_slice(), b.payload.as_slice());
         }
     }

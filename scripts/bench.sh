@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
 # port-resolution, E10 observability overhead, E11 resilience overhead,
-# E12 remote rpc, E13 mux throughput) and leaves the machine-readable results in
-# BENCH_ports.json, BENCH_obs.json, BENCH_resilience.json, and
-# BENCH_rpc.json at the repo root. All files are published atomically
-# (write temp + rename), so a killed run never leaves a truncated artifact.
+# E12 remote rpc, E13 mux throughput, E14 wire tracing) and leaves the
+# machine-readable results in BENCH_ports.json, BENCH_obs.json,
+# BENCH_resilience.json, and BENCH_rpc.json at the repo root. All files
+# are published atomically (write temp + rename), so a killed run never
+# leaves a truncated artifact.
 #
 # Every bench runs even if an earlier one fails its acceptance gate; the
 # script exits nonzero if ANY did, so one broken gate can't mask another's
@@ -15,8 +16,9 @@
 # only the acceptance assertions (E9: cached ≤3x bare, one plan build per
 # shape; E10: off ≤1.1x PR-1, counters on ≤1.5x; E11: closed breaker
 # ≤1.1x PR-1; E12: loopback TCP round-trip median <100us; E13: the
-# logical clients share ≤8 sockets and mux beats the pooled baseline)
-# matter.
+# logical clients share ≤8 sockets and mux beats the pooled baseline;
+# E14: tracing-off v2 encode ≤1.1x the PR-6 codec, tracing-on remote
+# calls ≤1.5x tracing-off) matter.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -60,6 +62,12 @@ run_bench "E12 remote rpc round-trip (writes BENCH_rpc.json)" \
 run_bench "E13 mux throughput (merges into BENCH_rpc.json)" \
     env BENCH_RPC_OUT="$ROOT/BENCH_rpc.json" \
     cargo bench --offline -p cca-bench --bench e13_mux_throughput
+
+# E14 must run after E10 for the same reason: it merges the wire-tracing
+# quantities into BENCH_obs.json (E10's keys are preserved).
+run_bench "E14 wire tracing (merges into BENCH_obs.json)" \
+    env BENCH_OBS_OUT="$ROOT/BENCH_obs.json" \
+    cargo bench --offline -p cca-bench --bench e14_wire_trace
 
 echo "==> results"
 for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json; do

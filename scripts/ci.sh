@@ -10,7 +10,7 @@
 #   clippy     clippy with -D warnings
 #   fmt        rustfmt --check
 #   fault      the fault-injection suites under one CCA_FAULT_SEED
-#   bench-gate quick-mode E10/E11 perf gates
+#   bench-gate quick-mode E10/E11/E13/E14 perf gates
 #
 # The CI workflow fans these out as separate jobs; `all` keeps the
 # one-command local story.
@@ -47,16 +47,20 @@ fmt() {
     cargo fmt --all -- --check
 }
 
-# One run of the failure-injection + resilience + remote-transport suites
-# under a fixed fault schedule. CI calls this once per seed in
-# {1, 7, 42, 1999}; the suites are mock-clock driven (the remote one uses
-# real sockets but a seeded server-side drop plan), so a seed fully
-# determines every outcome.
+# One run of the failure-injection + resilience + remote-transport +
+# wire-tracing suites under a fixed fault schedule. CI calls this once per
+# seed in {1, 7, 42, 1999}; the suites are mock-clock driven (the remote
+# ones use real sockets but a seeded server-side drop plan), so a seed
+# fully determines every outcome. The flight recorder is armed at
+# target/flight so a failing run leaves incident JSONL behind for the
+# workflow to upload.
 fault() {
     local seed="${CCA_FAULT_SEED:-1}"
     echo "==> fault matrix (CCA_FAULT_SEED=$seed)"
-    CCA_FAULT_SEED="$seed" cargo test --offline \
-        --test failure_injection --test resilience --test remote_transport
+    mkdir -p target/flight
+    CCA_FAULT_SEED="$seed" CCA_FLIGHT_DIR="$(pwd)/target/flight" cargo test --offline \
+        --test failure_injection --test resilience --test remote_transport \
+        --test wire_tracing
 }
 
 bench_gate() {
@@ -81,6 +85,14 @@ bench_gate() {
     echo "==> E13 mux throughput gate (quick mode)"
     CCA_BENCH_FAST=1 BENCH_RPC_OUT="$(pwd)/BENCH_rpc.ci.json" \
         cargo bench --offline -p cca-bench --bench e13_mux_throughput
+
+    # Quick-mode wire-tracing gate: the tracing-off v2 frame encode stays
+    # ≤1.1x the PR-6 codec and tracing-on remote calls stay ≤1.5x
+    # tracing-off (E14). Reuses the E10 throwaway artifact so the merge
+    # path gets exercised too.
+    echo "==> E14 wire tracing gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_OBS_OUT="$(pwd)/BENCH_obs.ci.json" \
+        cargo bench --offline -p cca-bench --bench e14_wire_trace
 }
 
 case "$MODE" in
