@@ -302,6 +302,53 @@ fn remote_call_trace_plumbing_adds_no_allocations_mux() {
 }
 
 #[test]
+fn steady_state_redistribution_allocates_nothing() {
+    use cca_data::{DistArrayDesc, Distribution, RedistPlan};
+
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // A 4-rank → 3-rank block recoupling: every timestep re-runs the same
+    // compiled plan over the same buffers.
+    let src_desc = DistArrayDesc::new(&[96], Distribution::block_1d(4, 1).unwrap()).unwrap();
+    let dst_desc = DistArrayDesc::new(&[96], Distribution::block_1d(3, 1).unwrap()).unwrap();
+    let plan = RedistPlan::build(&src_desc, &dst_desc).unwrap();
+    let compiled = plan.compile().unwrap();
+
+    let src: Vec<Vec<f64>> = (0..4)
+        .map(|r| {
+            (0..src_desc.local_count(r).unwrap())
+                .map(|i| i as f64)
+                .collect()
+        })
+        .collect();
+    let mut dst: Vec<Vec<f64>> = (0..3)
+        .map(|r| vec![0.0; dst_desc.local_count(r).unwrap()])
+        .collect();
+    // One scratch per transfer pattern, reused every timestep: pack_into
+    // reserves capacity on the first (warm-up) pass, never again.
+    let mut scratch: Vec<f64> = Vec::new();
+
+    // Warm-up timestep: scratch capacity and any lazy setup happen here.
+    compiled.apply_into(&src, &mut dst).unwrap();
+    for t in compiled.transfers() {
+        t.pack_into(&src[t.src_rank], &mut scratch);
+    }
+
+    let before = alloc_count();
+    for _ in 0..1000 {
+        compiled.apply_into(&src, &mut dst).unwrap();
+        for t in compiled.transfers() {
+            t.pack_into(&src[t.src_rank], &mut scratch);
+        }
+    }
+    let delta = alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state redistribution (apply_into + pack_into reuse) must be \
+         allocation-free ({delta} allocations over 1000 timesteps)"
+    );
+}
+
+#[test]
 fn uncached_get_port_as_success_path_allocates_nothing() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let user = wire_fanout(1);

@@ -243,6 +243,25 @@ fn committed_bench_artifacts_parse_and_declare_schema() {
                 );
             }
         }
+        if name == "BENCH_data.json" {
+            // E15's bulk-data-plane artifact: the tentpole ratio and the
+            // memory bound it gates on must both be present as numbers.
+            for key in [
+                "chunk_bytes",
+                "bulk_gbps",
+                "generic_gbps",
+                "inproc_gbps",
+                "raw_wire_gbps",
+                "wire_budget_gbps",
+                "bulk_over_generic_ratio",
+                "peak_slab_bytes",
+            ] {
+                assert!(
+                    matches!(map.get(key), Some(Json::Num(_))),
+                    "{name}: missing numeric '{key}' field (E15 bulk data plane)"
+                );
+            }
+        }
         if name == "BENCH_obs.json" {
             // E14 merges the wire-tracing quantities into E10's artifact
             // the same way; both halves must be present.

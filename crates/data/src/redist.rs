@@ -192,11 +192,27 @@ impl RedistPlan {
     /// buffer, in the region's canonical (column-major) traversal order.
     pub fn pack<T: Clone>(&self, t: &Transfer, src_local: &[T]) -> Result<Vec<T>, DataError> {
         let mut out = Vec::with_capacity(t.count());
+        self.pack_into(t, src_local, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reuse variant of [`pack`](Self::pack): clears `out` and packs
+    /// into it, so a steady-state timestep loop reuses one scratch
+    /// allocation across every transfer instead of allocating per transfer
+    /// (pinned at zero steady-state allocations by `alloc_free.rs`).
+    pub fn pack_into<T: Clone>(
+        &self,
+        t: &Transfer,
+        src_local: &[T],
+        out: &mut Vec<T>,
+    ) -> Result<(), DataError> {
+        out.clear();
+        out.reserve(t.count());
         for idx in t.region.indices() {
             let off = Self::local_offset(&self.source, t.src_rank, &idx)?;
             out.push(src_local[off].clone());
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Unpacks one transfer's payload into the destination rank's local
@@ -245,8 +261,10 @@ impl RedistPlan {
         let mut dst: Vec<Vec<T>> = (0..self.target.nranks())
             .map(|r| vec![T::default(); self.target.local_count(r).unwrap_or(0)])
             .collect();
+        // One scratch payload reused across every transfer.
+        let mut payload = Vec::new();
         for t in &self.transfers {
-            let payload = self.pack(t, &src_buffers[t.src_rank])?;
+            self.pack_into(t, &src_buffers[t.src_rank], &mut payload)?;
             self.unpack(t, &payload, &mut dst[t.dst_rank])?;
         }
         Ok(dst)
@@ -605,10 +623,50 @@ impl CompiledTransfer {
             .collect()
     }
 
+    /// Buffer-reuse variant of [`pack`](Self::pack): clears `out` and
+    /// gathers into it, so timestep loops reuse one scratch allocation.
+    pub fn pack_into<T: Clone>(&self, src_local: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(self.src_offsets.len());
+        for &off in self.src_offsets.iter() {
+            out.push(src_local[off].clone());
+        }
+    }
+
+    /// Gathers elements `[first, first + count)` of this transfer's packed
+    /// payload into `out` (cleared first) — the chunk-sized gather the bulk
+    /// data plane streams, bounded by the chunk, not the transfer.
+    pub fn pack_range_into<T: Clone>(
+        &self,
+        src_local: &[T],
+        first: usize,
+        count: usize,
+        out: &mut Vec<T>,
+    ) {
+        out.clear();
+        out.reserve(count);
+        for &off in &self.src_offsets[first..first + count] {
+            out.push(src_local[off].clone());
+        }
+    }
+
     /// Scatters a payload into the destination local buffer.
     pub fn unpack<T: Clone>(&self, payload: &[T], dst_local: &mut [T]) {
         debug_assert_eq!(payload.len(), self.dst_offsets.len());
         for (v, &off) in payload.iter().zip(self.dst_offsets.iter()) {
+            dst_local[off] = v.clone();
+        }
+    }
+
+    /// Scatters a payload slice representing elements `[first,
+    /// first + payload.len())` of the packed order — the landing half of a
+    /// chunked transfer, scattering straight from the received bytes'
+    /// element view into the destination local slice.
+    pub fn unpack_range<T: Clone>(&self, payload: &[T], first: usize, dst_local: &mut [T]) {
+        for (v, &off) in payload
+            .iter()
+            .zip(self.dst_offsets[first..first + payload.len()].iter())
+        {
             dst_local[off] = v.clone();
         }
     }
@@ -689,14 +747,153 @@ impl CompiledPlan {
             .iter()
             .map(|&n| vec![T::default(); n])
             .collect();
+        self.apply_into(src_buffers, &mut dst)?;
+        Ok(dst)
+    }
+
+    /// Allocation-free execution into caller-owned destination buffers —
+    /// the steady-state timestep path. Both buffer sets are validated
+    /// against the plan's rank counts; the scatter itself performs zero
+    /// heap allocations (pinned by `alloc_free.rs`).
+    pub fn apply_into<T: Clone>(
+        &self,
+        src_buffers: &[Vec<T>],
+        dst_buffers: &mut [Vec<T>],
+    ) -> Result<(), DataError> {
+        if src_buffers.len() != self.src_counts.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: vec![self.src_counts.len()],
+                found: vec![src_buffers.len()],
+            });
+        }
+        for (r, buf) in src_buffers.iter().enumerate() {
+            if buf.len() != self.src_counts[r] {
+                return Err(DataError::ShapeMismatch {
+                    expected: vec![self.src_counts[r]],
+                    found: vec![buf.len()],
+                });
+            }
+        }
+        if dst_buffers.len() != self.dst_counts.len() {
+            return Err(DataError::ShapeMismatch {
+                expected: vec![self.dst_counts.len()],
+                found: vec![dst_buffers.len()],
+            });
+        }
+        for (r, buf) in dst_buffers.iter().enumerate() {
+            if buf.len() != self.dst_counts[r] {
+                return Err(DataError::ShapeMismatch {
+                    expected: vec![self.dst_counts[r]],
+                    found: vec![buf.len()],
+                });
+            }
+        }
         for t in &self.transfers {
             let src = &src_buffers[t.src_rank];
-            let out = &mut dst[t.dst_rank];
+            let out = &mut dst_buffers[t.dst_rank];
             for (&s, &d) in t.src_offsets.iter().zip(t.dst_offsets.iter()) {
                 out[d] = src[s].clone();
             }
         }
-        Ok(dst)
+        Ok(())
+    }
+
+    /// Number of source ranks.
+    pub fn src_ranks(&self) -> usize {
+        self.src_counts.len()
+    }
+
+    /// Number of destination ranks.
+    pub fn dst_ranks(&self) -> usize {
+        self.dst_counts.len()
+    }
+
+    /// Local element count of source rank `r`.
+    pub fn src_count(&self, r: usize) -> usize {
+        self.src_counts[r]
+    }
+
+    /// Local element count of destination rank `r`.
+    pub fn dst_count(&self, r: usize) -> usize {
+        self.dst_counts[r]
+    }
+
+    /// Precomputes the per-peer *wire* layout of this plan for the bulk
+    /// data plane, the same way compiling precomputed the region offsets:
+    /// each transfer's total packed byte count and its division into
+    /// aligned chunks of (at most) `chunk_bytes`. Sender and receiver both
+    /// derive the layout from the same compiled plan, so chunk boundaries
+    /// never need negotiating on the wire. `chunk_bytes` is rounded down
+    /// to an element multiple (minimum one element).
+    pub fn wire_layout(&self, elem_size: usize, chunk_bytes: usize) -> WireLayout {
+        assert!(elem_size > 0, "element size must be nonzero");
+        let chunk = (chunk_bytes / elem_size).max(1) * elem_size;
+        WireLayout {
+            elem_size,
+            chunk_bytes: chunk,
+            totals: self
+                .transfers
+                .iter()
+                .map(|t| (t.count() * elem_size) as u64)
+                .collect(),
+        }
+    }
+}
+
+/// The precomputed wire shape of a [`CompiledPlan`] for one element type:
+/// per-transfer packed byte totals and deterministic chunk boundaries.
+/// See [`CompiledPlan::wire_layout`].
+#[derive(Debug, Clone)]
+pub struct WireLayout {
+    elem_size: usize,
+    chunk_bytes: usize,
+    totals: Box<[u64]>,
+}
+
+impl WireLayout {
+    /// Bytes per element.
+    pub fn elem_size(&self) -> usize {
+        self.elem_size
+    }
+
+    /// The (element-aligned) chunk size every slab body is bounded by.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Number of transfers in the plan.
+    pub fn transfer_count(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Total packed bytes of transfer `t`.
+    pub fn transfer_bytes(&self, t: usize) -> u64 {
+        self.totals[t]
+    }
+
+    /// Number of chunks transfer `t` streams as.
+    pub fn chunk_count(&self, t: usize) -> usize {
+        (self.totals[t] as usize).div_ceil(self.chunk_bytes)
+    }
+
+    /// The `(byte offset, byte length)` chunk boundaries of transfer `t`,
+    /// starting at the chunk containing `from_byte` — pass the resume
+    /// watermark after a failure, or 0 for a fresh stream. Boundaries are
+    /// a pure function of the layout, so a resumed stream re-produces
+    /// exactly the chunks the first attempt would have sent. (A
+    /// zero-element transfer has no chunks and is complete by vacuity.)
+    pub fn chunks_from(&self, t: usize, from_byte: u64) -> impl Iterator<Item = (u64, usize)> + '_ {
+        let total = self.totals[t];
+        let chunk = self.chunk_bytes as u64;
+        let first = from_byte / chunk;
+        (first..).map_while(move |i| {
+            let offset = i * chunk;
+            if offset >= total {
+                return None;
+            }
+            let len = chunk.min(total - offset) as usize;
+            Some((offset, len))
+        })
     }
 }
 
@@ -781,5 +978,80 @@ mod compiled_tests {
         let total_recvs: usize = (0..2).map(|r| compiled.receives_at(r).count()).sum();
         assert_eq!(total_sends, compiled.transfers().len());
         assert_eq!(total_recvs, compiled.transfers().len());
+    }
+
+    #[test]
+    fn apply_into_matches_apply_and_validates_destinations() {
+        let plan = RedistPlan::build(&block_desc(24, 4), &cyclic_desc(24, 3)).unwrap();
+        let compiled = plan.compile().unwrap();
+        let bufs = tagged(&block_desc(24, 4));
+        let fresh = compiled.apply(&bufs).unwrap();
+        let mut reused: Vec<Vec<u64>> = (0..compiled.dst_ranks())
+            .map(|r| vec![0; compiled.dst_count(r)])
+            .collect();
+        compiled.apply_into(&bufs, &mut reused).unwrap();
+        assert_eq!(fresh, reused);
+        // Wrong destination rank count / buffer length are typed errors.
+        assert!(compiled
+            .apply_into(&bufs, &mut reused[..2].to_vec())
+            .is_err());
+        let mut short = reused.clone();
+        short[0].pop();
+        assert!(compiled.apply_into(&bufs, &mut short).is_err());
+    }
+
+    #[test]
+    fn wire_layout_chunks_tile_each_transfer_exactly() {
+        let plan = RedistPlan::build(&block_desc(100, 2), &cyclic_desc(100, 3)).unwrap();
+        let compiled = plan.compile().unwrap();
+        // 24-byte chunks over f64: rounds down to 3 elements per chunk.
+        let layout = compiled.wire_layout(8, 25);
+        assert_eq!(layout.chunk_bytes(), 24);
+        assert_eq!(layout.elem_size(), 8);
+        assert_eq!(layout.transfer_count(), compiled.transfers().len());
+        for (t, ct) in compiled.transfers().iter().enumerate() {
+            assert_eq!(layout.transfer_bytes(t), (ct.count() * 8) as u64);
+            let chunks: Vec<(u64, usize)> = layout.chunks_from(t, 0).collect();
+            assert_eq!(chunks.len(), layout.chunk_count(t));
+            // Chunks tile [0, total) contiguously, each a multiple of the
+            // element size, each bounded by the chunk size.
+            let mut expect = 0u64;
+            for (offset, len) in &chunks {
+                assert_eq!(*offset, expect);
+                assert!(*len > 0 && *len <= 24 && *len % 8 == 0);
+                expect += *len as u64;
+            }
+            assert_eq!(expect, layout.transfer_bytes(t));
+            // Resuming from a mid-chunk watermark re-yields that chunk.
+            if chunks.len() > 1 {
+                let resumed: Vec<_> = layout.chunks_from(t, chunks[1].0 + 1).collect();
+                assert_eq!(resumed[0], chunks[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_range_and_unpack_range_compose_to_full_transfer() {
+        let src = block_desc(40, 2);
+        let dst = cyclic_desc(40, 3);
+        let plan = RedistPlan::build(&src, &dst).unwrap();
+        let compiled = plan.compile().unwrap();
+        let bufs = tagged(&src);
+        let whole = compiled.apply(&bufs).unwrap();
+        let mut chunked: Vec<Vec<u64>> = (0..compiled.dst_ranks())
+            .map(|r| vec![0; compiled.dst_count(r)])
+            .collect();
+        let mut scratch = Vec::new();
+        for ct in compiled.transfers() {
+            // 3 elements at a time, reusing one scratch buffer.
+            let mut first = 0;
+            while first < ct.count() {
+                let n = 3.min(ct.count() - first);
+                ct.pack_range_into(&bufs[ct.src_rank], first, n, &mut scratch);
+                ct.unpack_range(&scratch, first, &mut chunked[ct.dst_rank]);
+                first += n;
+            }
+        }
+        assert_eq!(whole, chunked);
     }
 }

@@ -314,6 +314,20 @@ impl MxNPort {
             .map_err(|e| CcaError::Framework(e.to_string()))
     }
 
+    /// Allocation-free variant of [`transfer_local`](Self::transfer_local):
+    /// scatters into caller-owned destination buffers, so a timestep loop
+    /// that reuses its buffers performs zero heap allocations in the
+    /// steady state (pinned by `alloc_free.rs`).
+    pub fn transfer_local_into<T: Clone>(
+        &self,
+        src_buffers: &[Vec<T>],
+        dst_buffers: &mut [Vec<T>],
+    ) -> Result<(), CcaError> {
+        self.compiled
+            .apply_into(src_buffers, dst_buffers)
+            .map_err(|e| CcaError::Framework(e.to_string()))
+    }
+
     /// The precomputed offset lists the port executes.
     pub fn compiled_plan(&self) -> &CompiledPlan {
         &self.compiled
@@ -550,5 +564,11 @@ mod tests {
             port.exchange(c, &data).unwrap()
         });
         assert_eq!(local, spmd_out);
+        // The buffer-reuse path lands the identical result in caller-owned
+        // destination buffers.
+        let mut dst_buffers: Vec<Vec<f64>> = local.iter().map(|b| vec![0.0; b.len()]).collect();
+        port.transfer_local_into(&src_buffers, &mut dst_buffers)
+            .unwrap();
+        assert_eq!(dst_buffers, local);
     }
 }

@@ -28,7 +28,12 @@
 //!   `ObservabilityPort` exposing the trace ring, flight-recorder
 //!   inventory, and resilience counters over the same wire transports the
 //!   components use.
+//! * [`bulk`] — the bulk data plane's endpoints: [`BulkRedistSender`]
+//!   streams a compiled M×N plan as raw slabs over any transport, and
+//!   [`BulkLandingZone`] scatters them into destination storage with
+//!   resume watermarks (experiment E15).
 
+pub mod bulk;
 pub mod collective;
 pub mod connect;
 pub mod event;
@@ -37,6 +42,7 @@ pub mod monitor;
 pub mod observability;
 pub mod script;
 
+pub use bulk::{BulkLandingZone, BulkRedistSender};
 pub use collective::{MxNPort, PlanCache};
 pub use connect::{ConnectionInfo, ConnectionPolicy, RemoteTransportKind};
 pub use event::{EventListener, EventService, SubscriptionId};

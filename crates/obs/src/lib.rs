@@ -43,8 +43,8 @@ pub mod trace;
 
 pub use flags::{counters_enabled, init_from_env, set_counters, set_tracing, tracing_enabled};
 pub use metrics::{
-    CallShard, LatencyHistogram, LatencySnapshot, MuxMetrics, MuxSnapshot, PortMetrics,
-    PortMetricsSnapshot, TransportMetrics, TransportSnapshot,
+    BulkMetrics, BulkSnapshot, CallShard, LatencyHistogram, LatencySnapshot, MuxMetrics,
+    MuxSnapshot, PortMetrics, PortMetricsSnapshot, TransportMetrics, TransportSnapshot,
 };
 pub use resilience::{resilience, ResilienceCounters, ResilienceSnapshot};
 pub use trace::{

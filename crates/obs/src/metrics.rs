@@ -634,6 +634,143 @@ impl MuxSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bulk data-plane metrics
+// ---------------------------------------------------------------------------
+
+/// Throughput and resume bookkeeping for the bulk data plane.
+///
+/// Bulk redistribution streams raw array slabs, so the interesting
+/// quantities are *bytes and chunks*: how much payload went out and
+/// landed, how many chunks were retransmitted after a connection drop
+/// (each resume should cost at most one chunk per in-flight transfer),
+/// and the largest single gather buffer a sender ever held — the
+/// memory-boundedness claim of experiment E15 is "peak is one chunk,
+/// not the array". Every record path is a relaxed atomic,
+/// allocation-free, matching the [`PortMetrics`] contract.
+#[derive(Default)]
+pub struct BulkMetrics {
+    bytes_sent: AtomicU64,
+    bytes_landed: AtomicU64,
+    chunks_sent: AtomicU64,
+    chunks_landed: AtomicU64,
+    resumed_chunks: AtomicU64,
+    peak_chunk_bytes: AtomicU64,
+}
+
+impl BulkMetrics {
+    /// Creates a zeroed block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A sender put one slab of `payload_bytes` element bytes on the wire
+    /// (header excluded), holding a gather buffer of `buffer_bytes`.
+    pub fn record_chunk_sent(&self, payload_bytes: u64, buffer_bytes: u64) {
+        self.bytes_sent.fetch_add(payload_bytes, Ordering::Relaxed);
+        self.chunks_sent.fetch_add(1, Ordering::Relaxed);
+        raise_peak(&self.peak_chunk_bytes, buffer_bytes);
+    }
+
+    /// A receiver scattered one slab of `payload_bytes` element bytes into
+    /// destination storage.
+    pub fn record_chunk_landed(&self, payload_bytes: u64) {
+        self.bytes_landed
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+        self.chunks_landed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A sender re-entered a transfer after a failure and will resend from
+    /// the acked watermark; `chunks` is how many chunks it re-sends.
+    pub fn record_resume(&self, chunks: u64) {
+        self.resumed_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    /// Payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes landed into destination storage so far.
+    pub fn bytes_landed(&self) -> u64 {
+        self.bytes_landed.load(Ordering::Relaxed)
+    }
+
+    /// Chunks sent so far.
+    pub fn chunks_sent(&self) -> u64 {
+        self.chunks_sent.load(Ordering::Relaxed)
+    }
+
+    /// Chunks landed so far.
+    pub fn chunks_landed(&self) -> u64 {
+        self.chunks_landed.load(Ordering::Relaxed)
+    }
+
+    /// Chunks retransmitted across all resumes.
+    pub fn resumed_chunks(&self) -> u64 {
+        self.resumed_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Largest gather buffer any sender held (bytes).
+    pub fn peak_chunk_bytes(&self) -> u64 {
+        self.peak_chunk_bytes.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> BulkSnapshot {
+        BulkSnapshot {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_landed: self.bytes_landed.load(Ordering::Relaxed),
+            chunks_sent: self.chunks_sent.load(Ordering::Relaxed),
+            chunks_landed: self.chunks_landed.load(Ordering::Relaxed),
+            resumed_chunks: self.resumed_chunks.load(Ordering::Relaxed),
+            peak_chunk_bytes: self.peak_chunk_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for BulkMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BulkMetrics")
+            .field("bytes_sent", &self.bytes_sent())
+            .field("chunks_sent", &self.chunks_sent())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of [`BulkMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BulkSnapshot {
+    /// Payload bytes sent (slab headers excluded).
+    pub bytes_sent: u64,
+    /// Payload bytes landed into destination storage.
+    pub bytes_landed: u64,
+    /// Slab chunks sent.
+    pub chunks_sent: u64,
+    /// Slab chunks landed.
+    pub chunks_landed: u64,
+    /// Chunks retransmitted after failure resumes.
+    pub resumed_chunks: u64,
+    /// Largest sender gather buffer observed (bytes).
+    pub peak_chunk_bytes: u64,
+}
+
+impl BulkSnapshot {
+    /// JSON rendering.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bytes_sent\":{},\"bytes_landed\":{},\"chunks_sent\":{},\
+             \"chunks_landed\":{},\"resumed_chunks\":{},\"peak_chunk_bytes\":{}}}",
+            self.bytes_sent,
+            self.bytes_landed,
+            self.chunks_sent,
+            self.chunks_landed,
+            self.resumed_chunks,
+            self.peak_chunk_bytes
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,5 +905,28 @@ mod tests {
         assert_eq!(s.protocol_violations, 1);
         assert!(s.to_json().contains("\"peak_in_flight\":3"));
         assert!(format!("{m:?}").contains("in_flight"));
+    }
+
+    #[test]
+    fn bulk_metrics_track_bytes_resumes_and_peak_buffer() {
+        let b = BulkMetrics::new();
+        b.record_chunk_sent(1 << 20, (1 << 20) + 32);
+        b.record_chunk_sent(512, 512 + 32);
+        b.record_chunk_landed(1 << 20);
+        b.record_resume(3);
+        assert_eq!(b.bytes_sent(), (1 << 20) + 512);
+        assert_eq!(b.chunks_sent(), 2);
+        assert_eq!(b.bytes_landed(), 1 << 20);
+        assert_eq!(b.chunks_landed(), 1);
+        assert_eq!(b.resumed_chunks(), 3);
+        assert_eq!(
+            b.peak_chunk_bytes(),
+            (1 << 20) + 32,
+            "peak keeps the largest buffer, not the last"
+        );
+        let s = b.snapshot();
+        assert_eq!(s.chunks_sent, 2);
+        assert!(s.to_json().contains("\"peak_chunk_bytes\":1048608"));
+        assert!(format!("{b:?}").contains("bytes_sent"));
     }
 }

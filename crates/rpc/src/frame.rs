@@ -10,7 +10,7 @@
 //! offset  size  field
 //! 0       4     magic  b"CCAR"
 //! 4       1     protocol version (currently 2)
-//! 5       1     kind: 0 = request, 1 = reply
+//! 5       1     kind: 0 = request, 1 = reply, 2 = bulk slab
 //! 6       1     extension flags: bit 0 = trace context present; all
 //!               other bits must be zero
 //! 7       1     extension length: 16 when bit 0 is set, else 0
@@ -64,6 +64,12 @@ pub enum FrameKind {
     Request,
     /// A marshaled [`crate::wire::Reply`].
     Reply,
+    /// A raw data-plane slab (see [`crate::bulk`]): one bounded chunk of
+    /// an M×N array redistribution, carried as little-endian bytes with
+    /// no per-element encoding. Acknowledged with a `Reply` frame bearing
+    /// the same correlation id, so bulk traffic multiplexes over the same
+    /// sockets as control-plane calls.
+    Bulk,
 }
 
 impl FrameKind {
@@ -72,15 +78,17 @@ impl FrameKind {
         match self {
             FrameKind::Request => 0,
             FrameKind::Reply => 1,
+            FrameKind::Bulk => 2,
         }
     }
 
-    /// Decodes header byte 5; any value other than the two known kinds is
-    /// a typed [`FrameError::BadKind`].
+    /// Decodes header byte 5; any value other than the known kinds is a
+    /// typed [`FrameError::BadKind`].
     pub fn from_byte(b: u8) -> Result<Self, FrameError> {
         match b {
             0 => Ok(FrameKind::Request),
             1 => Ok(FrameKind::Reply),
+            2 => Ok(FrameKind::Bulk),
             other => Err(FrameError::BadKind(other)),
         }
     }
@@ -107,7 +115,7 @@ pub enum FrameError {
     BadMagic([u8; 4]),
     /// The version byte names a protocol this build does not speak.
     BadVersion(u8),
-    /// The kind byte is neither request nor reply.
+    /// The kind byte names no known frame kind.
     BadKind(u8),
     /// The extension bytes are inconsistent: unknown flag bits, a length
     /// that disagrees with the flags, or a context with zeroed ids.
@@ -180,9 +188,44 @@ pub fn encode_frame_with(
     max_payload: u32,
     context: Option<TraceContext>,
 ) -> Result<Vec<u8>, FrameError> {
-    if payload.len() > max_payload as usize {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + TRACE_CONTEXT_LEN + payload.len());
+    encode_frame_onto(&mut out, kind, request_id, payload, max_payload, context)?;
+    Ok(out)
+}
+
+/// Appends one encoded frame to `out` — byte-identical to what
+/// [`encode_frame_with`] returns, without the intermediate allocation.
+/// The mux client's bulk lane writes slabs straight into a connection's
+/// outgoing buffer with this; on error `out` is untouched.
+pub fn encode_frame_onto(
+    out: &mut Vec<u8>,
+    kind: FrameKind,
+    request_id: u64,
+    payload: &[u8],
+    max_payload: u32,
+    context: Option<TraceContext>,
+) -> Result<(), FrameError> {
+    encode_frame_header_onto(out, kind, request_id, payload.len(), max_payload, context)?;
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Appends just the header (and trace extension) of a frame whose
+/// `payload_len` payload bytes the caller will append next. The bulk
+/// lane's gather path uses this to build the payload *in place* in the
+/// connection's outgoing buffer — the slab never exists anywhere else.
+/// On error `out` is untouched.
+pub fn encode_frame_header_onto(
+    out: &mut Vec<u8>,
+    kind: FrameKind,
+    request_id: u64,
+    payload_len: usize,
+    max_payload: u32,
+    context: Option<TraceContext>,
+) -> Result<(), FrameError> {
+    if payload_len > max_payload as usize {
         return Err(FrameError::Oversized {
-            declared: payload.len().min(u32::MAX as usize) as u32,
+            declared: payload_len.min(u32::MAX as usize) as u32,
             cap: max_payload,
         });
     }
@@ -192,7 +235,7 @@ pub fn encode_frame_with(
     } else {
         0
     };
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + ctx_len + payload.len());
+    out.reserve(FRAME_HEADER_LEN + ctx_len + payload_len);
     out.extend_from_slice(&FRAME_MAGIC);
     out.push(FRAME_VERSION);
     out.push(kind.to_byte());
@@ -203,13 +246,12 @@ pub fn encode_frame_with(
     });
     out.push(ctx_len as u8);
     out.extend_from_slice(&request_id.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     if let Some(ctx) = context {
         out.extend_from_slice(&ctx.trace_id.to_le_bytes());
         out.extend_from_slice(&ctx.span_id.to_le_bytes());
     }
-    out.extend_from_slice(payload);
-    Ok(out)
+    Ok(())
 }
 
 /// Parsed header fields (internal).
@@ -279,7 +321,17 @@ fn decode_context(ext: &[u8]) -> Result<Option<TraceContext>, FrameError> {
 /// oversized length, or a garbage context is rejected *before* any
 /// payload accumulates.
 pub struct FrameDecoder {
+    /// Shared storage handed over by an earlier zero-copy pop; logically
+    /// *precedes* `buf` in the stream and is consumed first, frame by
+    /// frame, without copying.
+    view: Bytes,
     buf: Vec<u8>,
+    /// Full-range handles on storages given away by zero-copy pops. Once
+    /// the consumers of a storage's payload views drop them, the handle
+    /// here is the last one and the `Vec` is reclaimed as the next `buf`
+    /// — a steady slab stream cycles through the same few megabyte
+    /// buffers instead of mapping and faulting fresh pages per chunk.
+    retired: Vec<Bytes>,
     max_payload: u32,
 }
 
@@ -298,7 +350,9 @@ impl FrameDecoder {
     /// A decoder with an explicit payload cap.
     pub fn with_max_payload(max_payload: u32) -> Self {
         FrameDecoder {
+            view: Bytes::new(),
             buf: Vec::new(),
+            retired: Vec::new(),
             max_payload,
         }
     }
@@ -308,31 +362,128 @@ impl FrameDecoder {
         self.buf.extend_from_slice(chunk);
     }
 
+    /// Reads up to `max` bytes from `reader` directly into the buffer —
+    /// [`feed`](Self::feed) without the intermediate scratch copy. Returns
+    /// the byte count from the underlying `read` (0 meaning end of
+    /// stream); the buffer is unchanged on error.
+    pub fn fill_from(
+        &mut self,
+        reader: &mut impl std::io::Read,
+        max: usize,
+    ) -> std::io::Result<usize> {
+        let old = self.buf.len();
+        self.buf.resize(old + max, 0);
+        match reader.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
     /// Bytes buffered but not yet popped as a frame.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.view.len() + self.buf.len()
+    }
+
+    /// Parses one frame from the front of `bytes`; `None` means incomplete.
+    /// Returns the header, decoded context, payload start, and frame end.
+    #[allow(clippy::type_complexity)]
+    fn parse_prefix(
+        bytes: &[u8],
+        max_payload: u32,
+    ) -> Result<Option<(Header, Option<TraceContext>, usize, usize)>, FrameError> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let raw: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().unwrap();
+        let header = parse_header(&raw, max_payload)?;
+        let body_at = FRAME_HEADER_LEN + header.ctx_len;
+        if bytes.len() < body_at {
+            return Ok(None);
+        }
+        let context = decode_context(&bytes[FRAME_HEADER_LEN..body_at])?;
+        let total = body_at + header.payload_len as usize;
+        if bytes.len() < total {
+            return Ok(None);
+        }
+        Ok(Some((header, context, body_at, total)))
     }
 
     /// Pops the next complete frame, if one is buffered. `Ok(None)` means
     /// "keep feeding"; an error is fatal for the stream (framing has no
     /// resync point, so the caller must drop the connection).
     pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
-        if self.buf.len() < FRAME_HEADER_LEN {
-            return Ok(None);
+        // Frames wholly inside the shared view pop as pure slices — this
+        // is the steady state of a pipelined slab stream, where one
+        // buffer-to-`Bytes` conversion serves every frame it contained.
+        if !self.view.is_empty() {
+            match Self::parse_prefix(self.view.as_slice(), self.max_payload)? {
+                Some((header, context, body_at, total)) => {
+                    let head = self.view.split_to(total);
+                    return Ok(Some(Frame {
+                        kind: header.kind,
+                        request_id: header.request_id,
+                        context,
+                        payload: head.slice(body_at..),
+                    }));
+                }
+                None => {
+                    // The frame straddles the view/buf seam. Fold the
+                    // (partial-frame-sized) remainder back in front of the
+                    // accumulation buffer and continue contiguously.
+                    let mut merged = self.view.to_vec();
+                    merged.extend_from_slice(&self.buf);
+                    self.buf = merged;
+                    self.view = Bytes::new();
+                }
+            }
         }
-        let raw: [u8; FRAME_HEADER_LEN] = self.buf[..FRAME_HEADER_LEN].try_into().unwrap();
-        let header = parse_header(&raw, self.max_payload)?;
-        let body_at = FRAME_HEADER_LEN + header.ctx_len;
-        if self.buf.len() < body_at {
+        let Some((header, context, body_at, total)) =
+            Self::parse_prefix(&self.buf, self.max_payload)?
+        else {
             return Ok(None);
-        }
-        let context = decode_context(&self.buf[FRAME_HEADER_LEN..body_at])?;
-        let total = body_at + header.payload_len as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
-        let payload = Bytes::from(self.buf[body_at..total].to_vec());
-        self.buf.drain(..total);
+        };
+        // Large payloads (data-plane slabs) pop as zero-copy views: the
+        // whole buffer becomes shared `Bytes` (a move, not a copy), the
+        // payload is a slice of it, and the tail — often the next frames
+        // of the same stream — becomes the view consumed above. Small
+        // payloads aren't worth the buffer churn and copy out as before.
+        const ZERO_COPY_POP_MIN: usize = 32 << 10;
+        let payload = if header.payload_len as usize >= ZERO_COPY_POP_MIN {
+            let whole = Bytes::from(std::mem::take(&mut self.buf));
+            self.view = whole.slice(total..);
+            let payload = whole.slice(body_at..total);
+            self.retired.push(whole);
+            // Reclaim any retired storage whose views are all gone; the
+            // first one becomes the next accumulation buffer.
+            let mut i = 0;
+            while i < self.retired.len() {
+                if self.retired[i].is_unique() {
+                    if let Ok(mut v) = self.retired.swap_remove(i).try_unwrap() {
+                        if self.buf.capacity() < v.capacity() {
+                            v.clear();
+                            self.buf = v;
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            // A stalled consumer must not pin unbounded storage.
+            if self.retired.len() > 16 {
+                self.retired.remove(0);
+            }
+            payload
+        } else {
+            let payload = Bytes::from(self.buf[body_at..total].to_vec());
+            self.buf.drain(..total);
+            payload
+        };
         Ok(Some(Frame {
             kind: header.kind,
             request_id: header.request_id,
@@ -344,22 +495,26 @@ impl FrameDecoder {
     /// Declares end-of-stream: errors if bytes of an incomplete frame
     /// remain buffered (the peer hung up mid-message).
     pub fn finish(&self) -> Result<(), FrameError> {
-        if self.buf.is_empty() {
+        let have = self.buffered();
+        if have == 0 {
             return Ok(());
         }
-        let need = if self.buf.len() < FRAME_HEADER_LEN {
+        // The leftover may straddle the view/buf seam; assemble just the
+        // header's worth of prefix to name how much was expected.
+        let mut prefix = [0u8; FRAME_HEADER_LEN];
+        let from_view = self.view.len().min(FRAME_HEADER_LEN);
+        prefix[..from_view].copy_from_slice(&self.view.as_slice()[..from_view]);
+        let from_buf = self.buf.len().min(FRAME_HEADER_LEN - from_view);
+        prefix[from_view..from_view + from_buf].copy_from_slice(&self.buf[..from_buf]);
+        let need = if from_view + from_buf < FRAME_HEADER_LEN {
             FRAME_HEADER_LEN
         } else {
-            let raw: [u8; FRAME_HEADER_LEN] = self.buf[..FRAME_HEADER_LEN].try_into().unwrap();
-            match parse_header(&raw, self.max_payload) {
+            match parse_header(&prefix, self.max_payload) {
                 Ok(h) => FRAME_HEADER_LEN + h.ctx_len + h.payload_len as usize,
                 Err(e) => return Err(e),
             }
         };
-        Err(FrameError::Truncated {
-            have: self.buf.len(),
-            need,
-        })
+        Err(FrameError::Truncated { have, need })
     }
 }
 
@@ -750,7 +905,11 @@ mod tests {
             FrameKind::from_byte(FrameKind::Reply.to_byte()).unwrap(),
             FrameKind::Reply
         );
-        for bad in [2u8, 3, 0x7f, 0xff] {
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::Bulk.to_byte()).unwrap(),
+            FrameKind::Bulk
+        );
+        for bad in [3u8, 4, 0x7f, 0xff] {
             assert!(matches!(FrameKind::from_byte(bad), Err(FrameError::BadKind(b)) if b == bad));
         }
     }

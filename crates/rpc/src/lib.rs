@@ -39,7 +39,12 @@
 //!   replies to waiters by frame request id, and [`mux::MuxServer`] serves
 //!   them from an event-driven readiness loop with per-connection
 //!   backpressure instead of a thread per peer (experiment E13).
+//! * [`bulk`] — the data plane: `FrameKind::Bulk` slabs carrying M×N
+//!   array-redistribution chunks as raw little-endian bytes (no
+//!   per-element encoding), acknowledged with resume watermarks so a
+//!   dropped connection costs one chunk, not the array (experiment E15).
 
+pub mod bulk;
 pub mod frame;
 pub mod mux;
 pub mod orb;
@@ -49,11 +54,17 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use bulk::{
+    BulkAck, BulkElem, BulkError, BulkSink, ElemTag, SlabHeader, BULK_ACK_LEN, BULK_EXCEPTION_TYPE,
+    BULK_SLAB_HEADER_LEN,
+};
 pub use frame::{
     encode_frame, encode_frame_with, write_frame, write_frame_with, Frame, FrameDecoder,
     FrameError, FrameKind, FRAME_VERSION, TRACE_CONTEXT_LEN,
 };
-pub use mux::{MuxServer, MuxServerConfig, MuxTransport, PendingReply, DEFAULT_MUX_CONNECTIONS};
+pub use mux::{
+    BulkChannel, MuxServer, MuxServerConfig, MuxTransport, PendingReply, DEFAULT_MUX_CONNECTIONS,
+};
 pub use orb::{ObjRef, Orb};
 pub use proxy::RemotePortProxy;
 pub use resilient::{DeadlineTransport, FaultAction, FaultTransport, INJECTED_FAULT_TYPE};

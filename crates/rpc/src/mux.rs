@@ -38,8 +38,8 @@
 //! misclassified as a violation.
 
 use crate::frame::{
-    encode_frame, encode_frame_with, read_frame, Frame, FrameDecoder, FrameKind,
-    DEFAULT_MAX_PAYLOAD, FRAME_HEADER_LEN,
+    encode_frame, encode_frame_header_onto, encode_frame_onto, encode_frame_with, read_frame,
+    Frame, FrameDecoder, FrameKind, DEFAULT_MAX_PAYLOAD, FRAME_HEADER_LEN,
 };
 use crate::tcp::CONNECTION_EXCEPTION_TYPE;
 use crate::transport::{Dispatcher, Transport};
@@ -48,7 +48,7 @@ use cca_core::resilience::{SplitMix64, DEADLINE_EXCEPTION_TYPE};
 use cca_obs::{MuxMetrics, TraceContext, TransportMetrics};
 use cca_sidl::SidlError;
 use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -444,13 +444,145 @@ impl MuxTransport {
     /// from any number of threads may be in flight per connection.
     pub fn submit(&self, request: Bytes) -> Result<PendingReply, SidlError> {
         let _span = cca_obs::span("rpc.mux.submit");
+        self.submit_frame(FrameKind::Request, request)
+    }
+
+    /// Starts one bulk-slab transfer: identical multiplexing to
+    /// [`submit`](Self::submit) — same sockets, same writer batching, same
+    /// id-routed completion — but the frame kind is `Bulk` and the payload
+    /// is a raw slab (see [`crate::bulk`]). The reply's payload is the
+    /// receiver's encoded [`crate::bulk::BulkAck`].
+    pub fn submit_bulk(&self, slab: Bytes) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.mux.submit_bulk");
+        self.submit_frame(FrameKind::Bulk, slab)
+    }
+
+    /// [`submit_bulk`](Self::submit_bulk) without the intermediate frame
+    /// buffer: the header and slab are appended straight onto the
+    /// connection's write queue, so the caller may reuse `slab` for the
+    /// next chunk as soon as this returns. Saves one allocation and one
+    /// full-payload copy per chunk, which is what the data plane is
+    /// throughput-bound on.
+    pub fn submit_bulk_ref(&self, slab: &[u8]) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.mux.submit_bulk");
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let conn = self.conn_for_call()?;
-        // The submit span above is current here, so the wire context
-        // parents the server's dispatch span to this very call. Tracing
-        // off ⇒ `None` after one relaxed load, zero extension bytes.
+        let context = cca_obs::trace::current_context();
+        let cell = Arc::new(WaitCell::new());
+        {
+            let mut pending = conn.pending.lock().unwrap();
+            if let Some(err) = &pending.dead {
+                return Err(err.clone());
+            }
+            pending
+                .waiters
+                .insert(request_id, PendingEntry::Live(Arc::clone(&cell)));
+        }
+        self.mux_metrics.record_begin();
+        let enqueued = {
+            let mut out = conn.out.lock().unwrap();
+            if out.dead {
+                Ok(())
+            } else {
+                encode_frame_onto(
+                    &mut out.buf,
+                    FrameKind::Bulk,
+                    request_id,
+                    slab,
+                    self.max_payload,
+                    context,
+                )
+            }
+        };
+        if let Err(err) = enqueued {
+            // Oversize slab: nothing was written, so unhook the waiter
+            // instead of leaving a request id that can never complete.
+            conn.pending.lock().unwrap().waiters.remove(&request_id);
+            self.mux_metrics.record_end();
+            return Err(err.into());
+        }
+        conn.out_cv.notify_one();
+        Ok(PendingReply {
+            cell: Some(cell),
+            conn,
+            request_id,
+            request_bytes: slab.len() as u64,
+            submitted: Instant::now(),
+            timeout: self.io_timeout,
+        })
+    }
+
+    /// The zero-materialization variant of
+    /// [`submit_bulk_ref`](Self::submit_bulk_ref): appends the frame
+    /// header to the connection's write queue, then hands `fill` the
+    /// payload's `payload_len` bytes *in place* so the sender's gather
+    /// writes element bytes directly where the writer thread will read
+    /// them. The slab never exists anywhere else — between source array
+    /// and socket there is exactly one copy.
+    pub fn submit_bulk_with(
+        &self,
+        payload_len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.mux.submit_bulk");
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn = self.conn_for_call()?;
+        let context = cca_obs::trace::current_context();
+        let cell = Arc::new(WaitCell::new());
+        {
+            let mut pending = conn.pending.lock().unwrap();
+            if let Some(err) = &pending.dead {
+                return Err(err.clone());
+            }
+            pending
+                .waiters
+                .insert(request_id, PendingEntry::Live(Arc::clone(&cell)));
+        }
+        self.mux_metrics.record_begin();
+        let enqueued = {
+            let mut out = conn.out.lock().unwrap();
+            if out.dead {
+                Ok(())
+            } else {
+                encode_frame_header_onto(
+                    &mut out.buf,
+                    FrameKind::Bulk,
+                    request_id,
+                    payload_len,
+                    self.max_payload,
+                    context,
+                )
+                .map(|()| {
+                    let at = out.buf.len();
+                    out.buf.resize(at + payload_len, 0);
+                    fill(&mut out.buf[at..]);
+                })
+            }
+        };
+        if let Err(err) = enqueued {
+            conn.pending.lock().unwrap().waiters.remove(&request_id);
+            self.mux_metrics.record_end();
+            return Err(err.into());
+        }
+        conn.out_cv.notify_one();
+        Ok(PendingReply {
+            cell: Some(cell),
+            conn,
+            request_id,
+            request_bytes: payload_len as u64,
+            submitted: Instant::now(),
+            timeout: self.io_timeout,
+        })
+    }
+
+    fn submit_frame(&self, kind: FrameKind, request: Bytes) -> Result<PendingReply, SidlError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let conn = self.conn_for_call()?;
+        // The caller's span is current here, so the wire context parents
+        // the server's dispatch span to this very call. Tracing off ⇒
+        // `None` after one relaxed load, zero extension bytes.
         let framed = encode_frame_with(
-            FrameKind::Request,
+            kind,
             request_id,
             request.as_ref(),
             self.max_payload,
@@ -515,6 +647,62 @@ impl Transport for MuxTransport {
             );
         }
         Ok(reply)
+    }
+}
+
+/// A [`Transport`]-shaped view of a [`MuxTransport`]'s bulk lane: `call`
+/// submits the payload as a `Bulk` frame and waits for the ack reply.
+/// Being a `Transport`, it composes unchanged with the PR-3 resilience
+/// stack — wrap it in a [`crate::DeadlineTransport`] and a stalled
+/// receiver surfaces `cca.rpc.DeadlineExceeded` instead of wedging the
+/// writer thread, or in a [`crate::FaultTransport`] for the CI fault
+/// matrix; connection failures feed the circuit breaker exactly like
+/// control-plane calls.
+pub struct BulkChannel {
+    transport: Arc<MuxTransport>,
+}
+
+impl BulkChannel {
+    /// A bulk lane over `transport`'s connection set.
+    pub fn new(transport: Arc<MuxTransport>) -> Arc<Self> {
+        Arc::new(BulkChannel { transport })
+    }
+
+    /// The underlying multiplexed transport.
+    pub fn transport(&self) -> &Arc<MuxTransport> {
+        &self.transport
+    }
+
+    /// Starts one slab without waiting for its ack. The windowed sender
+    /// keeps several of these in flight so the gather, the wire, and the
+    /// receiver's scatter overlap instead of serializing on round trips;
+    /// [`call`](Transport::call) is the stop-and-wait special case. The
+    /// slab is borrowed — its bytes are on the connection's write queue
+    /// when this returns, so the caller may refill the same buffer for
+    /// the next chunk immediately.
+    pub fn submit_ref(&self, slab: &[u8]) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.bulk.chunk");
+        self.transport.submit_bulk_ref(slab)
+    }
+
+    /// Like [`submit_ref`](Self::submit_ref), but the slab is *built in
+    /// place* on the connection's write queue by `fill` — see
+    /// [`MuxTransport::submit_bulk_with`].
+    pub fn submit_with(
+        &self,
+        payload_len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.bulk.chunk");
+        self.transport.submit_bulk_with(payload_len, fill)
+    }
+}
+
+impl Transport for BulkChannel {
+    fn call(&self, slab: Bytes) -> Result<Bytes, SidlError> {
+        let _span = cca_obs::span("rpc.bulk.chunk");
+        let pending = self.transport.submit_bulk(slab)?;
+        Ok(pending.wait_timed()?.0)
     }
 }
 
@@ -641,6 +829,9 @@ impl Default for MuxServerConfig {
 struct Job {
     conn_id: u64,
     request_id: u64,
+    /// `Request` goes to the [`Dispatcher`]; `Bulk` goes to the installed
+    /// [`BulkSink`]. (`Reply` never reaches the queue.)
+    kind: FrameKind,
     payload: Bytes,
     /// The caller's trace identity from the frame, installed around the
     /// dispatch so the worker's spans join the caller's trace.
@@ -723,6 +914,9 @@ pub struct MuxServer {
     drop_permille: AtomicU64,
     fault_draws: Mutex<SplitMix64>,
     metrics: Arc<MuxMetrics>,
+    /// Where `Bulk` frames land. Installed by [`Self::set_bulk_sink`];
+    /// a bulk frame arriving with no sink is a protocol violation.
+    bulk_sink: Mutex<Option<Arc<dyn crate::bulk::BulkSink>>>,
 }
 
 impl MuxServer {
@@ -769,6 +963,7 @@ impl MuxServer {
             drop_permille: AtomicU64::new(0),
             fault_draws: Mutex::new(SplitMix64::new(0)),
             metrics: MuxMetrics::new(),
+            bulk_sink: Mutex::new(None),
         });
         let for_accept = Arc::clone(&server);
         *server.accept_thread.lock().unwrap() = Some(
@@ -824,6 +1019,16 @@ impl MuxServer {
     /// dispatch in-flight.
     pub fn metrics(&self) -> &MuxMetrics {
         &self.metrics
+    }
+
+    /// Installs the data-plane sink: every decoded `Bulk` frame is handed
+    /// to `sink` on a dispatch worker and its returned bytes travel back
+    /// as the `Reply` payload (normally an encoded
+    /// [`crate::bulk::BulkAck`]). A sink error closes the producing
+    /// connection — the same blast radius as a framing violation — and no
+    /// other. Without a sink, bulk frames are protocol violations.
+    pub fn set_bulk_sink(&self, sink: Arc<dyn crate::bulk::BulkSink>) {
+        *self.bulk_sink.lock().unwrap() = Some(sink);
     }
 
     /// Arms (or disarms with `drop_permille == 0`) the hostile-network
@@ -895,7 +1100,24 @@ impl MuxServer {
                 // Adopt the caller's wire identity for the dispatch: the
                 // ORB's dispatch span parents to the client's call span.
                 let _ctx = cca_obs::install_context(job.context);
-                self.dispatcher.dispatch(job.payload)
+                match job.kind {
+                    FrameKind::Bulk => {
+                        // Data plane: the slab goes to the sink, not the
+                        // dispatcher; the sink's ack bytes are the reply.
+                        // The sink is checked at decode time, so absence
+                        // here means it was uninstalled mid-flight — the
+                        // close sentinel handles that too.
+                        let sink = self.bulk_sink.lock().unwrap().clone();
+                        match sink {
+                            Some(sink) => sink.receive(job.payload).map(Bytes::from),
+                            None => Err(SidlError::user(
+                                crate::bulk::BULK_EXCEPTION_TYPE,
+                                "no bulk sink installed",
+                            )),
+                        }
+                    }
+                    _ => self.dispatcher.dispatch(job.payload),
+                }
             };
             match outcome {
                 Ok(reply) => {
@@ -942,7 +1164,10 @@ impl MuxServer {
     fn event_loop(self: Arc<Self>) {
         let mut conns: Vec<ServerConn> = Vec::new();
         let mut next_conn_id: u64 = 0;
-        let mut scratch = vec![0u8; 64 << 10];
+        // Per-read ceiling, sized for the bulk plane: megabyte slabs
+        // arrive in a handful of reads instead of sixteen, and the loop
+        // visits each connection that much less often per byte moved.
+        const READ_CHUNK: usize = 256 << 10;
         loop {
             let mut progressed = false;
 
@@ -1029,16 +1254,17 @@ impl MuxServer {
                     continue;
                 }
 
-                // Read whatever is ready.
+                // Read whatever is ready, straight into the decoder's
+                // buffer — no scratch hop, the payload bytes are copied
+                // exactly once between socket and frame.
                 loop {
-                    match conn.stream.read(&mut scratch) {
+                    match conn.decoder.fill_from(&mut conn.stream, READ_CHUNK) {
                         Ok(0) => {
                             conn.closed = true;
                             break;
                         }
-                        Ok(n) => {
+                        Ok(_) => {
                             progressed = true;
-                            conn.decoder.feed(&scratch[..n]);
                             if !self.drain_frames(conn) {
                                 break;
                             }
@@ -1110,11 +1336,18 @@ impl MuxServer {
         loop {
             match conn.decoder.next_frame() {
                 Ok(Some(Frame {
-                    kind: FrameKind::Request,
+                    kind: kind @ (FrameKind::Request | FrameKind::Bulk),
                     request_id,
                     context,
                     payload,
                 })) => {
+                    if kind == FrameKind::Bulk && self.bulk_sink.lock().unwrap().is_none() {
+                        // Data-plane frame at a server with no data plane:
+                        // protocol violation, same as a client reply.
+                        self.metrics.record_protocol_violation();
+                        conn.closed = true;
+                        return false;
+                    }
                     if self.should_drop() {
                         self.dropped_mid_call.fetch_add(1, Ordering::Relaxed);
                         cca_obs::trace_instant("rpc.mux.injected_drop");
@@ -1123,12 +1356,16 @@ impl MuxServer {
                     }
                     self.metrics.record_begin();
                     // Charge at least the header so a flood of empty
-                    // requests still accumulates backlog.
+                    // requests still accumulates backlog. Bulk frames
+                    // charge their full slab, so the write-buffer cap
+                    // bounds in-memory payload per connection for the
+                    // data plane exactly as for replies.
                     let cost = payload.len() + FRAME_HEADER_LEN;
                     conn.pending_cost += cost;
                     self.jobs.lock().unwrap().jobs.push_back(Job {
                         conn_id: conn.id,
                         request_id,
+                        kind,
                         context,
                         payload,
                         cost,

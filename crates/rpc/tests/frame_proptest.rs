@@ -3,7 +3,9 @@
 //! segment boundary, and must reject everything else with a typed
 //! [`FrameError`] — never a panic and never an unbounded buffer.
 
+use bytes::Bytes;
 use cca_obs::TraceContext;
+use cca_rpc::bulk::{BulkAck, BulkError, ElemTag, SlabHeader, BULK_ACK_LEN, BULK_SLAB_HEADER_LEN};
 use cca_rpc::frame::{
     encode_frame, encode_frame_with, read_frame, Frame, FrameDecoder, FrameError, FrameKind,
     DEFAULT_MAX_PAYLOAD, FRAME_HEADER_LEN, TRACE_CONTEXT_LEN,
@@ -11,7 +13,22 @@ use cca_rpc::frame::{
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = FrameKind> {
-    prop_oneof![Just(FrameKind::Request), Just(FrameKind::Reply)]
+    prop_oneof![
+        Just(FrameKind::Request),
+        Just(FrameKind::Reply),
+        Just(FrameKind::Bulk),
+    ]
+}
+
+fn arb_tag() -> impl Strategy<Value = ElemTag> {
+    prop_oneof![
+        Just(ElemTag::F64),
+        Just(ElemTag::F32),
+        Just(ElemTag::I64),
+        Just(ElemTag::I32),
+        Just(ElemTag::U64),
+        Just(ElemTag::U8),
+    ]
 }
 
 /// An optional trace context with the nonzero ids a real tracer produces
@@ -250,5 +267,142 @@ proptest! {
             prop_assert_eq!(a.context, b.context);
             prop_assert_eq!(a.payload.as_slice(), b.payload.as_slice());
         }
+    }
+
+    // -- bulk data-plane battery ------------------------------------------
+
+    /// A bulk slab framed as `FrameKind::Bulk` survives encode →
+    /// split-at-arbitrary-boundaries → decode → slab parse, bit-for-bit:
+    /// header fields and body bytes all round trip.
+    #[test]
+    fn bulk_slabs_survive_framing_and_segmentation(
+        id in any::<u64>(),
+        generation in any::<u64>(),
+        transfer in any::<u32>(),
+        tag in arb_tag(),
+        body_elems in 0usize..48,
+        lead_elems in 0usize..16,
+        trail_elems in 0usize..16,
+        fill in any::<u8>(),
+        cuts in proptest::collection::vec(1usize..48, 0..8),
+    ) {
+        let elem = tag.elem_size();
+        let header = SlabHeader {
+            generation,
+            transfer,
+            tag,
+            chunk_offset: (lead_elems * elem) as u64,
+            total_bytes: ((lead_elems + body_elems + trail_elems) * elem) as u64,
+        };
+        let body: Vec<u8> = (0..body_elems * elem).map(|i| fill.wrapping_add(i as u8)).collect();
+        let mut payload = vec![0u8; BULK_SLAB_HEADER_LEN + body.len()];
+        header.encode_into(&mut payload);
+        payload[BULK_SLAB_HEADER_LEN..].copy_from_slice(&body);
+        let stream = encode_frame(FrameKind::Bulk, id, &payload, DEFAULT_MAX_PAYLOAD).unwrap();
+        let frames = decode_in_chunks(&stream, &cuts).unwrap();
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(frames[0].kind, FrameKind::Bulk);
+        prop_assert_eq!(frames[0].request_id, id);
+        let (got, view) = SlabHeader::decode(&frames[0].payload).unwrap();
+        prop_assert_eq!(got, header);
+        prop_assert_eq!(view.as_slice(), &body[..]);
+    }
+
+    /// Any payload shorter than the slab header is a typed `Truncated`,
+    /// carrying the exact byte counts — never a panic, never a partial
+    /// parse.
+    #[test]
+    fn truncated_slabs_are_typed(
+        len in 0usize..BULK_SLAB_HEADER_LEN,
+        fill in any::<u8>(),
+    ) {
+        let raw = vec![fill; len];
+        prop_assert!(matches!(
+            SlabHeader::decode(&Bytes::from(raw)),
+            Err(BulkError::Truncated { have, need })
+                if have == len && need == BULK_SLAB_HEADER_LEN
+        ));
+    }
+
+    /// Every element-tag byte outside the known set is a typed `BadTag`;
+    /// every known byte round trips through its `ElemTag`.
+    #[test]
+    fn element_tag_bytes_are_exhaustively_typed(b in any::<u8>()) {
+        match ElemTag::from_byte(b) {
+            Ok(tag) => prop_assert_eq!(tag as u8, b),
+            Err(BulkError::BadTag(got)) => {
+                prop_assert_eq!(got, b);
+                prop_assert!(!(1..=6).contains(&b));
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Corrupting any byte of a valid slab header yields either a clean
+    /// parse (fields are opaque integers) or a typed `BulkError` — never a
+    /// panic, and a parsed chunk never escapes its declared total.
+    #[test]
+    fn corrupted_slab_headers_never_panic(
+        corrupt_at in 0usize..BULK_SLAB_HEADER_LEN,
+        xor in 1u8..=255,
+        body_elems in 0usize..8,
+    ) {
+        let header = SlabHeader {
+            generation: 3,
+            transfer: 1,
+            tag: ElemTag::F64,
+            chunk_offset: 16,
+            total_bytes: (16 + body_elems * 8 + 8) as u64,
+        };
+        let mut raw = vec![0u8; BULK_SLAB_HEADER_LEN + body_elems * 8];
+        header.encode_into(&mut raw);
+        raw[corrupt_at] ^= xor;
+        match SlabHeader::decode(&Bytes::from(raw)) {
+            Ok((h, view)) => {
+                prop_assert!(h.chunk_offset + view.len() as u64 <= h.total_bytes);
+            }
+            Err(
+                BulkError::BadTag(_)
+                | BulkError::BadReserved
+                | BulkError::Misaligned { .. }
+                | BulkError::OutOfRange { .. },
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Acks round trip; short ack payloads are typed `Truncated`.
+    #[test]
+    fn bulk_acks_round_trip_and_reject_short_payloads(
+        generation in any::<u64>(),
+        transfer in any::<u32>(),
+        acked_through in any::<u64>(),
+        short in 0usize..BULK_ACK_LEN,
+    ) {
+        let ack = BulkAck { generation, transfer, acked_through };
+        prop_assert_eq!(BulkAck::decode(&ack.encode()).unwrap(), ack);
+        prop_assert!(matches!(
+            BulkAck::decode(&ack.encode()[..short]),
+            Err(BulkError::Truncated { .. })
+        ));
+    }
+
+    /// Every kind byte outside the known set {request, reply, bulk} is a
+    /// typed `BadKind` from the header alone — the mux kills exactly the
+    /// connection that sent it (see `tests/bulk_redist.rs` for the
+    /// blast-radius half of that contract).
+    #[test]
+    fn unknown_kind_bytes_are_typed(
+        id in any::<u64>(),
+        kind_byte in 3u8..=255,
+    ) {
+        let mut framed = encode_frame(FrameKind::Bulk, id, b"x", DEFAULT_MAX_PAYLOAD).unwrap();
+        framed[5] = kind_byte;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        prop_assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadKind(b)) if b == kind_byte
+        ));
     }
 }

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Runs the direct-connect benchmark suite (E1 ladder, E8 fan-out, E9
 # port-resolution, E10 observability overhead, E11 resilience overhead,
-# E12 remote rpc, E13 mux throughput, E14 wire tracing) and leaves the
-# machine-readable results in BENCH_ports.json, BENCH_obs.json,
-# BENCH_resilience.json, and BENCH_rpc.json at the repo root. All files
-# are published atomically (write temp + rename), so a killed run never
-# leaves a truncated artifact.
+# E12 remote rpc, E13 mux throughput, E14 wire tracing, E15 bulk data
+# plane) and leaves the machine-readable results in BENCH_ports.json,
+# BENCH_obs.json, BENCH_resilience.json, BENCH_rpc.json, and
+# BENCH_data.json at the repo root. All files are published atomically
+# (write temp + rename), so a killed run never leaves a truncated
+# artifact.
 #
 # Every bench runs even if an earlier one fails its acceptance gate; the
 # script exits nonzero if ANY did, so one broken gate can't mask another's
@@ -18,7 +19,8 @@
 # ≤1.1x PR-1; E12: loopback TCP round-trip median <100us; E13: the
 # logical clients share ≤8 sockets and mux beats the pooled baseline;
 # E14: tracing-off v2 encode ≤1.1x the PR-6 codec, tracing-on remote
-# calls ≤1.5x tracing-off) matter.
+# calls ≤1.5x tracing-off; E15: bulk slabs outrun the generic encoding
+# and sender memory stays window-bounded) matter.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -69,8 +71,12 @@ run_bench "E14 wire tracing (merges into BENCH_obs.json)" \
     env BENCH_OBS_OUT="$ROOT/BENCH_obs.json" \
     cargo bench --offline -p cca-bench --bench e14_wire_trace
 
+run_bench "E15 bulk data plane (writes BENCH_data.json)" \
+    env BENCH_DATA_OUT="$ROOT/BENCH_data.json" \
+    cargo bench --offline -p cca-bench --bench e15_bulk_data
+
 echo "==> results"
-for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json; do
+for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json BENCH_data.json; do
     [ -f "$ROOT/$artifact" ] && cat "$ROOT/$artifact"
 done
 

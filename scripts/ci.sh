@@ -10,7 +10,7 @@
 #   clippy     clippy with -D warnings
 #   fmt        rustfmt --check
 #   fault      the fault-injection suites under one CCA_FAULT_SEED
-#   bench-gate quick-mode E10/E11/E13/E14 perf gates
+#   bench-gate quick-mode E10/E11/E13/E14/E15 perf gates
 #
 # The CI workflow fans these out as separate jobs; `all` keeps the
 # one-command local story.
@@ -25,7 +25,8 @@ MODE="${1:-all}"
 cleanup() {
     rm -f BENCH_obs.ci.json BENCH_obs.ci.json.tmp \
         BENCH_resilience.ci.json BENCH_resilience.ci.json.tmp \
-        BENCH_rpc.ci.json BENCH_rpc.ci.json.tmp
+        BENCH_rpc.ci.json BENCH_rpc.ci.json.tmp \
+        BENCH_data.ci.json BENCH_data.ci.json.tmp
 }
 trap cleanup EXIT
 
@@ -60,7 +61,7 @@ fault() {
     mkdir -p target/flight
     CCA_FAULT_SEED="$seed" CCA_FLIGHT_DIR="$(pwd)/target/flight" cargo test --offline \
         --test failure_injection --test resilience --test remote_transport \
-        --test wire_tracing
+        --test wire_tracing --test bulk_redist
 }
 
 bench_gate() {
@@ -93,6 +94,13 @@ bench_gate() {
     echo "==> E14 wire tracing gate (quick mode)"
     CCA_BENCH_FAST=1 BENCH_OBS_OUT="$(pwd)/BENCH_obs.ci.json" \
         cargo bench --offline -p cca-bench --bench e14_wire_trace
+
+    # Quick-mode bulk-data-plane gate: raw slabs beat the generic value
+    # encoding at small payloads and sender memory stays window-bounded
+    # (E15). Full-mode sweeps and the headline ratio run via bench.sh.
+    echo "==> E15 bulk data plane gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_DATA_OUT="$(pwd)/BENCH_data.ci.json" \
+        cargo bench --offline -p cca-bench --bench e15_bulk_data
 }
 
 case "$MODE" in

@@ -106,9 +106,15 @@ pub trait BufMut {
 }
 
 /// A cheaply-cloneable immutable byte buffer: shared storage + a range.
+///
+/// The storage is `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// [`From<Vec<u8>>`](#impl-From<Vec<u8>>-for-Bytes) is a *move* — one
+/// pointer-sized allocation for the `Arc`, no copy of the data. The bulk
+/// data plane converts megabyte slabs to `Bytes` on every chunk; an
+/// `Arc<[u8]>` would re-copy each one.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -178,6 +184,19 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// True if this handle is the only one referencing the storage.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Recovers the backing `Vec` (whatever the view's range) if this is
+    /// the only handle — buffer recycling for megabyte slab storage —
+    /// otherwise returns `self` unchanged.
+    pub fn try_unwrap(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
+    }
 }
 
 impl Buf for Bytes {
@@ -194,10 +213,11 @@ impl Buf for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: the `Vec` moves behind the `Arc` as-is.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
