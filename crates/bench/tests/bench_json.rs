@@ -262,6 +262,23 @@ fn committed_bench_artifacts_parse_and_declare_schema() {
                 );
             }
         }
+        if name == "BENCH_fleet.json" {
+            // E16's worker-fleet artifact: the wire-collective overhead
+            // ratio and the restart-to-rejoin latency are PR 9's
+            // acceptance quantities.
+            for key in [
+                "ranks",
+                "thread_allreduce_ns",
+                "wire_allreduce_ns",
+                "wire_over_thread_ratio",
+                "restart_to_rejoin_ms",
+            ] {
+                assert!(
+                    matches!(map.get(key), Some(Json::Num(_))),
+                    "{name}: missing numeric '{key}' field (E16 worker fleet)"
+                );
+            }
+        }
         if name == "BENCH_obs.json" {
             // E14 merges the wire-tracing quantities into E10's artifact
             // the same way; both halves must be present.

@@ -88,6 +88,27 @@ pub enum ConfigEvent {
         /// Providing component instance.
         provider: String,
     },
+    /// A fleet rank's child process died (crash, `kill -9`, or connection
+    /// death): the rank is quarantined and the group rolled forward to a
+    /// new generation.
+    RankDied {
+        /// The rank that died.
+        rank: u64,
+        /// Incarnation of the process that died (1 = first launch).
+        incarnation: u64,
+        /// The generation the group moved to because of this death.
+        generation: u64,
+    },
+    /// A restarted fleet rank rejoined the group: it replayed its rank id
+    /// at the new generation and the collectives resumed.
+    RankRejoined {
+        /// The rank that rejoined.
+        rank: u64,
+        /// Incarnation of the replacement process.
+        incarnation: u64,
+        /// The generation it rejoined at.
+        generation: u64,
+    },
 }
 
 impl ConfigEvent {
@@ -103,6 +124,8 @@ impl ConfigEvent {
             ConfigEvent::ComponentFailed { .. } => "cca.config.component_failed",
             ConfigEvent::ProviderQuarantined { .. } => "cca.config.provider_quarantined",
             ConfigEvent::ProviderRecovered { .. } => "cca.config.provider_recovered",
+            ConfigEvent::RankDied { .. } => "cca.config.rank_died",
+            ConfigEvent::RankRejoined { .. } => "cca.config.rank_rejoined",
         }
     }
 
@@ -177,6 +200,20 @@ impl ConfigEvent {
                 m.put_string("user", user.clone());
                 m.put_string("uses_port", uses_port.clone());
                 m.put_string("provider", provider.clone());
+            }
+            ConfigEvent::RankDied {
+                rank,
+                incarnation,
+                generation,
+            }
+            | ConfigEvent::RankRejoined {
+                rank,
+                incarnation,
+                generation,
+            } => {
+                m.put_string("rank", rank.to_string());
+                m.put_string("incarnation", incarnation.to_string());
+                m.put_string("generation", generation.to_string());
             }
         }
         m
@@ -292,6 +329,16 @@ mod tests {
                 user: "u".into(),
                 uses_port: "in".into(),
                 provider: "p".into(),
+            },
+            ConfigEvent::RankDied {
+                rank: 2,
+                incarnation: 1,
+                generation: 1,
+            },
+            ConfigEvent::RankRejoined {
+                rank: 2,
+                incarnation: 2,
+                generation: 1,
             },
         ];
         for e in &events {

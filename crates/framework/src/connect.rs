@@ -446,6 +446,21 @@ impl Framework {
     /// breaker quarantine/recovery behaves identically. Mux connections
     /// are labelled `tcp+mux://{addr}/{remote_key}` in connection records
     /// and configuration events.
+    ///
+    /// Incarnation audit (PR 9): the `tcp+mux://{addr}/{remote_key}`
+    /// label names an *address*, not a process. If the provider behind
+    /// it is a supervised fleet child, the label outlives any one
+    /// incarnation: a restarted rank gets the same address back, and a
+    /// label recorded while incarnation *k* was alive must never satisfy
+    /// a lookup after *k* died. This layer cannot tell incarnations
+    /// apart (the socket reconnects transparently), so fleet-routed
+    /// lookups go through
+    /// [`FleetHub::resolve_provider`](crate::fleet::FleetHub::resolve_provider),
+    /// which records `(rank, incarnation)` at every `Join` handshake and
+    /// refuses entries whose registering incarnation is dead or
+    /// superseded. Non-fleet remotes keep the existing behaviour: a dead
+    /// peer trips the breaker to `Open` via `cca.rpc.ConnectionFailure`,
+    /// so stale addresses quarantine rather than resolve.
     pub fn connect_remote_with(
         &self,
         user: &str,

@@ -32,11 +32,17 @@
 //!   streams a compiled M×N plan as raw slabs over any transport, and
 //!   [`BulkLandingZone`] scatters them into destination storage with
 //!   resume watermarks (experiment E15).
+//! * [`fleet`] — the supervised multi-process worker fleet: ranks as
+//!   child processes joined over `tcp+mux://`, crash detection via
+//!   connection death, circuit-breaker quarantine with
+//!   decorrelated-jitter restarts, and checkpoint-rollback rejoin so a
+//!   `kill -9` mid-timestep converges instead of hanging (PR 9).
 
 pub mod bulk;
 pub mod collective;
 pub mod connect;
 pub mod event;
+pub mod fleet;
 pub mod framework;
 pub mod monitor;
 pub mod observability;
@@ -46,6 +52,11 @@ pub use bulk::{BulkLandingZone, BulkRedistSender};
 pub use collective::{MxNPort, PlanCache};
 pub use connect::{ConnectionInfo, ConnectionPolicy, RemoteTransportKind};
 pub use event::{EventListener, EventService, SubscriptionId};
+pub use fleet::{
+    fleet_rank_env, rank_backoff_seed, ExecLauncher, FleetConfig, FleetEvent, FleetHub,
+    FleetRankEnv, FleetSupervisor, HubLink, LaunchSpec, MockLauncher, MockProcess, ProcessHandle,
+    RankLauncher, RestartBackoff,
+};
 pub use framework::Framework;
 pub use monitor::{
     MonitorComponent, MonitorPort, MONITOR_INSTANCE, MONITOR_PORT_TYPE, MONITOR_SIDL,

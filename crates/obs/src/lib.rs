@@ -36,12 +36,14 @@
 //! exactly as Fig. 2's builder would.
 
 pub mod flags;
+pub mod fleet;
 pub mod flight;
 pub mod metrics;
 pub mod resilience;
 pub mod trace;
 
 pub use flags::{counters_enabled, init_from_env, set_counters, set_tracing, tracing_enabled};
+pub use fleet::{fleet, FleetCounters, FleetSnapshot};
 pub use metrics::{
     BulkMetrics, BulkSnapshot, CallShard, LatencyHistogram, LatencySnapshot, MuxMetrics,
     MuxSnapshot, PortMetrics, PortMetricsSnapshot, TransportMetrics, TransportSnapshot,

@@ -6,17 +6,28 @@
 //! matching the paper's "tightly coupled" fast path. Serialization only
 //! appears in `cca-rpc`, where the paper's *distributed* connections live.
 //!
+//! Since the fleet work, a rank may instead live in a *separate process*:
+//! the same `Comm` then routes every message through a [`WireLink`]
+//! (constructed with [`Comm::over_wire`]), which serializes payloads with
+//! the closed codec in [`crate::wire`] and carries the identical
+//! (source, context, tag) matching triple. The two paths meet in one
+//! [`RankEndpoint`] enum; collectives, tag matching, sub-communicators,
+//! and the unexpected-message buffer are shared code, so SPMD programs
+//! are oblivious to which substrate they run on.
+//!
 //! Sub-communicators created with [`Comm::split`] reuse the world channel
 //! mesh with a *context id*, exactly how MPI implementations isolate
 //! communicator traffic on one network.
 
 use crate::error::ParallelError;
 use crate::reduce::ReduceOp;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::wire::{self, WireLink};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// A user message tag. Tags below [`Tag::MAX_USER`] are available to
 /// applications; higher values are reserved for internal collectives.
@@ -28,20 +39,58 @@ pub const MAX_USER_TAG: Tag = 0x7fff_ffff;
 /// Internal tag bit marking collective traffic.
 const COLLECTIVE_BIT: u64 = 1 << 63;
 
+/// A message payload in either of its two representations: moved (ranks
+/// share an address space) or encoded (ranks are separate processes).
+enum Payload {
+    Local(Box<dyn Any + Send>),
+    Wire(Vec<u8>),
+}
+
 /// One in-flight message.
 struct Envelope {
     src_world: usize,
     context: u32,
     tag: u64,
-    payload: Box<dyn Any + Send>,
+    payload: Payload,
 }
 
-/// Per-thread receive endpoint: the world receiver plus a buffer of
-/// messages that arrived before anyone asked for them (out-of-order
-/// matching, as MPI requires).
+/// Where this rank's messages come from and go to: the crossbeam channel
+/// mesh when all ranks are threads of one process, or a [`WireLink`] when
+/// this rank is a supervised child process in a fleet.
+enum RankEndpoint {
+    Local {
+        rx: Receiver<Envelope>,
+        /// Senders to every *world* rank.
+        senders: Arc<Vec<Sender<Envelope>>>,
+    },
+    Wire {
+        link: Arc<dyn WireLink>,
+    },
+}
+
+/// Per-rank receive endpoint: the transport plus a buffer of messages
+/// that arrived before anyone asked for them (out-of-order matching, as
+/// MPI requires). The buffer is shared by all communicators of the rank,
+/// which is what makes cross-communicator arrival order irrelevant.
 struct Endpoint {
-    rx: Receiver<Envelope>,
+    kind: RankEndpoint,
     unexpected: RefCell<Vec<Envelope>>,
+}
+
+/// Materializes a payload as the receiver's expected type, decoding the
+/// wire form first when needed. Both representations fail the same way:
+/// a typed [`ParallelError::TypeMismatch`].
+fn extract<T: Send + 'static>(payload: Payload) -> Result<T, ParallelError> {
+    let boxed: Box<dyn Any + Send> = match payload {
+        Payload::Local(b) => b,
+        Payload::Wire(bytes) => wire::decode_to_box(&bytes)?,
+    };
+    boxed
+        .downcast::<T>()
+        .map(|b| *b)
+        .map_err(|_| ParallelError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+        })
 }
 
 /// An MPI-flavoured communicator over a group of thread ranks.
@@ -50,8 +99,6 @@ struct Endpoint {
 /// that received it from [`spmd`], like an MPI rank's communicator handle.
 pub struct Comm {
     endpoint: Rc<Endpoint>,
-    /// Senders to every *world* rank.
-    senders: Arc<Vec<Sender<Envelope>>>,
     /// World ranks of this communicator's members, indexed by group rank.
     group: Arc<Vec<usize>>,
     /// My rank within this communicator.
@@ -68,6 +115,26 @@ pub struct Comm {
 }
 
 impl Comm {
+    /// Builds a world communicator for an out-of-process rank whose
+    /// traffic rides `link`. `rank`/`size` come from the fleet join
+    /// handshake; every peer is reached through the link (the supervisor
+    /// hub relays), so there is no local channel mesh at all.
+    pub fn over_wire(link: Arc<dyn WireLink>, rank: usize, size: usize) -> Comm {
+        assert!(rank < size, "wire rank {rank} out of range for size {size}");
+        Comm {
+            endpoint: Rc::new(Endpoint {
+                kind: RankEndpoint::Wire { link },
+                unexpected: RefCell::new(Vec::new()),
+            }),
+            group: Arc::new((0..size).collect()),
+            rank,
+            world_rank: rank,
+            context: 0,
+            next_context: Rc::new(Cell::new(1)),
+            coll_seq: Cell::new(0),
+        }
+    }
+
     /// My rank in this communicator.
     pub fn rank(&self) -> usize {
         self.rank
@@ -108,24 +175,33 @@ impl Comm {
         value: T,
     ) -> Result<(), ParallelError> {
         self.check_rank(dst)?;
-        self.send_raw(dst, tag as u64, Box::new(value))
+        self.send_value(dst, tag as u64, value)
     }
 
-    fn send_raw(
+    fn send_value<T: Send + 'static>(
         &self,
         dst: usize,
         tag: u64,
-        payload: Box<dyn Any + Send>,
+        value: T,
     ) -> Result<(), ParallelError> {
         let world_dst = self.group[dst];
-        self.senders[world_dst]
-            .send(Envelope {
-                src_world: self.world_rank,
-                context: self.context,
-                tag,
-                payload,
-            })
-            .map_err(|_| ParallelError::Disconnected { peer: dst })
+        match &self.endpoint.kind {
+            RankEndpoint::Local { senders, .. } => senders[world_dst]
+                .send(Envelope {
+                    src_world: self.world_rank,
+                    context: self.context,
+                    tag,
+                    payload: Payload::Local(Box::new(value)),
+                })
+                .map_err(|_| ParallelError::Disconnected { peer: dst }),
+            RankEndpoint::Wire { link } => {
+                let bytes =
+                    wire::encode_any(&value).ok_or_else(|| ParallelError::Unserializable {
+                        type_name: std::any::type_name::<T>(),
+                    })?;
+                link.send(world_dst, self.context, tag, bytes)
+            }
+        }
     }
 
     /// Receives a `T` from group rank `src` with matching `tag`, blocking
@@ -144,29 +220,40 @@ impl Comm {
                 .position(|e| e.src_world == src_world && e.context == self.context && e.tag == tag)
             {
                 let env = buf.remove(pos);
-                return env.payload.downcast::<T>().map(|b| *b).map_err(|_| {
-                    ParallelError::TypeMismatch {
-                        expected: std::any::type_name::<T>(),
-                    }
-                });
+                drop(buf);
+                return extract::<T>(env.payload);
             }
         }
-        // Then pull from the wire, buffering anything that doesn't match.
+        // Then pull from the transport, buffering anything that doesn't
+        // match. Both substrates deliver the same Envelope shape, so the
+        // matching logic is shared.
         loop {
-            let env = self
-                .endpoint
-                .rx
-                .recv()
-                .map_err(|_| ParallelError::Disconnected { peer: src_world })?;
-            if env.src_world == src_world && env.context == self.context && env.tag == tag {
-                return env.payload.downcast::<T>().map(|b| *b).map_err(|_| {
-                    ParallelError::TypeMismatch {
-                        expected: std::any::type_name::<T>(),
+            let env = match &self.endpoint.kind {
+                RankEndpoint::Local { rx, .. } => rx
+                    .recv()
+                    .map_err(|_| ParallelError::Disconnected { peer: src_world })?,
+                RankEndpoint::Wire { link } => {
+                    let m = link.recv()?;
+                    Envelope {
+                        src_world: m.src_world,
+                        context: m.context,
+                        tag: m.tag,
+                        payload: Payload::Wire(m.bytes),
                     }
-                });
+                }
+            };
+            if env.src_world == src_world && env.context == self.context && env.tag == tag {
+                return extract::<T>(env.payload);
             }
             self.endpoint.unexpected.borrow_mut().push(env);
         }
+    }
+
+    /// Number of messages buffered as "unexpected" on this rank's
+    /// endpoint (diagnostic; a fresh communicator after a fleet rollback
+    /// starts at zero).
+    pub fn unexpected_depth(&self) -> usize {
+        self.endpoint.unexpected.borrow().len()
     }
 
     /// Allocates the tag for the next collective operation on this
@@ -187,7 +274,7 @@ impl Comm {
         while round < size {
             let dst = (self.rank + round) % size;
             let src = (self.rank + size - round) % size;
-            self.send_raw(dst, tag ^ (k << 32), Box::new(()))?;
+            self.send_value(dst, tag ^ (k << 32), ())?;
             let _: () = self.recv_raw(self.group[src], tag ^ (k << 32))?;
             round <<= 1;
             k += 1;
@@ -210,7 +297,7 @@ impl Comm {
             })?;
             for r in 0..self.size() {
                 if r != root {
-                    self.send_raw(r, tag, Box::new(v.clone()))?;
+                    self.send_value(r, tag, v.clone())?;
                 }
             }
             Ok(v)
@@ -238,7 +325,7 @@ impl Comm {
             }
             Ok(Some(out.into_iter().map(Option::unwrap).collect()))
         } else {
-            self.send_raw(root, tag, Box::new(value))?;
+            self.send_value(root, tag, value)?;
             Ok(None)
         }
     }
@@ -268,7 +355,7 @@ impl Comm {
                 if r == self.rank {
                     mine = Some(v);
                 } else {
-                    self.send_raw(r, tag, Box::new(v))?;
+                    self.send_value(r, tag, v)?;
                 }
             }
             Ok(mine.expect("root receives its own slot"))
@@ -362,7 +449,7 @@ impl Comm {
             if r == self.rank {
                 out[r] = Some(v);
             } else {
-                self.send_raw(r, tag, Box::new(v))?;
+                self.send_value(r, tag, v)?;
             }
         }
         for r in 0..self.size() {
@@ -406,7 +493,6 @@ impl Comm {
             .expect("self in own color group");
         Ok(Some(Comm {
             endpoint: Rc::clone(&self.endpoint),
-            senders: Arc::clone(&self.senders),
             group: Arc::new(group),
             rank,
             world_rank: self.world_rank,
@@ -450,10 +536,9 @@ where
             handles.push(scope.spawn(move || {
                 let comm = Comm {
                     endpoint: Rc::new(Endpoint {
-                        rx,
+                        kind: RankEndpoint::Local { rx, senders },
                         unexpected: RefCell::new(Vec::new()),
                     }),
-                    senders,
                     group,
                     rank,
                     world_rank: rank,
@@ -797,6 +882,154 @@ mod collective_tests {
     fn exscan_is_exclusive_prefix_sum() {
         let results = spmd(4, |c| c.exscan((c.rank() + 1) as i64, &SumOp).unwrap());
         assert_eq!(results, vec![None, Some(1), Some(3), Some(6)]);
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use crate::reduce::{MaxOp, SumOp};
+    use crate::wire::WireMsg;
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex};
+
+    /// An in-memory wire mesh: one mailbox per rank, every link shares
+    /// the mesh. Exercises the Wire endpoint and the codec without any
+    /// transport underneath.
+    struct MemMesh {
+        boxes: Vec<(Mutex<VecDeque<WireMsg>>, Condvar)>,
+    }
+
+    struct MemLink {
+        mesh: Arc<MemMesh>,
+        rank: usize,
+    }
+
+    impl WireLink for MemLink {
+        fn send(
+            &self,
+            dst_world: usize,
+            context: u32,
+            tag: u64,
+            bytes: Vec<u8>,
+        ) -> Result<(), ParallelError> {
+            let (lock, cv) = &self.mesh.boxes[dst_world];
+            lock.lock().unwrap().push_back(WireMsg {
+                src_world: self.rank,
+                context,
+                tag,
+                bytes,
+            });
+            cv.notify_all();
+            Ok(())
+        }
+
+        fn recv(&self) -> Result<WireMsg, ParallelError> {
+            let (lock, cv) = &self.mesh.boxes[self.rank];
+            let mut q = lock.lock().unwrap();
+            loop {
+                if let Some(m) = q.pop_front() {
+                    return Ok(m);
+                }
+                q = cv.wait(q).unwrap();
+            }
+        }
+    }
+
+    fn wire_spmd<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        let mesh = Arc::new(MemMesh {
+            boxes: (0..n)
+                .map(|_| (Mutex::new(VecDeque::new()), Condvar::new()))
+                .collect(),
+        });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let mesh = Arc::clone(&mesh);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let link = Arc::new(MemLink { mesh, rank });
+                        let comm = Comm::over_wire(link, rank, n);
+                        f(&comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("wire rank panicked"))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn point_to_point_and_buffering_over_wire() {
+        let results = wire_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 2, vec![2.0f64]).unwrap();
+                c.send(1, 1, vec![1.0f64]).unwrap();
+                Vec::new()
+            } else {
+                let a: Vec<f64> = c.recv(0, 1).unwrap();
+                let b: Vec<f64> = c.recv(0, 2).unwrap();
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn collectives_over_wire_match_thread_substrate() {
+        let over_wire = wire_spmd(4, |c| {
+            c.barrier().unwrap();
+            let sum = c.allreduce((c.rank() + 1) as f64, &SumOp).unwrap();
+            let max = c.allreduce(c.rank() as i64, &MaxOp).unwrap();
+            let pair = c
+                .allreduce(
+                    (1.0, c.rank() as f64),
+                    &crate::reduce::FnOp(|a: (f64, f64), b: (f64, f64)| (a.0 + b.0, a.1 + b.1)),
+                )
+                .unwrap();
+            let gathered = c.allgather(c.rank()).unwrap();
+            (sum, max, pair, gathered)
+        });
+        for (sum, max, pair, gathered) in over_wire {
+            assert_eq!(sum, 10.0);
+            assert_eq!(max, 3);
+            assert_eq!(pair, (4.0, 6.0));
+            assert_eq!(gathered, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn split_works_over_wire() {
+        let results = wire_spmd(4, |c| {
+            let sub = c.split(Some((c.rank() % 2) as u32), 0).unwrap().unwrap();
+            sub.allreduce(c.rank() as i64, &SumOp).unwrap()
+        });
+        assert_eq!(results, vec![2, 4, 2, 4]);
+    }
+
+    #[test]
+    fn unsupported_payload_fails_on_sender() {
+        struct NotWireable;
+        let results = wire_spmd(2, |c| {
+            if c.rank() == 0 {
+                // Tell rank 1 not to wait for a real message.
+                c.send(1, 1, ()).unwrap();
+                matches!(
+                    c.send(1, 0, NotWireable),
+                    Err(ParallelError::Unserializable { .. })
+                )
+            } else {
+                let () = c.recv(0, 1).unwrap();
+                true
+            }
+        });
+        assert!(results.iter().all(|&b| b));
     }
 }
 

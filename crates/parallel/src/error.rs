@@ -27,6 +27,28 @@ pub enum ParallelError {
     CollectiveMismatch(String),
     /// An invalid group size or topology request.
     InvalidTopology(String),
+    /// A payload type outside the wire-codec set was sent over a
+    /// [`WireLink`](crate::wire::WireLink) route.
+    Unserializable {
+        /// The Rust type of the offending payload.
+        type_name: &'static str,
+    },
+    /// Malformed bytes on a wire route (truncated, trailing, unknown tag).
+    Codec(String),
+    /// The rank group's generation changed under this operation — a peer
+    /// rank died and the fleet is rolling back. Carries the new
+    /// generation; callers resynchronize and replay from the last
+    /// committed checkpoint rather than treating this as fatal.
+    Interrupted {
+        /// The generation the group moved to.
+        generation: u64,
+    },
+    /// A wire operation exceeded its park deadline without the fleet
+    /// either delivering a message or rolling back.
+    Timeout {
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for ParallelError {
@@ -46,6 +68,19 @@ impl fmt::Display for ParallelError {
             }
             ParallelError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
             ParallelError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            ParallelError::Unserializable { type_name } => {
+                write!(f, "payload type {type_name} has no wire encoding")
+            }
+            ParallelError::Codec(msg) => write!(f, "wire codec error: {msg}"),
+            ParallelError::Interrupted { generation } => {
+                write!(
+                    f,
+                    "operation interrupted by fleet rollback to generation {generation}"
+                )
+            }
+            ParallelError::Timeout { waited_ms } => {
+                write!(f, "wire operation timed out after {waited_ms} ms")
+            }
         }
     }
 }

@@ -28,8 +28,10 @@ pub mod comm;
 pub mod error;
 pub mod reduce;
 pub mod topology;
+pub mod wire;
 
 pub use comm::{spmd, Comm, Tag};
 pub use error::ParallelError;
 pub use reduce::{FnOp, LandOp, LorOp, MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
 pub use topology::CartComm;
+pub use wire::{WireLink, WireMsg};

@@ -10,7 +10,8 @@
 //! offset  size  field
 //! 0       4     magic  b"CCAR"
 //! 4       1     protocol version (currently 2)
-//! 5       1     kind: 0 = request, 1 = reply, 2 = bulk slab
+//! 5       1     kind: 0 = request, 1 = reply, 2 = bulk slab,
+//!               3 = rank join, 4 = rank leave
 //! 6       1     extension flags: bit 0 = trace context present; all
 //!               other bits must be zero
 //! 7       1     extension length: 16 when bit 0 is set, else 0
@@ -70,6 +71,15 @@ pub enum FrameKind {
     /// the same correlation id, so bulk traffic multiplexes over the same
     /// sockets as control-plane calls.
     Bulk,
+    /// A fleet rank announcing itself on this connection: rank id,
+    /// incarnation, and provider labels (see `cca-framework::fleet`).
+    /// Acknowledged with a `Reply` frame; after a successful join the
+    /// connection *is* the rank's liveness signal — its death is the
+    /// rank's death.
+    Join,
+    /// A fleet rank departing cleanly, so the subsequent socket close is
+    /// not treated as a crash. Acknowledged with a `Reply` frame.
+    Leave,
 }
 
 impl FrameKind {
@@ -79,6 +89,8 @@ impl FrameKind {
             FrameKind::Request => 0,
             FrameKind::Reply => 1,
             FrameKind::Bulk => 2,
+            FrameKind::Join => 3,
+            FrameKind::Leave => 4,
         }
     }
 
@@ -89,6 +101,8 @@ impl FrameKind {
             0 => Ok(FrameKind::Request),
             1 => Ok(FrameKind::Reply),
             2 => Ok(FrameKind::Bulk),
+            3 => Ok(FrameKind::Join),
+            4 => Ok(FrameKind::Leave),
             other => Err(FrameError::BadKind(other)),
         }
     }
@@ -909,8 +923,29 @@ mod tests {
             FrameKind::from_byte(FrameKind::Bulk.to_byte()).unwrap(),
             FrameKind::Bulk
         );
-        for bad in [3u8, 4, 0x7f, 0xff] {
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::Join.to_byte()).unwrap(),
+            FrameKind::Join
+        );
+        assert_eq!(
+            FrameKind::from_byte(FrameKind::Leave.to_byte()).unwrap(),
+            FrameKind::Leave
+        );
+        for bad in [5u8, 6, 0x7f, 0xff] {
             assert!(matches!(FrameKind::from_byte(bad), Err(FrameError::BadKind(b)) if b == bad));
+        }
+    }
+
+    #[test]
+    fn join_and_leave_frames_round_trip() {
+        for kind in [FrameKind::Join, FrameKind::Leave] {
+            let framed = encode_frame(kind, 77, b"rank-hello", DEFAULT_MAX_PAYLOAD).unwrap();
+            let mut dec = FrameDecoder::new();
+            dec.feed(&framed);
+            let frame = dec.next_frame().unwrap().unwrap();
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.request_id, 77);
+            assert_eq!(&frame.payload[..], b"rank-hello");
         }
     }
 }

@@ -63,7 +63,8 @@ pub use frame::{
     FrameError, FrameKind, FRAME_VERSION, TRACE_CONTEXT_LEN,
 };
 pub use mux::{
-    BulkChannel, MuxServer, MuxServerConfig, MuxTransport, PendingReply, DEFAULT_MUX_CONNECTIONS,
+    BulkChannel, MuxServer, MuxServerConfig, MuxTransport, PendingReply, SessionSink,
+    DEFAULT_MUX_CONNECTIONS,
 };
 pub use orb::{ObjRef, Orb};
 pub use proxy::RemotePortProxy;

@@ -457,6 +457,26 @@ impl MuxTransport {
         self.submit_frame(FrameKind::Bulk, slab)
     }
 
+    /// Announces a fleet rank on this transport's connection: sends a
+    /// `Join` frame whose payload the server's
+    /// [`SessionSink`] interprets (rank id, incarnation, provider
+    /// labels). The reply is the sink's join acknowledgement. A fleet
+    /// member should build its transport with
+    /// [`with_connections(1)`](Self::with_connections) so the joined
+    /// connection's death is an unambiguous rank-death signal.
+    pub fn submit_join(&self, hello: Bytes) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.mux.submit_join");
+        self.submit_frame(FrameKind::Join, hello)
+    }
+
+    /// Departs cleanly: sends a `Leave` frame so the server's
+    /// [`SessionSink`] marks this rank as gone on purpose and the
+    /// subsequent socket close is not treated as a crash.
+    pub fn submit_leave(&self, goodbye: Bytes) -> Result<PendingReply, SidlError> {
+        let _span = cca_obs::span("rpc.mux.submit_leave");
+        self.submit_frame(FrameKind::Leave, goodbye)
+    }
+
     /// [`submit_bulk`](Self::submit_bulk) without the intermediate frame
     /// buffer: the header and slab are appended straight onto the
     /// connection's write queue, so the caller may reuse `slab` for the
@@ -825,12 +845,34 @@ impl Default for MuxServerConfig {
     }
 }
 
+/// Where fleet `Join`/`Leave` frames land, and how connection death is
+/// reported for joined connections. The connection id doubles as the
+/// rank's *session id*: it is unique for the server's lifetime, so a
+/// restarted rank's new session is always distinguishable from its dead
+/// predecessor's.
+pub trait SessionSink: Send + Sync {
+    /// A `Join` frame arrived on connection `session`. The returned bytes
+    /// travel back as the `Reply` payload (the join acknowledgement);
+    /// an error closes the connection.
+    fn join(&self, session: u64, hello: Bytes) -> Result<Vec<u8>, SidlError>;
+
+    /// A `Leave` frame arrived on connection `session` — the rank is
+    /// departing on purpose; its imminent socket close is not a crash.
+    fn leave(&self, session: u64, goodbye: Bytes) -> Result<Vec<u8>, SidlError>;
+
+    /// Connection `session` died (EOF, reset, framing violation) after a
+    /// successful `Join` frame was decoded on it. Called from the event
+    /// loop's reap pass — implementations must not block.
+    fn disconnected(&self, session: u64);
+}
+
 /// One unit of work for the dispatch pool.
 struct Job {
     conn_id: u64,
     request_id: u64,
     /// `Request` goes to the [`Dispatcher`]; `Bulk` goes to the installed
-    /// [`BulkSink`]. (`Reply` never reaches the queue.)
+    /// [`BulkSink`]; `Join`/`Leave` go to the installed [`SessionSink`].
+    /// (`Reply` never reaches the queue.)
     kind: FrameKind,
     payload: Bytes,
     /// The caller's trace identity from the frame, installed around the
@@ -863,6 +905,9 @@ struct ServerConn {
     /// Reads paused by backpressure?
     paused: bool,
     closed: bool,
+    /// A `Join` frame was decoded on this connection: its death must be
+    /// reported to the [`SessionSink`] as a rank death.
+    joined: bool,
 }
 
 impl ServerConn {
@@ -917,6 +962,10 @@ pub struct MuxServer {
     /// Where `Bulk` frames land. Installed by [`Self::set_bulk_sink`];
     /// a bulk frame arriving with no sink is a protocol violation.
     bulk_sink: Mutex<Option<Arc<dyn crate::bulk::BulkSink>>>,
+    /// Where `Join`/`Leave` frames (and joined-connection deaths) land.
+    /// Installed by [`Self::set_session_sink`]; a join frame arriving
+    /// with no sink is a protocol violation.
+    session_sink: Mutex<Option<Arc<dyn SessionSink>>>,
 }
 
 impl MuxServer {
@@ -964,6 +1013,7 @@ impl MuxServer {
             fault_draws: Mutex::new(SplitMix64::new(0)),
             metrics: MuxMetrics::new(),
             bulk_sink: Mutex::new(None),
+            session_sink: Mutex::new(None),
         });
         let for_accept = Arc::clone(&server);
         *server.accept_thread.lock().unwrap() = Some(
@@ -1029,6 +1079,15 @@ impl MuxServer {
     /// other. Without a sink, bulk frames are protocol violations.
     pub fn set_bulk_sink(&self, sink: Arc<dyn crate::bulk::BulkSink>) {
         *self.bulk_sink.lock().unwrap() = Some(sink);
+    }
+
+    /// Installs the fleet session sink: decoded `Join`/`Leave` frames are
+    /// handed to `sink` on a dispatch worker (its returned bytes are the
+    /// reply), and the death of any connection that joined is reported
+    /// via [`SessionSink::disconnected`] from the reap pass. Without a
+    /// sink, join/leave frames are protocol violations.
+    pub fn set_session_sink(&self, sink: Arc<dyn SessionSink>) {
+        *self.session_sink.lock().unwrap() = Some(sink);
     }
 
     /// Arms (or disarms with `drop_permille == 0`) the hostile-network
@@ -1116,6 +1175,21 @@ impl MuxServer {
                             )),
                         }
                     }
+                    FrameKind::Join | FrameKind::Leave => {
+                        // Fleet session plane: the sink's ack bytes are
+                        // the reply. Checked at decode time, like Bulk.
+                        let sink = self.session_sink.lock().unwrap().clone();
+                        match sink {
+                            Some(sink) if job.kind == FrameKind::Join => {
+                                sink.join(job.conn_id, job.payload).map(Bytes::from)
+                            }
+                            Some(sink) => sink.leave(job.conn_id, job.payload).map(Bytes::from),
+                            None => Err(SidlError::user(
+                                "cca.rpc.FleetViolation",
+                                "no session sink installed",
+                            )),
+                        }
+                    }
                     _ => self.dispatcher.dispatch(job.payload),
                 }
             };
@@ -1189,6 +1263,7 @@ impl MuxServer {
                         pending_cost: 0,
                         paused: false,
                         closed: false,
+                        joined: false,
                     });
                     progressed = true;
                 }
@@ -1284,11 +1359,22 @@ impl MuxServer {
                 }
             }
 
-            // Reap closed connections.
+            // Reap closed connections. A joined connection's death IS the
+            // rank-death signal: report it before the conn is forgotten.
             let before = conns.len();
+            let session_sink = if conns.iter().any(|c| c.closed && c.joined) {
+                self.session_sink.lock().unwrap().clone()
+            } else {
+                None
+            };
             conns.retain(|c| {
                 if c.closed {
                     let _ = c.stream.shutdown(Shutdown::Both);
+                    if c.joined {
+                        if let Some(sink) = &session_sink {
+                            sink.disconnected(c.id);
+                        }
+                    }
                 }
                 !c.closed
             });
@@ -1336,7 +1422,11 @@ impl MuxServer {
         loop {
             match conn.decoder.next_frame() {
                 Ok(Some(Frame {
-                    kind: kind @ (FrameKind::Request | FrameKind::Bulk),
+                    kind:
+                        kind @ (FrameKind::Request
+                        | FrameKind::Bulk
+                        | FrameKind::Join
+                        | FrameKind::Leave),
                     request_id,
                     context,
                     payload,
@@ -1347,6 +1437,20 @@ impl MuxServer {
                         self.metrics.record_protocol_violation();
                         conn.closed = true;
                         return false;
+                    }
+                    if matches!(kind, FrameKind::Join | FrameKind::Leave)
+                        && self.session_sink.lock().unwrap().is_none()
+                    {
+                        // Fleet frame at a server with no fleet: protocol
+                        // violation, same blast radius as above.
+                        self.metrics.record_protocol_violation();
+                        conn.closed = true;
+                        return false;
+                    }
+                    if kind == FrameKind::Join {
+                        // Marked at decode time, not dispatch time, so a
+                        // death between the two is still reported.
+                        conn.joined = true;
                     }
                     if self.should_drop() {
                         self.dropped_mid_call.fetch_add(1, Ordering::Relaxed);

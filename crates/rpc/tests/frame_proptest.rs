@@ -394,7 +394,7 @@ proptest! {
     #[test]
     fn unknown_kind_bytes_are_typed(
         id in any::<u64>(),
-        kind_byte in 3u8..=255,
+        kind_byte in 5u8..=255,
     ) {
         let mut framed = encode_frame(FrameKind::Bulk, id, b"x", DEFAULT_MAX_PAYLOAD).unwrap();
         framed[5] = kind_byte;

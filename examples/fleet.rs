@@ -1,0 +1,136 @@
+//! Supervised worker fleet, live:
+//!
+//! ```text
+//! cargo run --example fleet
+//! ```
+//!
+//! The parent binds the fleet hub, launches 3 ranks as child processes
+//! (re-execing this same binary), lets them iterate a distributed
+//! allreduce with per-step checkpoints, then `kill -9`s rank 1
+//! mid-run. Watch the supervisor detect the death via connection
+//! teardown, quarantine the rank behind its circuit breaker, restart it
+//! under decorrelated-jitter backoff, and the group roll back to the
+//! last committed checkpoint and converge anyway — same answer, one
+//! murder later.
+
+use cca::core::resilience::SystemClock;
+use cca::framework::fleet::{
+    fleet_rank_env, ExecLauncher, FleetConfig, FleetRankEnv, FleetSupervisor, HubLink, RankLauncher,
+};
+use cca::parallel::SumOp;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const STEPS: u64 = 8;
+
+/// Child mode: iterate `value += allreduce(rank-dependent term)` with a
+/// checkpoint each step, rolling back on fleet interruption.
+fn run_rank(env: FleetRankEnv) -> ! {
+    let link = HubLink::connect(
+        &env.addr,
+        env.rank,
+        env.incarnation,
+        &[format!("tcp+mux://{}/demo.rank{}", env.addr, env.rank)],
+        Duration::from_secs(20),
+    )
+    .expect("join fleet hub");
+    let mut value: f64;
+    let mut step: u64;
+    loop {
+        link.resync().expect("resync");
+        match link.restore().expect("restore") {
+            Some((s, blob)) => {
+                step = s;
+                value = f64::from_le_bytes(blob.as_slice().try_into().unwrap());
+            }
+            None => {
+                step = 0;
+                value = 0.0;
+            }
+        }
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let comm = link.comm();
+            while step < STEPS {
+                let term = (env.rank as f64 + 1.0) / (step as f64 + 1.0);
+                value += comm.allreduce(term, &SumOp).expect("allreduce");
+                step += 1;
+                link.checkpoint(step, &value.to_le_bytes())
+                    .expect("checkpoint");
+                // Slow the loop down so the parent's kill lands mid-run.
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            value
+        }));
+        match outcome {
+            Ok(v) => {
+                link.deposit_result(&v.to_le_bytes()).expect("result");
+                link.leave().expect("leave");
+                std::process::exit(0);
+            }
+            Err(p) if link.interrupted() => {
+                drop(p);
+                eprintln!(
+                    "[rank {} inc {}] interrupted at generation {} — rolling back",
+                    env.rank,
+                    env.incarnation,
+                    link.generation()
+                );
+            }
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+fn main() {
+    if let Some(env) = fleet_rank_env() {
+        run_rank(env);
+    }
+
+    let mut config = FleetConfig::new(3);
+    config.base_backoff_ns = 30_000_000;
+    config.max_backoff_ns = 300_000_000;
+    config.healthy_after_ns = 60_000_000;
+    let launcher: Arc<dyn RankLauncher> =
+        Arc::new(ExecLauncher::current_exe().expect("current exe"));
+    let sup = FleetSupervisor::new(config, launcher, SystemClock::new()).expect("bind hub");
+    println!("fleet hub listening on {}", sup.addr());
+    sup.start();
+    sup.start_monitor(Duration::from_millis(5));
+
+    // Let the fleet commit a couple of steps, then kill rank 1.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while sup.hub().committed_step() < Some(2) {
+        assert!(Instant::now() < deadline, "fleet never made progress");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!(
+        "committed step {:?} — kill -9 rank 1",
+        sup.hub().committed_step()
+    );
+    sup.kill_rank(1);
+
+    // Convergence despite the murder.
+    let results = loop {
+        if let Some(r) = sup.hub().all_results() {
+            break r;
+        }
+        assert!(Instant::now() < deadline, "fleet never converged");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    for (rank, blob) in results.iter().enumerate() {
+        let v = f64::from_le_bytes(blob.as_slice().try_into().unwrap());
+        println!("rank {rank} final value: {v:.12}");
+    }
+
+    println!("\nsupervision log:");
+    for ev in sup.events() {
+        println!("  {}", ev.to_json());
+    }
+    println!(
+        "\nfleet counters: {}",
+        cca::obs::fleet().snapshot().to_json()
+    );
+    sup.shutdown();
+    println!("fleet shut down; every child reaped.");
+}

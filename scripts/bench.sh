@@ -75,8 +75,12 @@ run_bench "E15 bulk data plane (writes BENCH_data.json)" \
     env BENCH_DATA_OUT="$ROOT/BENCH_data.json" \
     cargo bench --offline -p cca-bench --bench e15_bulk_data
 
+run_bench "E16 worker fleet (writes BENCH_fleet.json)" \
+    env BENCH_FLEET_OUT="$ROOT/BENCH_fleet.json" \
+    cargo bench --offline -p cca-bench --bench e16_fleet
+
 echo "==> results"
-for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json BENCH_data.json; do
+for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json BENCH_data.json BENCH_fleet.json; do
     [ -f "$ROOT/$artifact" ] && cat "$ROOT/$artifact"
 done
 

@@ -10,7 +10,8 @@
 #   clippy     clippy with -D warnings
 #   fmt        rustfmt --check
 #   fault      the fault-injection suites under one CCA_FAULT_SEED
-#   bench-gate quick-mode E10/E11/E13/E14/E15 perf gates
+#   fleet      the multi-process kill-matrix under one CCA_FAULT_SEED
+#   bench-gate quick-mode E10/E11/E13/E14/E15/E16 perf gates
 #
 # The CI workflow fans these out as separate jobs; `all` keeps the
 # one-command local story.
@@ -22,11 +23,27 @@ MODE="${1:-all}"
 # The quick-mode perf gates write throwaway artifacts next to the committed
 # ones; clean them up however the script exits so a failed gate can't leak
 # a stale BENCH_*.ci.json for the committed-artifact check to trip over.
+# The fleet scenarios re-exec the test binary as rank children, so the trap
+# also reaps any orphaned rank (identified by CCA_FLEET_RANK in its
+# environment) that a killed-mid-run supervisor failed to collect.
 cleanup() {
     rm -f BENCH_obs.ci.json BENCH_obs.ci.json.tmp \
         BENCH_resilience.ci.json BENCH_resilience.ci.json.tmp \
         BENCH_rpc.ci.json BENCH_rpc.ci.json.tmp \
-        BENCH_data.ci.json BENCH_data.ci.json.tmp
+        BENCH_data.ci.json BENCH_data.ci.json.tmp \
+        BENCH_fleet.ci.json BENCH_fleet.ci.json.tmp
+    reap_fleet_orphans
+}
+reap_fleet_orphans() {
+    local pid
+    for pid in $(ls /proc 2>/dev/null | grep -E '^[0-9]+$'); do
+        [ "$pid" = "$$" ] && continue
+        if tr '\0' '\n' 2>/dev/null < "/proc/$pid/environ" |
+            grep -q '^CCA_FLEET_RANK='; then
+            echo "reaping orphaned fleet rank pid $pid" >&2
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
 }
 trap cleanup EXIT
 
@@ -62,6 +79,21 @@ fault() {
     CCA_FAULT_SEED="$seed" CCA_FLIGHT_DIR="$(pwd)/target/flight" cargo test --offline \
         --test failure_injection --test resilience --test remote_transport \
         --test wire_tracing --test bulk_redist
+}
+
+# The supervised-fleet kill-matrix: 4 ranks as real child processes, a
+# seed-chosen victim kill -9'd mid-run, convergence to the unkilled answer
+# required (tests/fleet.rs). The hard timeout is the zombie backstop — a
+# hung supervisor or an undetected rank death must fail the lane rather
+# than park it forever; the EXIT trap then reaps whatever re-exec'd ranks
+# the killed test left behind. Forensics (incident JSONL plus the
+# supervisor event log) land in target/flight for the workflow to upload.
+fleet() {
+    local seed="${CCA_FAULT_SEED:-1}"
+    echo "==> fleet kill-matrix (CCA_FAULT_SEED=$seed)"
+    mkdir -p target/flight
+    CCA_FAULT_SEED="$seed" CCA_FLIGHT_DIR="$(pwd)/target/flight" \
+        timeout -k 30 420 cargo test --offline --test fleet
 }
 
 bench_gate() {
@@ -101,6 +133,14 @@ bench_gate() {
     echo "==> E15 bulk data plane gate (quick mode)"
     CCA_BENCH_FAST=1 BENCH_DATA_OUT="$(pwd)/BENCH_data.ci.json" \
         cargo bench --offline -p cca-bench --bench e15_bulk_data
+
+    # Quick-mode fleet gate: the hub-routed wire allreduce stays well under
+    # a hydro timestep and restart-to-rejoin beats the survivors' park
+    # deadline (E16). Full-run numbers live in the committed
+    # BENCH_fleet.json via bench.sh.
+    echo "==> E16 worker fleet gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_FLEET_OUT="$(pwd)/BENCH_fleet.ci.json" \
+        cargo bench --offline -p cca-bench --bench e16_fleet
 }
 
 case "$MODE" in
@@ -109,15 +149,17 @@ all)
     clippy
     fmt
     fault
+    fleet
     bench_gate
     ;;
 build-test) build_test ;;
 clippy) clippy ;;
 fmt) fmt ;;
 fault) fault ;;
+fleet) fleet ;;
 bench-gate) bench_gate ;;
 *)
-    echo "unknown mode '$MODE' (want all|build-test|clippy|fmt|fault|bench-gate)" >&2
+    echo "unknown mode '$MODE' (want all|build-test|clippy|fmt|fault|fleet|bench-gate)" >&2
     exit 2
     ;;
 esac
