@@ -279,6 +279,27 @@ fn committed_bench_artifacts_parse_and_declare_schema() {
                 );
             }
         }
+        if name == "BENCH_repo.json" {
+            // E17's repository-scale artifact: PR 10's acceptance
+            // quantities — exact lookup and fuzzy latency at 1M types,
+            // the flat-scan comparison, and the concurrency scaling.
+            for key in [
+                "types",
+                "shards",
+                "exact_lookup_p50_ns",
+                "fuzzy_p50_us",
+                "flat_scan_p50_us",
+                "scan_speedup",
+                "single_thread_qps",
+                "four_thread_qps",
+                "throughput_scaling",
+            ] {
+                assert!(
+                    matches!(map.get(key), Some(Json::Num(_))),
+                    "{name}: missing numeric '{key}' field (E17 repository scale)"
+                );
+            }
+        }
         if name == "BENCH_obs.json" {
             // E14 merges the wire-tracing quantities into E10's artifact
             // the same way; both halves must be present.

@@ -1,0 +1,376 @@
+//! The remote discovery plane: the repository's search API as a
+//! reflective port any framework can dial over the wire.
+//!
+//! Figure 2's repository is only useful if other frameworks can *search*
+//! it — "the functionality necessary to search a framework repository
+//! for components" (§4). The discovery port puts exactly that on the
+//! network: exact class lookup, trigram fuzzy search with scored paged
+//! results (a [`cca_repository::QueryCursor`] rides the wire as an
+//! opaque string), and the catalog's scale statistics, all through
+//! dynamic invocation over the same `tcp`/`tcp+mux` transports the
+//! components themselves use. [`Framework::install_discovery`] mirrors
+//! [`Framework::install_observability`]: deposit the SIDL, add the
+//! component instance, export the port under [`DISCOVERY_EXPORT_KEY`],
+//! and the next `serve_tcp`/`serve_tcp_mux` call makes the catalog
+//! remotely searchable.
+
+use crate::framework::Framework;
+use cca_core::{CcaError, CcaServices, Component};
+use cca_repository::{FuzzyQuery, QueryCursor, QueryPage, Repository};
+use cca_sidl::{DynObject, DynValue, SidlError};
+use std::sync::Arc;
+
+/// The SIDL type of the discovery port.
+pub const DISCOVERY_PORT_TYPE: &str = "cca.ports.DiscoveryPort";
+
+/// Default instance name [`Framework::install_discovery`] registers under.
+pub const DISCOVERY_INSTANCE: &str = "cca-discovery";
+
+/// ORB key the discovery port is exported under —
+/// `"{DISCOVERY_INSTANCE}/discovery"`. A remote framework reaches it with
+/// `ObjRef::new(DISCOVERY_EXPORT_KEY, transport)`.
+pub const DISCOVERY_EXPORT_KEY: &str = "cca-discovery/discovery";
+
+/// SIDL declaration of the discovery interface, deposited into the
+/// repository by [`Framework::install_discovery`] so reflective callers
+/// can `invoke_checked` against real metadata.
+pub const DISCOVERY_SIDL: &str = "
+package cca.ports {
+    // Remote repository search: exact lookup, fuzzy discovery with
+    // scored paged results, and catalog statistics.
+    interface DiscoveryPort {
+        // Number of registered component classes.
+        long componentCount();
+        // {\"found\":…,\"class\":…,\"description\":…,\"provides\":[…],
+        //  \"uses\":[…]} — exact class lookup.
+        string lookupJson(in string className);
+        // {\"hits\":[{\"class\":…,\"score\":…}…],\"matched\":…,
+        //  \"cursor\":…} — first page of a fuzzy query.
+        string searchJson(in string needle, in long limit);
+        // Continuation: same shape, resumed after an opaque cursor from
+        // a previous page.
+        string pageJson(in string needle, in long limit, in string cursor);
+        // {\"components\":…,\"shards\":…,\"generations\":[…],
+        //  \"counters\":{…}} — catalog scale statistics.
+        string statsJson();
+    }
+}
+";
+
+fn js(s: &str) -> String {
+    cca_obs::trace::escape_json(s)
+}
+
+fn page_json(page: &QueryPage) -> String {
+    let hits: Vec<String> = page
+        .hits
+        .iter()
+        .map(|h| format!("{{\"class\":\"{}\",\"score\":{}}}", js(&h.class), h.score))
+        .collect();
+    let cursor = match &page.next {
+        Some(c) => format!("\"{}\"", js(&c.encode())),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"hits\":[{}],\"matched\":{},\"cursor\":{}}}",
+        hits.join(","),
+        page.matched,
+        cursor
+    )
+}
+
+/// The discovery port object. Holds the repository directly (not the
+/// framework): the catalog outliving its framework is fine, and lookup
+/// traffic never touches instance state.
+pub struct DiscoveryPort {
+    repository: Arc<Repository>,
+}
+
+impl DiscoveryPort {
+    /// Creates a discovery port over `repository`.
+    pub fn new(repository: Arc<Repository>) -> Arc<Self> {
+        Arc::new(DiscoveryPort { repository })
+    }
+
+    /// Exact class lookup as self-describing JSON.
+    pub fn lookup_json(&self, class: &str) -> String {
+        match self.repository.entry(class) {
+            Ok(e) => {
+                let ports = |specs: &[cca_repository::PortSpec]| {
+                    specs
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{{\"name\":\"{}\",\"type\":\"{}\"}}",
+                                js(&p.name),
+                                js(&p.port_type)
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!(
+                    "{{\"found\":true,\"class\":\"{}\",\"description\":\"{}\",\
+                     \"provides\":[{}],\"uses\":[{}]}}",
+                    js(&e.class),
+                    js(&e.description),
+                    ports(&e.provides),
+                    ports(&e.uses)
+                )
+            }
+            Err(_) => format!("{{\"found\":false,\"class\":\"{}\"}}", js(class)),
+        }
+    }
+
+    /// First page of a fuzzy query.
+    pub fn search_json(&self, needle: &str, limit: usize) -> String {
+        page_json(
+            &self
+                .repository
+                .fuzzy(&FuzzyQuery::new(needle).with_limit(limit)),
+        )
+    }
+
+    /// Continuation page: `cursor` is the opaque string a previous page
+    /// returned. Junk cursors error rather than silently restarting the
+    /// walk from the top.
+    pub fn page_json(&self, needle: &str, limit: usize, cursor: &str) -> Result<String, SidlError> {
+        let cursor = QueryCursor::parse(cursor)
+            .ok_or_else(|| SidlError::invoke(format!("unparseable query cursor '{cursor}'")))?;
+        Ok(page_json(&self.repository.fuzzy(
+            &FuzzyQuery::new(needle).with_limit(limit).after(cursor),
+        )))
+    }
+
+    /// Catalog scale statistics: entry count, shard layout, per-shard
+    /// publication generations, and the global repository counters.
+    pub fn stats_json(&self) -> String {
+        let generations: Vec<String> = self
+            .repository
+            .generations()
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        format!(
+            "{{\"components\":{},\"shards\":{},\"generations\":[{}],\"counters\":{}}}",
+            self.repository.len(),
+            self.repository.shard_count(),
+            generations.join(","),
+            cca_obs::repo().snapshot().to_json()
+        )
+    }
+}
+
+impl DynObject for DiscoveryPort {
+    fn sidl_type(&self) -> &str {
+        DISCOVERY_PORT_TYPE
+    }
+
+    fn invoke(&self, method: &str, args: Vec<DynValue>) -> Result<DynValue, SidlError> {
+        let arg = |i: usize, what: &str| {
+            args.get(i)
+                .ok_or_else(|| SidlError::invoke(format!("{method} needs ({what})")))
+        };
+        match method {
+            "componentCount" => Ok(DynValue::Long(self.repository.len() as i64)),
+            "lookupJson" => Ok(DynValue::Str(
+                self.lookup_json(arg(0, "className")?.as_str()?),
+            )),
+            "searchJson" => {
+                let needle = arg(0, "needle, limit")?.as_str()?.to_string();
+                let limit = arg(1, "needle, limit")?.as_long()?.max(1) as usize;
+                Ok(DynValue::Str(self.search_json(&needle, limit)))
+            }
+            "pageJson" => {
+                let needle = arg(0, "needle, limit, cursor")?.as_str()?.to_string();
+                let limit = arg(1, "needle, limit, cursor")?.as_long()?.max(1) as usize;
+                let cursor = arg(2, "needle, limit, cursor")?.as_str()?.to_string();
+                Ok(DynValue::Str(self.page_json(&needle, limit, &cursor)?))
+            }
+            "statsJson" => Ok(DynValue::Str(self.stats_json())),
+            other => Err(SidlError::invoke(format!(
+                "{DISCOVERY_PORT_TYPE} has no method '{other}'"
+            ))),
+        }
+    }
+}
+
+/// The component wrapper providing the discovery port (instance name
+/// [`DISCOVERY_INSTANCE`], port name `"discovery"`).
+pub struct DiscoveryComponent {
+    port: Arc<DiscoveryPort>,
+}
+
+impl Component for DiscoveryComponent {
+    fn component_type(&self) -> &str {
+        "cca.DiscoveryComponent"
+    }
+
+    fn set_services(&self, services: Arc<CcaServices>) -> Result<(), CcaError> {
+        let dynamic: Arc<dyn DynObject> = Arc::clone(&self.port) as Arc<dyn DynObject>;
+        services.add_provides_port(
+            cca_core::PortHandle::new("discovery", DISCOVERY_PORT_TYPE, Arc::clone(&dynamic))
+                .with_dynamic(dynamic),
+        )
+    }
+}
+
+impl Framework {
+    /// Installs the discovery plane: deposits [`DISCOVERY_SIDL`] into the
+    /// repository (idempotently), adds a [`DiscoveryComponent`] instance
+    /// named [`DISCOVERY_INSTANCE`], and exports its port under
+    /// [`DISCOVERY_EXPORT_KEY`] so the next
+    /// [`serve_tcp`](Framework::serve_tcp) /
+    /// [`serve_tcp_mux`](Framework::serve_tcp_mux) call makes the catalog
+    /// remotely searchable.
+    ///
+    /// Returns the port object for in-process callers.
+    pub fn install_discovery(self: &Arc<Self>) -> Result<Arc<DiscoveryPort>, CcaError> {
+        let known = self
+            .repository()
+            .with_catalog(|c| c.reflection().type_info(DISCOVERY_PORT_TYPE).is_some());
+        if !known {
+            self.repository()
+                .deposit_sidl(DISCOVERY_SIDL)
+                .map_err(|e| CcaError::Framework(format!("discovery SIDL rejected: {e}")))?;
+        }
+        let port = DiscoveryPort::new(Arc::clone(self.repository()));
+        self.add_instance(
+            DISCOVERY_INSTANCE,
+            Arc::new(DiscoveryComponent {
+                port: Arc::clone(&port),
+            }),
+        )?;
+        let key = self.export_port(DISCOVERY_INSTANCE, "discovery")?;
+        debug_assert_eq!(key, DISCOVERY_EXPORT_KEY);
+        Ok(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca_data::TypeMap;
+    use cca_repository::{ComponentEntry, PortSpec};
+    use cca_sidl::{compile, invoke_checked, Reflection};
+
+    struct Nop;
+    impl Component for Nop {
+        fn component_type(&self) -> &str {
+            "t.Nop"
+        }
+        fn set_services(&self, _s: Arc<CcaServices>) -> Result<(), CcaError> {
+            Ok(())
+        }
+    }
+
+    fn entry(class: &str, desc: &str) -> ComponentEntry {
+        ComponentEntry {
+            class: class.into(),
+            description: desc.into(),
+            provides: vec![PortSpec::new("solve", "esi.Solver")],
+            uses: vec![],
+            properties: TypeMap::new(),
+            factory: Arc::new(|| Arc::new(Nop) as Arc<dyn Component>),
+        }
+    }
+
+    fn fw_with_catalog() -> Arc<Framework> {
+        let repo = Repository::new();
+        repo.register_component(entry("esi.KrylovCg", "conjugate gradient solver"))
+            .unwrap();
+        repo.register_component(entry("esi.KrylovGmres", "restarted gmres solver"))
+            .unwrap();
+        repo.register_component(entry("viz.Plot", "line plots"))
+            .unwrap();
+        Framework::new(repo)
+    }
+
+    #[test]
+    fn install_registers_exports_and_answers() {
+        let fw = fw_with_catalog();
+        let disc = fw.install_discovery().unwrap();
+        assert!(fw.orb().keys().contains(&DISCOVERY_EXPORT_KEY.to_string()));
+        // Second install fails on the duplicate instance, not the SIDL.
+        assert!(matches!(
+            fw.install_discovery(),
+            Err(CcaError::ComponentAlreadyExists(_))
+        ));
+        let found = disc.lookup_json("esi.KrylovCg");
+        assert!(found.contains("\"found\":true"), "{found}");
+        assert!(found.contains("\"esi.Solver\""), "{found}");
+        let missing = disc.lookup_json("esi.Missing");
+        assert!(missing.contains("\"found\":false"), "{missing}");
+        let stats = disc.stats_json();
+        assert!(stats.contains("\"components\":3"), "{stats}");
+        assert!(stats.contains("\"counters\":{\"deposits\""), "{stats}");
+    }
+
+    #[test]
+    fn search_and_paging_over_dynamic_invocation() {
+        let fw = fw_with_catalog();
+        fw.install_discovery().unwrap();
+        let handle = fw
+            .services(DISCOVERY_INSTANCE)
+            .unwrap()
+            .get_provides_port("discovery")
+            .unwrap();
+        let target = handle.dynamic().unwrap();
+        let reflection = Reflection::from_model(&compile(DISCOVERY_SIDL).unwrap());
+        let info = reflection.type_info(DISCOVERY_PORT_TYPE).unwrap();
+
+        let r = invoke_checked(
+            &**target,
+            info.method("searchJson").unwrap(),
+            vec![DynValue::Str("krylov".into()), DynValue::Long(1)],
+        )
+        .unwrap();
+        let first = r.as_str().unwrap().to_string();
+        assert!(first.contains("\"esi.KrylovCg\""), "{first}");
+        assert!(first.contains("\"matched\":2"), "{first}");
+        // Pull the cursor out and continue the walk over the wire shape.
+        let cursor = first
+            .split("\"cursor\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("first page leaves a cursor")
+            .to_string();
+        let r = invoke_checked(
+            &**target,
+            info.method("pageJson").unwrap(),
+            vec![
+                DynValue::Str("krylov".into()),
+                DynValue::Long(1),
+                DynValue::Str(cursor),
+            ],
+        )
+        .unwrap();
+        let second = r.as_str().unwrap();
+        assert!(second.contains("\"esi.KrylovGmres\""), "{second}");
+        assert!(second.contains("\"cursor\":null"), "{second}");
+
+        let r = invoke_checked(&**target, info.method("componentCount").unwrap(), vec![]).unwrap();
+        assert_eq!(r.as_long().unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_method_bad_args_and_junk_cursor_error() {
+        let fw = fw_with_catalog();
+        let disc = fw.install_discovery().unwrap();
+        assert!(disc.invoke("selfDestruct", vec![]).is_err());
+        assert!(disc.invoke("lookupJson", vec![]).is_err());
+        assert!(disc
+            .invoke("searchJson", vec![DynValue::Str("x".into())])
+            .is_err());
+        assert!(disc
+            .invoke(
+                "pageJson",
+                vec![
+                    DynValue::Str("krylov".into()),
+                    DynValue::Long(5),
+                    DynValue::Str("not-a-cursor".into()),
+                ],
+            )
+            .is_err());
+    }
+}

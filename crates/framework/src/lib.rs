@@ -28,6 +28,10 @@
 //!   `ObservabilityPort` exposing the trace ring, flight-recorder
 //!   inventory, and resilience counters over the same wire transports the
 //!   components use.
+//! * [`discovery`] — the remote discovery plane: the sharded repository's
+//!   search API (exact lookup, trigram fuzzy search with paged results,
+//!   catalog statistics) as a reflective `DiscoveryPort` other frameworks
+//!   dial over the wire (PR 10).
 //! * [`bulk`] — the bulk data plane's endpoints: [`BulkRedistSender`]
 //!   streams a compiled M×N plan as raw slabs over any transport, and
 //!   [`BulkLandingZone`] scatters them into destination storage with
@@ -41,6 +45,7 @@
 pub mod bulk;
 pub mod collective;
 pub mod connect;
+pub mod discovery;
 pub mod event;
 pub mod fleet;
 pub mod framework;
@@ -51,6 +56,10 @@ pub mod script;
 pub use bulk::{BulkLandingZone, BulkRedistSender};
 pub use collective::{MxNPort, PlanCache};
 pub use connect::{ConnectionInfo, ConnectionPolicy, RemoteTransportKind};
+pub use discovery::{
+    DiscoveryComponent, DiscoveryPort, DISCOVERY_EXPORT_KEY, DISCOVERY_INSTANCE,
+    DISCOVERY_PORT_TYPE, DISCOVERY_SIDL,
+};
 pub use event::{EventListener, EventService, SubscriptionId};
 pub use fleet::{
     fleet_rank_env, rank_backoff_seed, ExecLauncher, FleetConfig, FleetEvent, FleetHub,

@@ -77,15 +77,18 @@ impl ObservabilityPort {
     }
 
     /// One self-describing scrape: flag gates, flight inventory,
-    /// per-instance port metrics, and resilience counters.
+    /// per-instance port metrics, resilience counters, and the
+    /// repository's deposit/lookup/discovery counters.
     pub fn snapshot_json(&self) -> Result<String, SidlError> {
         Ok(format!(
-            "{{\"tracing\":{},\"counters\":{},\"flight\":{},\"metrics\":{},\"resilience\":{}}}",
+            "{{\"tracing\":{},\"counters\":{},\"flight\":{},\"metrics\":{},\"resilience\":{},\
+             \"repo\":{}}}",
             cca_obs::tracing_enabled(),
             cca_obs::counters_enabled(),
             self.flight_json(),
             self.monitor.metrics_json()?,
             self.monitor.resilience_json()?,
+            cca_obs::repo().snapshot().to_json(),
         ))
     }
 
@@ -252,6 +255,7 @@ mod tests {
         assert!(snap.contains("\"flight\":{\"enabled\":"), "{snap}");
         assert!(snap.contains("\"u0\""), "{snap}");
         assert!(snap.contains("\"resilience\":{"), "{snap}");
+        assert!(snap.contains("\"repo\":{\"deposits\""), "{snap}");
     }
 
     #[test]

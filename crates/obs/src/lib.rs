@@ -39,6 +39,7 @@ pub mod flags;
 pub mod fleet;
 pub mod flight;
 pub mod metrics;
+pub mod repo;
 pub mod resilience;
 pub mod trace;
 
@@ -48,6 +49,7 @@ pub use metrics::{
     BulkMetrics, BulkSnapshot, CallShard, LatencyHistogram, LatencySnapshot, MuxMetrics,
     MuxSnapshot, PortMetrics, PortMetricsSnapshot, TransportMetrics, TransportSnapshot,
 };
+pub use repo::{repo, RepoCounters, RepoSnapshot};
 pub use resilience::{resilience, ResilienceCounters, ResilienceSnapshot};
 pub use trace::{
     current_context, drain, install_context, merge_chrome_trace, snapshot, span, to_chrome_trace,

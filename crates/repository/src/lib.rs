@@ -14,12 +14,26 @@
 //!   name, port specs, a factory able to instantiate the component) and
 //!   create instances by class name.
 //! * [`query`] — the search API: find components by provided/used port
-//!   type (honouring SIDL subtyping), package, or free-text name.
+//!   type (honouring SIDL subtyping), package, or free-text name — plus
+//!   trigram-accelerated fuzzy discovery with scored, capped, paged
+//!   results ([`FuzzyQuery`]/[`QueryCursor`]).
+//! * [`shard`] — the scale layer: entries hashed across N shards, each
+//!   an immutable Arc snapshot behind a generation counter (the PR-1
+//!   clone-mutate-swap idiom), so reads are lock-free at millions of
+//!   registered types.
+//! * [`trigram`] — the inverted substring index and the pure-function
+//!   match scoring that keeps rankings stable under resharding.
 
 pub mod catalog;
 pub mod query;
+pub mod shard;
 pub mod store;
+pub mod trigram;
 
 pub use catalog::Catalog;
-pub use query::Query;
+pub use query::{FuzzyHit, FuzzyQuery, Query, QueryCursor, QueryPage};
+pub use shard::{
+    BatchOutcome, ShardSnapshot, ShardedStore, StoredEntry, WriteOutcome, DEFAULT_SHARDS,
+};
 pub use store::{ComponentEntry, ComponentFactory, PortSpec, Repository};
+pub use trigram::{score_match, trigrams_of, Trigram, TrigramIndex};

@@ -1,0 +1,582 @@
+//! The sharded component catalog: lock-free reads at million-entry scale.
+//!
+//! PR 1 rebuilt the per-component port tables as immutable [`Arc`]
+//! snapshots behind a generation counter; this module lifts the same
+//! clone-mutate-swap discipline to the repository. Entries are hashed by
+//! class name across N shards. Each shard publishes an immutable
+//! [`ShardSnapshot`] — the entry table *and* the trigram index built over
+//! it — behind a briefly-held pointer lock, so a reader (exact lookup,
+//! fuzzy query, `entries()` walk) clones one `Arc` and then works on a
+//! frozen world: no lock is held while searching, and a concurrent
+//! deposit can never tear the view. Writers serialize per shard, build
+//! the successor snapshot off-line, swap the pointer in O(1), and bump
+//! that shard's monotonic generation counter.
+//!
+//! Two write paths exist because their cost classes differ by orders of
+//! magnitude:
+//!
+//! * [`ShardedStore::try_insert`] / [`try_remove`](ShardedStore::try_remove)
+//!   — one entry, one shard: clone the shard's table, mutate, rebuild
+//!   that shard's trigram index. O(shard) per call; fine interactively.
+//! * [`ShardedStore::try_insert_batch`] — groups the batch by shard,
+//!   locks every touched shard (in index order — no deadlock), validates
+//!   **all-or-nothing** (a duplicate anywhere publishes nothing), then
+//!   pays one clone+rebuild per shard per batch. This is how a
+//!   million-type population costs minutes of CPU in total, not O(n²).
+//!
+//! Resharding ([`crate::Repository::rebalance`]) replaces the whole
+//! store. A writer that raced the swap — it cloned the old store's `Arc`
+//! before retirement — finds [`ShardedStore::retired`] set once it holds
+//! the shard lock, abandons the write, and retries against the new store;
+//! readers of the old store just finish against their frozen snapshots.
+
+use crate::store::ComponentEntry;
+use crate::trigram::TrigramIndex;
+use cca_core::CcaError;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default shard count: enough that a million entries keep shards in the
+/// tens of thousands (bounding single-insert republication cost) without
+/// making tiny catalogs pay 64 snapshot allocations.
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// One registered entry in its normalized, search-ready form. The
+/// lowercased texts are computed **once, at deposit time** — queries
+/// compare against them directly instead of lowering every entry on
+/// every search (the per-entry-per-query allocation the flat store
+/// used to pay).
+#[derive(Clone)]
+pub struct StoredEntry {
+    /// The registration itself.
+    pub entry: ComponentEntry,
+    /// `entry.class`, lowercased.
+    pub lowered_class: Arc<str>,
+    /// The rest of the searchable text — port names, port types, and the
+    /// description — lowercased and space-joined.
+    pub lowered_aux: Arc<str>,
+}
+
+impl StoredEntry {
+    /// Normalizes an entry for storage.
+    pub fn new(entry: ComponentEntry) -> Self {
+        let lowered_class: Arc<str> = entry.class.to_lowercase().into();
+        let mut aux = String::new();
+        for spec in entry.provides.iter().chain(entry.uses.iter()) {
+            aux.push_str(&spec.name);
+            aux.push(' ');
+            aux.push_str(&spec.port_type);
+            aux.push(' ');
+        }
+        aux.push_str(&entry.description);
+        let lowered_aux: Arc<str> = aux.to_lowercase().into();
+        StoredEntry {
+            entry,
+            lowered_class,
+            lowered_aux,
+        }
+    }
+
+    /// The combined text the trigram index sees.
+    fn search_text(&self) -> String {
+        format!("{} {}", self.lowered_class, self.lowered_aux)
+    }
+}
+
+/// The immutable published state of one shard. Everything a reader needs
+/// — entries, ordinal arrays, trigram postings — is frozen together, so
+/// any snapshot is internally consistent by construction.
+pub struct ShardSnapshot {
+    /// The shard generation this snapshot was published at.
+    pub generation: u64,
+    /// Entries sorted by class name; the index into this vec is the
+    /// ordinal the trigram postings refer to.
+    entries: Vec<StoredEntry>,
+    /// class → ordinal.
+    by_class: BTreeMap<Arc<str>, u32>,
+    /// Trigram postings over `entries[ordinal].search_text()`.
+    index: TrigramIndex,
+}
+
+impl ShardSnapshot {
+    fn empty() -> Arc<Self> {
+        Arc::new(ShardSnapshot {
+            generation: 0,
+            entries: Vec::new(),
+            by_class: BTreeMap::new(),
+            index: TrigramIndex::default(),
+        })
+    }
+
+    fn from_entries(mut entries: Vec<StoredEntry>, generation: u64) -> Arc<Self> {
+        entries.sort_by(|a, b| a.entry.class.cmp(&b.entry.class));
+        let by_class = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (Arc::<str>::from(e.entry.class.as_str()), i as u32))
+            .collect();
+        let texts: Vec<String> = entries.iter().map(|e| e.search_text()).collect();
+        let index = TrigramIndex::build(&texts);
+        Arc::new(ShardSnapshot {
+            generation,
+            entries,
+            by_class,
+            index,
+        })
+    }
+
+    /// Exact lookup by class name.
+    pub fn get(&self, class: &str) -> Option<&StoredEntry> {
+        self.by_class.get(class).map(|&i| &self.entries[i as usize])
+    }
+
+    /// All entries, sorted by class name.
+    pub fn entries(&self) -> &[StoredEntry] {
+        &self.entries
+    }
+
+    /// The entry behind a trigram ordinal.
+    pub fn by_ordinal(&self, ordinal: u32) -> &StoredEntry {
+        &self.entries[ordinal as usize]
+    }
+
+    /// This snapshot's trigram index.
+    pub fn index(&self) -> &TrigramIndex {
+        &self.index
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the shard holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+struct Shard {
+    /// The published snapshot. Readers take the lock only long enough to
+    /// clone the `Arc`; writers only to swap it.
+    snap: RwLock<Arc<ShardSnapshot>>,
+    /// Monotonic publication counter, bumped after every swap.
+    generation: AtomicU64,
+    /// Serializes writers of this shard (clone-mutate-swap must not race
+    /// itself or the republication is a lost update).
+    write: Mutex<()>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            snap: RwLock::new(ShardSnapshot::empty()),
+            generation: AtomicU64::new(0),
+            write: Mutex::new(()),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<ShardSnapshot> {
+        Arc::clone(&self.snap.read())
+    }
+
+    /// Publishes `entries` as the next snapshot. Caller holds `write`.
+    fn publish(&self, entries: Vec<StoredEntry>) {
+        let generation = self.generation.load(Ordering::Acquire) + 1;
+        let next = ShardSnapshot::from_entries(entries, generation);
+        *self.snap.write() = next;
+        self.generation.store(generation, Ordering::Release);
+    }
+}
+
+/// The outcome of a write attempt against a possibly-retired store.
+pub enum WriteOutcome<T> {
+    /// The write published.
+    Done(T),
+    /// The store was retired by a rebalance after the caller cloned its
+    /// handle; retry against the current store.
+    Retired,
+}
+
+/// The outcome of a batch insert. `Retired` hands the (unpublished)
+/// batch back so the caller can retry against the current store without
+/// having cloned a million entries up front.
+pub enum BatchOutcome {
+    /// The batch published (`Ok`: entries inserted) or was rejected
+    /// whole (`Err`: a duplicate; nothing published).
+    Done(Result<usize, CcaError>),
+    /// The store was retired mid-flight; here is the batch back.
+    Retired(Vec<StoredEntry>),
+}
+
+/// A fixed set of shards plus the retirement flag that makes
+/// whole-store replacement (rebalance) safe against in-flight writers.
+pub struct ShardedStore {
+    shards: Box<[Shard]>,
+    retired: AtomicBool,
+}
+
+/// FNV-1a, the classic stable string hash: deterministic across runs and
+/// processes, so a class always lands on the same shard for a given
+/// shard count (tests and cursors may rely on run-to-run stability).
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ShardedStore {
+    /// Creates an empty store with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedStore {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    /// Creates a store pre-populated with `entries` (used by rebalance;
+    /// duplicates must already be impossible).
+    pub fn with_entries(shards: usize, entries: Vec<StoredEntry>) -> Self {
+        let store = ShardedStore::new(shards);
+        let mut buckets: Vec<Vec<StoredEntry>> =
+            (0..store.shards.len()).map(|_| Vec::new()).collect();
+        for e in entries {
+            buckets[store.shard_of(&e.entry.class)].push(e);
+        }
+        for (shard, bucket) in store.shards.iter().zip(buckets) {
+            let _w = shard.write.lock();
+            shard.publish(bucket);
+        }
+        store
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a class name hashes to.
+    pub fn shard_of(&self, class: &str) -> usize {
+        (fnv1a(class) % self.shards.len() as u64) as usize
+    }
+
+    /// True once a rebalance has replaced this store.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// The published snapshot of one shard.
+    pub fn snapshot(&self, shard: usize) -> Arc<ShardSnapshot> {
+        self.shards[shard].snapshot()
+    }
+
+    /// Published snapshots of every shard (one frozen world per shard;
+    /// cross-shard reads are not atomic with each other, which exact
+    /// lookups and per-shard queries never need).
+    pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
+        self.shards.iter().map(Shard::snapshot).collect()
+    }
+
+    /// Per-shard generation counters.
+    pub fn generations(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.generation.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Exact lookup: hash to the shard, read its frozen snapshot.
+    pub fn get(&self, class: &str) -> Option<StoredEntry> {
+        self.snapshot(self.shard_of(class)).get(class).cloned()
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.snapshot().len()).sum()
+    }
+
+    /// True when no shard holds entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.snapshot().is_empty())
+    }
+
+    /// Inserts one entry. `overwrite` distinguishes register (duplicate
+    /// is an error) from re-deposit (replace in place).
+    pub fn try_insert(
+        &self,
+        stored: StoredEntry,
+        overwrite: bool,
+    ) -> WriteOutcome<Result<(), CcaError>> {
+        let shard = &self.shards[self.shard_of(&stored.entry.class)];
+        let _w = shard.write.lock();
+        if self.is_retired() {
+            return WriteOutcome::Retired;
+        }
+        let current = shard.snapshot();
+        if !overwrite && current.get(&stored.entry.class).is_some() {
+            return WriteOutcome::Done(Err(CcaError::ComponentAlreadyExists(
+                stored.entry.class.clone(),
+            )));
+        }
+        let mut entries: Vec<StoredEntry> = current
+            .entries()
+            .iter()
+            .filter(|e| e.entry.class != stored.entry.class)
+            .cloned()
+            .collect();
+        entries.push(stored);
+        shard.publish(entries);
+        WriteOutcome::Done(Ok(()))
+    }
+
+    /// Inserts a batch, all-or-nothing: every touched shard is locked (in
+    /// index order), every class validated against the existing tables
+    /// *and* the batch itself, and only then does any shard publish. A
+    /// duplicate anywhere leaves the whole store untouched.
+    pub fn try_insert_batch(&self, batch: Vec<StoredEntry>) -> BatchOutcome {
+        if batch.is_empty() {
+            return BatchOutcome::Done(Ok(0));
+        }
+        let mut buckets: Vec<Vec<StoredEntry>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for e in batch {
+            buckets[self.shard_of(&e.entry.class)].push(e);
+        }
+        let touched: Vec<usize> = (0..buckets.len())
+            .filter(|&i| !buckets[i].is_empty())
+            .collect();
+        // Lock in ascending shard order so concurrent batches can't
+        // deadlock, then validate everything before publishing anything.
+        let guards: Vec<_> = touched
+            .iter()
+            .map(|&i| self.shards[i].write.lock())
+            .collect();
+        if self.is_retired() {
+            return BatchOutcome::Retired(buckets.into_iter().flatten().collect());
+        }
+        let mut inserted = 0usize;
+        for &i in &touched {
+            let current = self.shards[i].snapshot();
+            let bucket = &mut buckets[i];
+            bucket.sort_by(|a, b| a.entry.class.cmp(&b.entry.class));
+            for pair in bucket.windows(2) {
+                if pair[0].entry.class == pair[1].entry.class {
+                    return BatchOutcome::Done(Err(CcaError::ComponentAlreadyExists(
+                        pair[0].entry.class.clone(),
+                    )));
+                }
+            }
+            for e in bucket.iter() {
+                if current.get(&e.entry.class).is_some() {
+                    return BatchOutcome::Done(Err(CcaError::ComponentAlreadyExists(
+                        e.entry.class.clone(),
+                    )));
+                }
+            }
+            inserted += bucket.len();
+        }
+        for &i in &touched {
+            let shard = &self.shards[i];
+            let mut entries: Vec<StoredEntry> = shard.snapshot().entries().to_vec();
+            entries.append(&mut buckets[i]);
+            shard.publish(entries);
+        }
+        drop(guards);
+        BatchOutcome::Done(Ok(inserted))
+    }
+
+    /// Removes one entry by class.
+    pub fn try_remove(&self, class: &str) -> WriteOutcome<Result<ComponentEntry, CcaError>> {
+        let shard = &self.shards[self.shard_of(class)];
+        let _w = shard.write.lock();
+        if self.is_retired() {
+            return WriteOutcome::Retired;
+        }
+        let current = shard.snapshot();
+        if current.get(class).is_none() {
+            return WriteOutcome::Done(Err(CcaError::ComponentNotFound(class.to_string())));
+        }
+        let mut removed = None;
+        let entries: Vec<StoredEntry> = current
+            .entries()
+            .iter()
+            .filter(|e| {
+                if e.entry.class == class {
+                    removed = Some(e.entry.clone());
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect();
+        shard.publish(entries);
+        WriteOutcome::Done(Ok(removed.expect("presence checked above")))
+    }
+
+    /// Locks every shard, marks this store retired, and returns all
+    /// entries — the first half of a rebalance. After this returns, no
+    /// in-flight writer can publish here: anyone who raced the swap sees
+    /// the retirement flag under the shard lock and retries elsewhere.
+    pub fn retire_and_collect(&self) -> Vec<StoredEntry> {
+        let _guards: Vec<_> = self.shards.iter().map(|s| s.write.lock()).collect();
+        self.retired.store(true, Ordering::Release);
+        let mut all = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            all.extend(s.snapshot().entries().iter().cloned());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PortSpec;
+    use cca_core::{CcaServices, Component};
+    use cca_data::TypeMap;
+
+    struct Nop;
+    impl Component for Nop {
+        fn component_type(&self) -> &str {
+            "t.Nop"
+        }
+        fn set_services(&self, _s: Arc<CcaServices>) -> Result<(), CcaError> {
+            Ok(())
+        }
+    }
+
+    fn entry(class: &str) -> StoredEntry {
+        StoredEntry::new(ComponentEntry {
+            class: class.into(),
+            description: format!("The {class} Component"),
+            provides: vec![PortSpec::new("go", "cca.ports.GoPort")],
+            uses: vec![],
+            properties: TypeMap::new(),
+            factory: Arc::new(|| Arc::new(Nop) as Arc<dyn Component>),
+        })
+    }
+
+    fn unwrap_done<T>(o: WriteOutcome<T>) -> T {
+        match o {
+            WriteOutcome::Done(t) => t,
+            WriteOutcome::Retired => panic!("store unexpectedly retired"),
+        }
+    }
+
+    fn unwrap_batch(o: BatchOutcome) -> Result<usize, CcaError> {
+        match o {
+            BatchOutcome::Done(r) => r,
+            BatchOutcome::Retired(_) => panic!("store unexpectedly retired"),
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_across_shards() {
+        let store = ShardedStore::new(4);
+        for i in 0..100 {
+            unwrap_done(store.try_insert(entry(&format!("p{i}.C")), false)).unwrap();
+        }
+        assert_eq!(store.len(), 100);
+        assert!(store.get("p42.C").is_some());
+        assert!(store.get("p777.C").is_none());
+        unwrap_done(store.try_remove("p42.C")).unwrap();
+        assert!(store.get("p42.C").is_none());
+        assert_eq!(store.len(), 99);
+        assert!(unwrap_done(store.try_remove("p42.C")).is_err());
+    }
+
+    #[test]
+    fn normalize_once_lowers_class_and_aux() {
+        let e = entry("Esi.KrylovCG");
+        assert_eq!(&*e.lowered_class, "esi.krylovcg");
+        assert!(e.lowered_aux.contains("go cca.ports.goport"));
+        assert!(e.lowered_aux.contains("the esi.krylovcg component"));
+    }
+
+    #[test]
+    fn duplicate_single_insert_rejected_overwrite_replaces() {
+        let store = ShardedStore::new(2);
+        unwrap_done(store.try_insert(entry("a.B"), false)).unwrap();
+        assert!(matches!(
+            unwrap_done(store.try_insert(entry("a.B"), false)),
+            Err(CcaError::ComponentAlreadyExists(_))
+        ));
+        let mut replacement = entry("a.B");
+        replacement.entry.description = "replaced".into();
+        unwrap_done(store.try_insert(StoredEntry::new(replacement.entry), true)).unwrap();
+        assert_eq!(store.get("a.B").unwrap().entry.description, "replaced");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let store = ShardedStore::new(4);
+        unwrap_done(store.try_insert(entry("x.Existing"), false)).unwrap();
+        let before = store.generations();
+        // Batch with a duplicate against the store: nothing publishes.
+        let batch = vec![entry("a.A"), entry("b.B"), entry("x.Existing")];
+        assert!(unwrap_batch(store.try_insert_batch(batch)).is_err());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.generations(), before);
+        // Batch with an internal duplicate: same.
+        let batch = vec![entry("a.A"), entry("a.A")];
+        assert!(unwrap_batch(store.try_insert_batch(batch)).is_err());
+        assert_eq!(store.len(), 1);
+        // A clean batch lands everywhere.
+        let n = unwrap_batch(store.try_insert_batch(vec![entry("a.A"), entry("b.B")])).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn generations_bump_per_publication_and_snapshots_carry_them() {
+        let store = ShardedStore::new(1);
+        assert_eq!(store.generations(), vec![0]);
+        unwrap_done(store.try_insert(entry("a.A"), false)).unwrap();
+        unwrap_done(store.try_insert(entry("b.B"), false)).unwrap();
+        assert_eq!(store.generations(), vec![2]);
+        assert_eq!(store.snapshot(0).generation, 2);
+    }
+
+    #[test]
+    fn retired_store_refuses_writes() {
+        let store = ShardedStore::new(2);
+        unwrap_done(store.try_insert(entry("a.A"), false)).unwrap();
+        let all = store.retire_and_collect();
+        assert_eq!(all.len(), 1);
+        assert!(matches!(
+            store.try_insert(entry("b.B"), false),
+            WriteOutcome::Retired
+        ));
+        assert!(matches!(store.try_remove("a.A"), WriteOutcome::Retired));
+        assert!(matches!(
+            store.try_insert_batch(vec![entry("c.C")]),
+            BatchOutcome::Retired(_)
+        ));
+        // Readers of the retired store still see their frozen world.
+        assert!(store.get("a.A").is_some());
+    }
+
+    #[test]
+    fn with_entries_distributes_deterministically() {
+        let entries: Vec<StoredEntry> = (0..50).map(|i| entry(&format!("p{i}.C"))).collect();
+        let a = ShardedStore::with_entries(8, entries.clone());
+        let b = ShardedStore::with_entries(8, entries);
+        for i in 0..8 {
+            assert_eq!(
+                a.snapshot(i).len(),
+                b.snapshot(i).len(),
+                "shard layout must be deterministic"
+            );
+        }
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.shard_of("p1.C"), a.shard_of("p1.C"));
+    }
+}

@@ -1,11 +1,11 @@
 //! Component entries and instantiation factories.
 
 use crate::catalog::Catalog;
+use crate::shard::{BatchOutcome, ShardedStore, StoredEntry, WriteOutcome, DEFAULT_SHARDS};
 use cca_core::{CcaError, Component};
 use cca_data::TypeMap;
 use cca_sidl::SidlError;
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A port a component promises to provide or use, as advertised in the
@@ -71,17 +71,43 @@ impl std::fmt::Debug for ComponentEntry {
     }
 }
 
-/// The repository: a SIDL catalog plus a table of instantiable components.
-#[derive(Default)]
+/// The repository: a SIDL catalog plus a sharded table of instantiable
+/// components (see [`crate::shard`] for the concurrency story — readers
+/// work on frozen per-shard snapshots, writers clone-mutate-swap).
 pub struct Repository {
     catalog: RwLock<Catalog>,
-    components: RwLock<BTreeMap<String, ComponentEntry>>,
+    /// The current store. Swapped wholesale only by [`rebalance`]
+    /// (Repository::rebalance); everyone else clones the `Arc` and goes.
+    store: RwLock<Arc<ShardedStore>>,
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository {
+            catalog: RwLock::new(Catalog::default()),
+            store: RwLock::new(Arc::new(ShardedStore::new(DEFAULT_SHARDS))),
+        }
+    }
 }
 
 impl Repository {
-    /// Creates an empty repository.
+    /// Creates an empty repository with the default shard count.
     pub fn new() -> Arc<Self> {
         Arc::new(Repository::default())
+    }
+
+    /// Creates an empty repository with an explicit shard count (tests
+    /// and benchmarks; `shards == 1` degenerates to the flat store).
+    pub fn with_shards(shards: usize) -> Arc<Self> {
+        Arc::new(Repository {
+            catalog: RwLock::new(Catalog::default()),
+            store: RwLock::new(Arc::new(ShardedStore::new(shards))),
+        })
+    }
+
+    /// The current store handle (shared with in-flight readers).
+    pub(crate) fn sharded(&self) -> Arc<ShardedStore> {
+        Arc::clone(&self.store.read())
     }
 
     /// Deposits SIDL source into the catalog.
@@ -99,29 +125,75 @@ impl Repository {
     /// with a warning-free pass to allow non-SIDL components, but their
     /// port types cannot be subtype-checked).
     pub fn register_component(&self, entry: ComponentEntry) -> Result<(), CcaError> {
-        let mut components = self.components.write();
-        if components.contains_key(&entry.class) {
-            return Err(CcaError::ComponentAlreadyExists(entry.class));
+        self.insert(StoredEntry::new(entry), false)
+    }
+
+    /// Re-registers (upserts) a component entry: a re-deposit of an
+    /// already-known class replaces it in place instead of erroring.
+    pub fn reregister_component(&self, entry: ComponentEntry) {
+        self.insert(StoredEntry::new(entry), true)
+            .expect("overwrite insert cannot reject");
+    }
+
+    fn insert(&self, stored: StoredEntry, overwrite: bool) -> Result<(), CcaError> {
+        // The retry loop only spins when a rebalance retired the store
+        // between our handle clone and the shard lock — rare, bounded by
+        // the number of concurrent rebalances.
+        loop {
+            match self.sharded().try_insert(stored.clone(), overwrite) {
+                WriteOutcome::Done(r) => {
+                    if r.is_ok() {
+                        cca_obs::repo().record_deposits(1);
+                    }
+                    return r;
+                }
+                WriteOutcome::Retired => continue,
+            }
         }
-        components.insert(entry.class.clone(), entry);
-        Ok(())
+    }
+
+    /// Registers a whole batch in one publication per shard,
+    /// all-or-nothing: any duplicate (against the store or within the
+    /// batch) rejects the lot and publishes nothing. This is the scale
+    /// path — a million types cost one snapshot rebuild per shard, not
+    /// one per entry.
+    pub fn register_components(&self, batch: Vec<ComponentEntry>) -> Result<usize, CcaError> {
+        let mut stored: Vec<StoredEntry> = batch.into_iter().map(StoredEntry::new).collect();
+        loop {
+            match self.sharded().try_insert_batch(stored) {
+                BatchOutcome::Done(r) => {
+                    if let Ok(n) = r {
+                        cca_obs::repo().record_deposits(n as u64);
+                    }
+                    return r;
+                }
+                BatchOutcome::Retired(back) => stored = back,
+            }
+        }
     }
 
     /// Removes a component entry.
     pub fn unregister_component(&self, class: &str) -> Result<ComponentEntry, CcaError> {
-        self.components
-            .write()
-            .remove(class)
-            .ok_or_else(|| CcaError::ComponentNotFound(class.to_string()))
+        loop {
+            match self.sharded().try_remove(class) {
+                WriteOutcome::Done(r) => return r,
+                WriteOutcome::Retired => continue,
+            }
+        }
     }
 
-    /// The entry for a class.
+    /// The entry for a class (exact lookup: one hash, one frozen shard).
     pub fn entry(&self, class: &str) -> Result<ComponentEntry, CcaError> {
-        self.components
-            .read()
-            .get(class)
-            .cloned()
-            .ok_or_else(|| CcaError::ComponentNotFound(class.to_string()))
+        match self.sharded().get(class) {
+            Some(stored) => {
+                cca_obs::repo().record_exact_lookup();
+                Ok(stored.entry)
+            }
+            None => {
+                cca_obs::repo().record_exact_miss();
+                Err(CcaError::ComponentNotFound(class.to_string()))
+            }
+        }
     }
 
     /// Instantiates a fresh component of the given class.
@@ -131,17 +203,46 @@ impl Repository {
 
     /// All registered entries, sorted by class name.
     pub fn entries(&self) -> Vec<ComponentEntry> {
-        self.components.read().values().cloned().collect()
+        let mut all: Vec<ComponentEntry> = self
+            .sharded()
+            .snapshots()
+            .iter()
+            .flat_map(|s| s.entries().iter().map(|e| e.entry.clone()))
+            .collect();
+        all.sort_by(|a, b| a.class.cmp(&b.class));
+        all
     }
 
     /// Number of registered components.
     pub fn len(&self) -> usize {
-        self.components.read().len()
+        self.sharded().len()
     }
 
     /// True if no components are registered.
     pub fn is_empty(&self) -> bool {
-        self.components.read().is_empty()
+        self.sharded().is_empty()
+    }
+
+    /// Number of shards in the current store.
+    pub fn shard_count(&self) -> usize {
+        self.sharded().shard_count()
+    }
+
+    /// Per-shard publication generations of the current store.
+    pub fn generations(&self) -> Vec<u64> {
+        self.sharded().generations()
+    }
+
+    /// Redistributes every entry across `shards` shards. The old store is
+    /// retired under all its shard locks, so an insert racing the swap
+    /// either lands before collection or retries against the new store —
+    /// never into the void. In-flight readers finish against their frozen
+    /// snapshots of the old store.
+    pub fn rebalance(&self, shards: usize) {
+        let mut cell = self.store.write();
+        let entries = cell.retire_and_collect();
+        *cell = Arc::new(ShardedStore::with_entries(shards, entries));
+        cca_obs::repo().record_rebalance();
     }
 
     /// Subtype check backed by the catalog (reflexive, false for unknowns).
@@ -248,6 +349,61 @@ mod tests {
         let e = repo.unregister_component("demo.Nop").unwrap();
         assert_eq!(e.class, "demo.Nop");
         assert!(repo.unregister_component("demo.Nop").is_err());
+    }
+
+    #[test]
+    fn batch_registration_and_upsert() {
+        let repo = Repository::with_shards(4);
+        let n = repo
+            .register_components((0..100).map(|i| nop_entry(&format!("p{i}.C"))).collect())
+            .unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(repo.len(), 100);
+        // A batch duplicating an existing class rejects whole.
+        assert!(repo
+            .register_components(vec![nop_entry("q.New"), nop_entry("p7.C")])
+            .is_err());
+        assert_eq!(repo.len(), 100);
+        assert!(repo.entry("q.New").is_err());
+        // Re-deposit replaces in place.
+        let mut e = nop_entry("p7.C");
+        e.description = "second deposit".into();
+        repo.reregister_component(e);
+        assert_eq!(repo.entry("p7.C").unwrap().description, "second deposit");
+        assert_eq!(repo.len(), 100);
+    }
+
+    #[test]
+    fn rebalance_preserves_entries_and_changes_layout() {
+        let repo = Repository::with_shards(2);
+        repo.register_components((0..50).map(|i| nop_entry(&format!("p{i}.C"))).collect())
+            .unwrap();
+        assert_eq!(repo.shard_count(), 2);
+        repo.rebalance(8);
+        assert_eq!(repo.shard_count(), 8);
+        assert_eq!(repo.len(), 50);
+        for i in 0..50 {
+            assert!(repo.entry(&format!("p{i}.C")).is_ok());
+        }
+        // Entries stay sorted and complete after the reshard.
+        let classes: Vec<String> = repo.entries().iter().map(|e| e.class.clone()).collect();
+        let mut sorted = classes.clone();
+        sorted.sort();
+        assert_eq!(classes, sorted);
+        assert_eq!(classes.len(), 50);
+        // Writes keep working against the new store.
+        repo.register_component(nop_entry("after.Rebalance"))
+            .unwrap();
+        assert_eq!(repo.len(), 51);
+    }
+
+    #[test]
+    fn generations_expose_publication_counts() {
+        let repo = Repository::with_shards(1);
+        assert_eq!(repo.generations(), vec![0]);
+        repo.register_component(nop_entry("a.A")).unwrap();
+        repo.register_component(nop_entry("b.B")).unwrap();
+        assert_eq!(repo.generations(), vec![2]);
     }
 
     #[test]

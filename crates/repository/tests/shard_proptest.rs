@@ -1,0 +1,243 @@
+//! Property tests for the sharded catalog: the discovery guarantees that
+//! must hold for *every* catalog, not just the curated fixtures.
+//!
+//! Four contracts under random entry sets and needles:
+//! - **Completeness and soundness**: the trigram-accelerated fuzzy path
+//!   returns exactly the entries whose searchable text contains the
+//!   needle — the posting intersection may over-approximate, but the
+//!   verify step must never let a false positive out and the index must
+//!   never lose a true match.
+//! - **Layout independence**: rankings are a pure function of the texts;
+//!   the same catalog sharded 1, 4, or 32 ways ranks identically.
+//! - **Cap fidelity**: a limited page is exactly the head of the
+//!   unlimited ranking — capping never trades a higher-scored hit for a
+//!   lower one.
+//! - **Torn-read freedom**: readers racing a depositor only ever observe
+//!   fully-published snapshots — sorted entries, a class map that agrees
+//!   with the entry array, a generation that never runs backwards.
+
+use cca_core::{CcaError, CcaServices, Component};
+use cca_data::TypeMap;
+use cca_repository::{
+    ComponentEntry, FuzzyQuery, PortSpec, Repository, ShardedStore, StoredEntry, WriteOutcome,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Nop;
+impl Component for Nop {
+    fn component_type(&self) -> &str {
+        "t.Nop"
+    }
+    fn set_services(&self, _s: Arc<CcaServices>) -> Result<(), CcaError> {
+        Ok(())
+    }
+}
+
+fn entry(class: &str, desc: &str) -> ComponentEntry {
+    ComponentEntry {
+        class: class.into(),
+        description: desc.into(),
+        provides: vec![PortSpec::new("solve", "esi.Solver")],
+        uses: vec![],
+        properties: TypeMap::new(),
+        factory: Arc::new(|| Arc::new(Nop) as Arc<dyn Component>),
+    }
+}
+
+/// Random catalogs drawn from a small alphabet so needles actually
+/// collide with entry texts (uniform random strings would almost never
+/// match and the properties would pass vacuously).
+fn arb_catalog() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[a-d]{1,3}\\.[A-Da-d]{2,8}", "[a-d ]{0,12}"), 1..40).prop_map(
+        |pairs| {
+            // Dedupe by class: the catalog rejects duplicates by contract.
+            let mut seen = BTreeMap::new();
+            for (class, desc) in pairs {
+                seen.entry(class).or_insert(desc);
+            }
+            seen.into_iter().collect()
+        },
+    )
+}
+
+fn populate(repo: &Repository, catalog: &[(String, String)]) {
+    for (class, desc) in catalog {
+        repo.register_component(entry(class, desc)).unwrap();
+    }
+}
+
+/// The reference answer, computed the slow honest way: which classes'
+/// searchable text (lowered class + lowered aux) contains the needle?
+fn expected_matches(catalog: &[(String, String)], needle: &str) -> Vec<String> {
+    catalog
+        .iter()
+        .filter(|(class, desc)| {
+            let stored = StoredEntry::new(entry(class, desc));
+            stored.lowered_class.contains(needle) || stored.lowered_aux.contains(needle)
+        })
+        .map(|(class, _)| class.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fuzzy results are exactly the substring-match set: no entry whose
+    /// text contains the needle is ever lost to the trigram intersection
+    /// (completeness), and no entry without the substring sneaks through
+    /// the candidate over-approximation (soundness). Holds on both the
+    /// indexed path (needle ≥ 3 bytes) and the short-needle scan path.
+    #[test]
+    fn fuzzy_hits_are_exactly_the_substring_matches(
+        catalog in arb_catalog(),
+        needle in "[a-d.]{1,5}",
+    ) {
+        let repo = Repository::with_shards(4);
+        populate(&repo, &catalog);
+        let page = repo.fuzzy(&FuzzyQuery::new(&needle).with_limit(catalog.len() + 1));
+        let mut got: Vec<String> = page.hits.iter().map(|h| h.class.clone()).collect();
+        got.sort();
+        let mut expected = expected_matches(&catalog, &needle);
+        expected.sort();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(page.matched, page.hits.len());
+        prop_assert!(page.next.is_none(), "an uncapped page leaves no cursor");
+    }
+
+    /// The ranking is a pure function of (texts, needle): resharding the
+    /// same catalog 1, 4, or 32 ways produces the identical hit sequence,
+    /// scores included. This is what makes cursors durable across a
+    /// rebalance and rankings reproducible across deployments.
+    #[test]
+    fn ranking_is_stable_under_shard_count(
+        catalog in arb_catalog(),
+        needle in "[a-d]{2,4}",
+    ) {
+        let reference: Vec<(String, u32)> = {
+            let repo = Repository::with_shards(1);
+            populate(&repo, &catalog);
+            repo.fuzzy(&FuzzyQuery::new(&needle).with_limit(catalog.len() + 1))
+                .hits
+                .into_iter()
+                .map(|h| (h.class, h.score))
+                .collect()
+        };
+        for shards in [4usize, 32] {
+            let repo = Repository::with_shards(shards);
+            populate(&repo, &catalog);
+            let got: Vec<(String, u32)> = repo
+                .fuzzy(&FuzzyQuery::new(&needle).with_limit(catalog.len() + 1))
+                .hits
+                .into_iter()
+                .map(|h| (h.class, h.score))
+                .collect();
+            prop_assert_eq!(
+                &got, &reference,
+                "{} shards must rank like 1 shard", shards
+            );
+        }
+    }
+
+    /// A capped page is exactly the head of the uncapped ranking: the
+    /// top-k heap never evicts a higher-scored hit in favour of a lower
+    /// one, and the continuation cursor appears exactly when something
+    /// was cut.
+    #[test]
+    fn capping_keeps_the_best_hits(
+        catalog in arb_catalog(),
+        needle in "[a-d]{1,3}",
+        limit in 1usize..8,
+    ) {
+        let repo = Repository::with_shards(4);
+        populate(&repo, &catalog);
+        let full = repo.fuzzy(&FuzzyQuery::new(&needle).with_limit(catalog.len() + 1));
+        let capped = repo.fuzzy(&FuzzyQuery::new(&needle).with_limit(limit));
+        let keep = limit.min(full.hits.len());
+        prop_assert_eq!(capped.hits.len(), keep);
+        for (c, f) in capped.hits.iter().zip(full.hits.iter()) {
+            prop_assert_eq!(&c.class, &f.class);
+            prop_assert_eq!(c.score, f.score);
+        }
+        prop_assert_eq!(capped.matched, full.hits.len());
+        prop_assert_eq!(capped.next.is_some(), full.hits.len() > limit);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Torn-read freedom: readers race a depositor on the raw store.
+// ---------------------------------------------------------------------
+
+/// Readers hammer every shard while a depositor publishes entries one at
+/// a time. Every observed snapshot must be internally consistent —
+/// entries sorted by class, the class map pointing at the right
+/// ordinals, the trigram index sized to the entry array — and per-shard
+/// generations must never run backwards. A torn publish (entries from
+/// one generation, index from another) would trip the ordinal checks;
+/// clone-mutate-swap makes that impossible by construction, and this
+/// test is the regression net around that construction.
+#[test]
+fn concurrent_readers_never_observe_a_torn_snapshot() {
+    const SHARDS: usize = 8;
+    const DEPOSITS: usize = 2_000;
+    let store = Arc::new(ShardedStore::new(SHARDS));
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let mut last_gen = [0u64; SHARDS];
+                let mut checks = 0usize;
+                while !done.load(Ordering::Acquire) || checks == 0 {
+                    for (shard, last) in last_gen.iter_mut().enumerate() {
+                        let snap = store.snapshot(shard);
+                        assert!(
+                            snap.generation >= *last,
+                            "generation ran backwards: {} -> {}",
+                            last,
+                            snap.generation
+                        );
+                        *last = snap.generation;
+                        let entries = snap.entries();
+                        assert!(
+                            entries
+                                .windows(2)
+                                .all(|w| w[0].entry.class < w[1].entry.class),
+                            "published entries must be strictly sorted"
+                        );
+                        for (ordinal, stored) in entries.iter().enumerate() {
+                            let found = snap
+                                .get(&stored.entry.class)
+                                .expect("every published entry is reachable by class");
+                            assert_eq!(found.entry.class, stored.entry.class);
+                            assert_eq!(
+                                snap.by_ordinal(ordinal as u32).entry.class,
+                                stored.entry.class,
+                                "class map and entry array must agree"
+                            );
+                        }
+                        checks += 1;
+                    }
+                }
+            });
+        }
+
+        // The depositor: one publish per entry, maximum snapshot churn.
+        for i in 0..DEPOSITS {
+            let stored = StoredEntry::new(entry(&format!("pkg{}.Type{i:05}", i % 7), "racing"));
+            match store.try_insert(stored, false) {
+                WriteOutcome::Done(r) => r.unwrap(),
+                WriteOutcome::Retired => panic!("nobody retires this store"),
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(store.len(), DEPOSITS);
+    // The final generations account for exactly one publish per deposit.
+    assert_eq!(store.generations().iter().sum::<u64>(), DEPOSITS as u64);
+}

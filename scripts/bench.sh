@@ -20,7 +20,8 @@
 # logical clients share ≤8 sockets and mux beats the pooled baseline;
 # E14: tracing-off v2 encode ≤1.1x the PR-6 codec, tracing-on remote
 # calls ≤1.5x tracing-off; E15: bulk slabs outrun the generic encoding
-# and sender memory stays window-bounded) matter.
+# and sender memory stays window-bounded; E17: exact lookup p50 <5us,
+# fuzzy p50 <5ms, concurrent scaling per core budget) matter.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
@@ -79,8 +80,12 @@ run_bench "E16 worker fleet (writes BENCH_fleet.json)" \
     env BENCH_FLEET_OUT="$ROOT/BENCH_fleet.json" \
     cargo bench --offline -p cca-bench --bench e16_fleet
 
+run_bench "E17 repository scale (writes BENCH_repo.json)" \
+    env BENCH_REPO_OUT="$ROOT/BENCH_repo.json" \
+    cargo bench --offline -p cca-bench --bench e17_repository
+
 echo "==> results"
-for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json BENCH_data.json BENCH_fleet.json; do
+for artifact in BENCH_ports.json BENCH_obs.json BENCH_resilience.json BENCH_rpc.json BENCH_data.json BENCH_fleet.json BENCH_repo.json; do
     [ -f "$ROOT/$artifact" ] && cat "$ROOT/$artifact"
 done
 

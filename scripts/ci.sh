@@ -11,7 +11,7 @@
 #   fmt        rustfmt --check
 #   fault      the fault-injection suites under one CCA_FAULT_SEED
 #   fleet      the multi-process kill-matrix under one CCA_FAULT_SEED
-#   bench-gate quick-mode E10/E11/E13/E14/E15/E16 perf gates
+#   bench-gate quick-mode E10/E11/E13/E14/E15/E16/E17 perf gates
 #
 # The CI workflow fans these out as separate jobs; `all` keeps the
 # one-command local story.
@@ -31,7 +31,8 @@ cleanup() {
         BENCH_resilience.ci.json BENCH_resilience.ci.json.tmp \
         BENCH_rpc.ci.json BENCH_rpc.ci.json.tmp \
         BENCH_data.ci.json BENCH_data.ci.json.tmp \
-        BENCH_fleet.ci.json BENCH_fleet.ci.json.tmp
+        BENCH_fleet.ci.json BENCH_fleet.ci.json.tmp \
+        BENCH_repo.ci.json BENCH_repo.ci.json.tmp
     reap_fleet_orphans
 }
 reap_fleet_orphans() {
@@ -78,7 +79,7 @@ fault() {
     mkdir -p target/flight
     CCA_FAULT_SEED="$seed" CCA_FLIGHT_DIR="$(pwd)/target/flight" cargo test --offline \
         --test failure_injection --test resilience --test remote_transport \
-        --test wire_tracing --test bulk_redist
+        --test wire_tracing --test bulk_redist --test repository_scale
 }
 
 # The supervised-fleet kill-matrix: 4 ranks as real child processes, a
@@ -141,6 +142,14 @@ bench_gate() {
     echo "==> E16 worker fleet gate (quick mode)"
     CCA_BENCH_FAST=1 BENCH_FLEET_OUT="$(pwd)/BENCH_fleet.ci.json" \
         cargo bench --offline -p cca-bench --bench e16_fleet
+
+    # Quick-mode repository gate: 100k-type catalog, exact lookup p50
+    # under 5us, trigram fuzzy p50 under 5ms, and concurrent readers
+    # don't collapse (E17). The committed BENCH_repo.json carries the
+    # full 1M-type numbers via bench.sh.
+    echo "==> E17 repository scale gate (quick mode)"
+    CCA_BENCH_FAST=1 BENCH_REPO_OUT="$(pwd)/BENCH_repo.ci.json" \
+        cargo bench --offline -p cca-bench --bench e17_repository
 }
 
 case "$MODE" in
